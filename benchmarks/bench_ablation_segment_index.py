@@ -1,0 +1,100 @@
+"""Ablation — segment indexing on highly segmented state (Section VII).
+
+The paper motivates segment indexing for "highly segmented datasets
+resulting from many unmodeled attributes".  At the paper's own state
+sizes a linear scan is fine (and the join ablation shows the index is
+cost-neutral there); this ablation fragments the state heavily and
+measures the overlap-query cost of the plain buffer vs the interval
+index as live-segment counts grow — the index's per-query cost must stay
+flat while the scan's grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import Series, best_of, format_table, growth_ratio
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment, SegmentBuffer
+from repro.core.segment_index import IndexedSegmentBuffer
+
+STATE_SIZES = (250, 500, 1000, 2000, 4000)
+QUERIES = 300
+QUERY_WIDTH = 0.5
+SEGMENT_WIDTH = 0.4
+
+
+def _segments(n: int, seed: int = 57) -> list[Segment]:
+    rng = np.random.default_rng(seed)
+    horizon = n * SEGMENT_WIDTH / 20.0  # ~20 keys live at any instant
+    out = []
+    for i in range(n):
+        lo = float(rng.uniform(0.0, horizon))
+        out.append(
+            Segment(
+                (f"k{i}",), lo, lo + SEGMENT_WIDTH,
+                {"x": Polynomial([float(i)])},
+            )
+        )
+    return out
+
+
+def _query_cost(buffer, horizon: float, seed: int = 58) -> float:
+    rng = np.random.default_rng(seed)
+    probes = rng.uniform(0.0, horizon, size=QUERIES)
+    start = time.perf_counter()
+    hits = 0
+    for lo in probes:
+        for _ in buffer.overlapping(float(lo), float(lo) + QUERY_WIDTH):
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits > 0
+    return elapsed / QUERIES
+
+
+def run_experiment():
+    scan_series = Series("scan us/query")
+    index_series = Series("index us/query")
+    for n in STATE_SIZES:
+        segments = _segments(n)
+        horizon = n * SEGMENT_WIDTH / 20.0
+        plain = SegmentBuffer()
+        indexed = IndexedSegmentBuffer(cell_width=QUERY_WIDTH)
+        for s in segments:
+            plain.insert(s)
+            indexed.insert(s)
+        scan_series.add(
+            n, 1e6 * best_of(lambda: _query_cost(plain, horizon), repeats=3)
+        )
+        index_series.add(
+            n, 1e6 * best_of(lambda: _query_cost(indexed, horizon), repeats=3)
+        )
+    return scan_series, index_series
+
+
+def test_ablation_segment_index(benchmark, report):
+    scan_series, index_series = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    xs = scan_series.xs
+    table = format_table(
+        "live segments", xs, [scan_series, index_series], y_format="{:.2f}"
+    )
+    report(
+        "ablation_segment_index",
+        table
+        + f"\ncost growth over 16x state — scan: "
+        f"{growth_ratio(scan_series.ys):.1f}x, "
+        f"index: {growth_ratio(index_series.ys):.1f}x",
+    )
+    benchmark.extra_info["scan_growth"] = growth_ratio(scan_series.ys)
+    benchmark.extra_info["index_growth"] = growth_ratio(index_series.ys)
+
+    # The scan's per-query cost grows with state; the index's stays
+    # near-flat (constant live density per cell).
+    assert growth_ratio(scan_series.ys) > 4.0
+    assert growth_ratio(index_series.ys) < 3.0
+    # At the largest state the index wins decisively.
+    assert index_series.ys[-1] < 0.5 * scan_series.ys[-1]

@@ -1,0 +1,114 @@
+"""Fig. 5i — filter microbenchmark: throughput vs tuples/segment.
+
+The paper: a continuous-time filter must amortize its equation-system
+solve over many tuples because the discrete filter's per-tuple work is
+tiny; Pulse becomes viable only at a high model expressiveness
+(~1050 tuples/segment on their testbed).  We reproduce the *shape*: the
+discrete filter is flat in tuples/segment, Pulse's throughput grows with
+it, and the crossover sits far to the right compared to the aggregate
+and join microbenchmarks (Figs. 5ii/5iii).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import (
+    FIG5_TPS_SWEEP,
+    MICRO_PRECISION,
+    MICRO_WORKLOAD,
+    Series,
+    best_of,
+    crossover,
+    fast_validate_loop,
+    format_table,
+    model_table,
+)
+from repro.core.expr import Attr, Const
+from repro.core.operators import ContinuousFilter
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.engine import DiscreteFilter
+from repro.fitting import build_segments
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+PREDICATE = Comparison(Attr("x"), Rel.GT, Const(0.0))
+
+
+def _workload(tuples_per_segment: int, n: int):
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=5,
+            rate=10_000.0,
+            tuples_per_segment=tuples_per_segment,
+            seed=42,
+        )
+    )
+    tuples = list(gen.tuples(n))
+    segments = build_segments(
+        tuples, attrs=("x",), tolerance=1e-6,
+        key_fields=("id",), constants=("id",),
+    )
+    return tuples, segments
+
+
+def _discrete_run(tuples) -> float:
+    op = DiscreteFilter(PREDICATE)
+    start = time.perf_counter()
+    for tup in tuples:
+        op.process(tup)
+    return time.perf_counter() - start
+
+
+def _pulse_run(tuples, segments, bound_abs: float) -> float:
+    """Solve once per segment; validate (and drop) every tuple."""
+    op = ContinuousFilter(PREDICATE)
+    start = time.perf_counter()
+    for seg in segments:
+        op.process(seg)
+    table = model_table(segments, "x")
+    fast_validate_loop(tuples, table, "x", bound_abs)
+    return time.perf_counter() - start
+
+
+def run_sweep(n: int = MICRO_WORKLOAD):
+    tuple_series = Series("tuple t/s")
+    pulse_series = Series("pulse t/s")
+    for tps in FIG5_TPS_SWEEP:
+        tuples, segments = _workload(tps, n)
+        bound_abs = MICRO_PRECISION * 1000.0  # 1% of the position scale
+        tuple_series.add(tps, n / best_of(lambda: _discrete_run(tuples)))
+        pulse_series.add(
+            tps, n / best_of(lambda: _pulse_run(tuples, segments, bound_abs))
+        )
+    return tuple_series, pulse_series
+
+
+def test_fig5i_filter_microbenchmark(benchmark, report):
+    tuple_series, pulse_series = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    xs = tuple_series.xs
+    table = format_table(
+        "tuples/segment", xs, [tuple_series, pulse_series], y_format="{:.0f}"
+    )
+    cross = crossover(xs, pulse_series.ys, tuple_series.ys)
+    report(
+        "fig5i_filter",
+        table
+        + f"\ncrossover (pulse >= tuple): {cross if cross else '> sweep'} tuples/segment",
+    )
+    benchmark.extra_info["crossover_tps"] = cross
+
+    # Shape assertions (paper: filter needs a strong model fit).
+    assert pulse_series.ys[0] < tuple_series.ys[0], (
+        "at 1 tuple/segment the discrete filter must win"
+    )
+    assert pulse_series.ys[-1] > tuple_series.ys[-1], (
+        "at high tuples/segment Pulse must win"
+    )
+    assert cross is not None and cross > 2.0, (
+        "the filter crossover must sit well above the join's (~1.45)"
+    )
+    # Pulse throughput grows strongly with model expressiveness.
+    assert pulse_series.ys[-1] > 3.0 * pulse_series.ys[0]

@@ -1,0 +1,129 @@
+"""Fig. 7ii — join processing cost vs stream rate.
+
+The paper: total tuple-based join cost grows quadratically with the
+stream rate (each tuple is compared against a window's worth of the
+opposite stream, and the window holds rate x 0.1s tuples), while Pulse's
+cost stays low — validation is linear in the number of model
+coefficients, independent of rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import (
+    FIG7II_JOIN_WINDOW,
+    FIG7II_RATES,
+    MICRO_PRECISION,
+    Series,
+    best_of,
+    fast_validate_loop,
+    format_table,
+    growth_ratio,
+    is_roughly_flat,
+    model_table,
+)
+from repro.core.expr import Attr
+from repro.core.operators import ContinuousJoin
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.engine import DiscreteNestedLoopJoin
+from repro.fitting import build_segments
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+PREDICATE = Comparison(Attr("L.x"), Rel.LT, Attr("R.x"))
+DURATION = 4.0  # seconds of stream per measurement
+
+
+def _workload(rate: float):
+    n = int(rate * DURATION)
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=4, rate=rate, tuples_per_segment=rate / 4.0, seed=46
+        )
+    )
+    tuples = list(gen.tuples(n))
+    left = [t for t in tuples if int(t["id"][3:]) % 2 == 0]
+    right = [t for t in tuples if int(t["id"][3:]) % 2 == 1]
+    seg_left = build_segments(
+        left, attrs=("x",), tolerance=1e-6, key_fields=("id",), constants=("id",)
+    )
+    seg_right = build_segments(
+        right, attrs=("x",), tolerance=1e-6, key_fields=("id",), constants=("id",)
+    )
+    return left, right, seg_left, seg_right
+
+
+def _interleave(a, b, key):
+    merged = sorted(
+        [(key(x), 0, x) for x in a] + [(key(x), 1, x) for x in b],
+        key=lambda e: (e[0], e[1]),
+    )
+    return [(port, item) for _, port, item in merged]
+
+
+def _discrete_cost(left, right) -> float:
+    op = DiscreteNestedLoopJoin(PREDICATE, window=FIG7II_JOIN_WINDOW)
+    feed = _interleave(left, right, lambda t: t.time)
+    start = time.perf_counter()
+    for port, tup in feed:
+        op.process(tup, port)
+    n = len(left) + len(right)
+    return (time.perf_counter() - start) / n
+
+
+def _pulse_cost(left, right, seg_left, seg_right) -> float:
+    op = ContinuousJoin(PREDICATE, window=FIG7II_JOIN_WINDOW)
+    feed = _interleave(seg_left, seg_right, lambda s: s.t_start)
+    bound_abs = MICRO_PRECISION * 1000.0
+    start = time.perf_counter()
+    for port, seg in feed:
+        op.process(seg, port)
+    fast_validate_loop(left, model_table(seg_left, "x"), "x", bound_abs)
+    fast_validate_loop(right, model_table(seg_right, "x"), "x", bound_abs)
+    n = len(left) + len(right)
+    return (time.perf_counter() - start) / n
+
+
+def run_sweep():
+    tuple_series = Series("tuple us/tuple")
+    pulse_series = Series("pulse us/tuple")
+    for rate in FIG7II_RATES:
+        left, right, seg_left, seg_right = _workload(rate)
+        tuple_series.add(
+            rate, 1e6 * best_of(lambda: _discrete_cost(left, right), repeats=2)
+        )
+        pulse_series.add(
+            rate,
+            1e6
+            * best_of(
+                lambda: _pulse_cost(left, right, seg_left, seg_right), repeats=2
+            ),
+        )
+    return tuple_series, pulse_series
+
+
+def test_fig7ii_join_cost_vs_rate(benchmark, report):
+    tuple_series, pulse_series = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    xs = tuple_series.xs
+    table = format_table(
+        "stream rate (t/s)", xs, [tuple_series, pulse_series], y_format="{:.2f}"
+    )
+    report(
+        "fig7ii_join_rate",
+        table
+        + f"\ncost growth over the sweep — tuple: "
+        f"{growth_ratio(tuple_series.ys):.1f}x, "
+        f"pulse: {growth_ratio(pulse_series.ys):.1f}x",
+    )
+    benchmark.extra_info["tuple_growth"] = growth_ratio(tuple_series.ys)
+
+    # Per-tuple discrete cost grows ~linearly with rate (so the total
+    # cost is quadratic, as the paper verified at higher rates).
+    assert growth_ratio(tuple_series.ys) > 4.0
+    # Pulse's per-tuple overhead never grows with rate (if anything it
+    # falls: the fixed per-segment cost is amortized over more tuples).
+    assert growth_ratio(pulse_series.ys) < 1.5
+    assert all(p < t for p, t in zip(pulse_series.ys[2:], tuple_series.ys[2:]))

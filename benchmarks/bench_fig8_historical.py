@@ -1,0 +1,135 @@
+"""Fig. 8 — historical aggregate processing: throughput vs offered rate.
+
+The paper: replaying a recorded stream through a min aggregate (60 s
+window, 2 s slide), tuple processing saturates around 15,000 t/s and
+tails off as queues exhaust memory; segment processing (online model
+fitting + continuous aggregation) keeps scaling past it; model fitting
+alone (the inset) saturates higher still (~40,000 t/s), proving the
+modeling operator is not the bottleneck.
+
+We measure each path's real service time in Python, then drive the
+bounded-memory queueing model across an offered-rate sweep scaled to the
+measured tuple capacity — reproducing the saturation *ordering* and the
+tail-off shape rather than 2006 hardware numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import Series, best_of, format_table
+from repro.core.operators import ContinuousExtremumAggregate
+from repro.engine import DiscreteWindowAggregate, QueueingModel
+from repro.fitting import StreamModelBuilder
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+#: Window/slide ratio follows the paper (60 s / 2 s = 30 open windows).
+WINDOW = 0.6
+SLIDE = 0.02
+N_TUPLES = 12_000
+FIT_TOLERANCE = 0.5
+
+
+def _workload():
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=5, rate=10_000.0, tuples_per_segment=200,
+            noise=0.05, seed=47,
+        )
+    )
+    return list(gen.tuples(N_TUPLES))
+
+
+def _tuple_service_time(tuples) -> float:
+    op = DiscreteWindowAggregate("x", "min", window=WINDOW, slide=SLIDE)
+    start = time.perf_counter()
+    for tup in tuples:
+        op.process(tup)
+    op.flush()
+    return (time.perf_counter() - start) / len(tuples)
+
+
+def _segment_service_time(tuples) -> float:
+    """Online fitting + continuous aggregation, per input tuple."""
+    builder = StreamModelBuilder(
+        ("x",), FIT_TOLERANCE, key_fields=("id",), constants=("id",)
+    )
+    op = ContinuousExtremumAggregate("x", func="min", window=WINDOW, slide=SLIDE)
+    start = time.perf_counter()
+    for tup in tuples:
+        for seg in builder.add(tup):
+            op.process(seg)
+    for seg in builder.finish():
+        op.process(seg)
+    return (time.perf_counter() - start) / len(tuples)
+
+
+def _modeling_service_time(tuples) -> float:
+    builder = StreamModelBuilder(
+        ("x",), FIT_TOLERANCE, key_fields=("id",), constants=("id",)
+    )
+    start = time.perf_counter()
+    for tup in tuples:
+        builder.add(tup)
+    builder.finish()
+    return (time.perf_counter() - start) / len(tuples)
+
+
+def run_experiment():
+    tuples = _workload()
+    st_tuple = best_of(lambda: _tuple_service_time(tuples), repeats=2)
+    st_segment = best_of(lambda: _segment_service_time(tuples), repeats=2)
+    st_model = best_of(lambda: _modeling_service_time(tuples), repeats=2)
+
+    cap_tuple = 1.0 / st_tuple
+    # Offered rates: 0.2x .. 2.0x of the tuple path's capacity, echoing
+    # the paper's 3000-30000 sweep around its 15000 t/s saturation.
+    rates = [cap_tuple * f for f in np.linspace(0.2, 2.0, 10)]
+    queue_cap = 25_000.0  # the 1.5 GB page pool, in queued-tuple units
+
+    series = {}
+    for name, st in (
+        ("tuple", st_tuple), ("segment", st_segment), ("modeling", st_model)
+    ):
+        model = QueueingModel(st, queue_capacity=queue_cap)
+        s = Series(f"{name} t/s")
+        for rate in rates:
+            s.add(rate, model.offered(rate, duration=30.0).achieved_throughput)
+        series[name] = s
+    return rates, series, {
+        "tuple": cap_tuple,
+        "segment": 1.0 / st_segment,
+        "modeling": 1.0 / st_model,
+    }
+
+
+def test_fig8_historical_throughput(benchmark, report):
+    rates, series, capacities = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    table = format_table(
+        "offered t/s", rates, list(series.values()), y_format="{:.0f}"
+    )
+    caps = "  ".join(f"{k}={v:,.0f} t/s" for k, v in capacities.items())
+    report("fig8_historical", table + f"\nmeasured capacities: {caps}")
+    benchmark.extra_info["capacities"] = capacities
+
+    # Saturation ordering: the segment path scales well past the tuple
+    # path, and is itself bounded by its modeling component (per-segment
+    # aggregation cost is negligible next to fitting, so segment and
+    # modeling capacities agree to measurement noise).
+    assert capacities["segment"] > 1.5 * capacities["tuple"]
+    assert capacities["segment"] <= capacities["modeling"] * 1.5
+    # Fig. 8's inset claim: modeling alone is comfortably above the
+    # aggregate paths (paper: ~40k vs ~15k, a ~2.7x gap; require > 1.5x).
+    assert capacities["modeling"] > 1.5 * capacities["tuple"]
+    # The tuple path tails off within the sweep: its achieved throughput
+    # at the top offered rate is below its own capacity.
+    tuple_final = series["tuple"].ys[-1]
+    assert tuple_final < capacities["tuple"] * 1.01
+    assert rates[-1] > capacities["tuple"]
+    # Segment processing still keeps up where the tuple path saturates.
+    idx = next(i for i, r in enumerate(rates) if r > capacities["tuple"])
+    assert series["segment"].ys[idx] > series["tuple"].ys[idx]

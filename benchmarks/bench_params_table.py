@@ -1,0 +1,44 @@
+"""Fig. 6 — the experimental-parameters table, regenerated.
+
+A bookkeeping benchmark: renders the parameter table the paper lists and
+checks that the concrete sweep constants used by the sibling benchmarks
+stay on the paper's axes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    FIG5_TPS_SWEEP,
+    FIG7II_RATES,
+    FIG7I_WINDOWS,
+    FIG8_RATES,
+    FIG9III_PRECISIONS,
+    FIG9II_RATES,
+    FIG9I_RATES,
+    MICRO_PRECISION,
+    PARAMS_TABLE,
+    format_params_table,
+)
+
+
+def test_fig6_parameter_table(benchmark, report):
+    text = benchmark.pedantic(format_params_table, rounds=1, iterations=1)
+    report("fig6_params", text)
+
+    # The table covers every experiment family of Section V.
+    experiments = {row.experiment for row in PARAMS_TABLE}
+    for token in ("Filter", "Aggregate", "Join"):
+        assert any(token in e for e in experiments)
+    assert any("NYSE" in e for e in experiments)
+    assert any("AIS" in e for e in experiments)
+
+    # Concrete sweeps stay on the paper's axes.
+    assert MICRO_PRECISION == 0.01
+    assert min(FIG7I_WINDOWS) == 10 and max(FIG7I_WINDOWS) == 100
+    assert min(FIG7II_RATES) == 100 and max(FIG7II_RATES) == 900
+    assert min(FIG8_RATES) == 3000 and max(FIG8_RATES) == 30000
+    assert min(FIG9I_RATES) == 3000 and max(FIG9I_RATES) == 8500
+    assert min(FIG9II_RATES) == 200 and max(FIG9II_RATES) == 6000
+    assert min(FIG9III_PRECISIONS) == 0.001
+    assert max(FIG9III_PRECISIONS) == 0.2
+    assert len(FIG5_TPS_SWEEP) >= 8

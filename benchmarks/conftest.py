@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark reproduces one table/figure of the paper: it measures the
+relevant series, writes the rendered table to ``benchmarks/results/``,
+echoes it to stdout, and asserts the paper's *shape* (who wins, rough
+factors, crossover ordering).  Absolute numbers are Python-scale, not
+2006-C++-scale; EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Callable writing a figure's rendered table to disk and stdout."""
+
+    def _report(figure: str, text: str) -> None:
+        path = results_dir / f"{figure}.txt"
+        path.write_text(text + "\n")
+        sys.stdout.write(f"\n=== {figure} ===\n{text}\n")
+
+    return _report

@@ -1,0 +1,94 @@
+"""Collision detection over moving objects — the paper's intro example.
+
+The query joins an object stream with itself and selects pairs whose
+distance falls below a threshold.  A standard stream processor compares
+many position samples; Pulse solves the trajectory models analytically
+and names the exact future time window of each close encounter —
+*before* it happens (predictive processing).
+
+Run:  python examples/collision_detection.py
+"""
+
+import math
+
+from repro import parse_query, plan_query, to_continuous_plan
+from repro.core import Polynomial, Segment
+
+# The intro's query, with distance squared to stay polynomial (the
+# parser also accepts abs(distance(...)) < c and rewrites it).
+QUERY = """
+select from objects R join objects S on (R.id <> S.id)
+where pow(R.x - S.x, 2) + pow(R.y - S.y, 2) < 2500
+"""
+
+
+def trajectory(obj_id, t0, t1, x0, y0, vx, vy):
+    """A linear motion model segment: position + velocity, as AIS/GPS
+    reports provide."""
+    return Segment(
+        key=(obj_id,),
+        t_start=t0,
+        t_end=t1,
+        models={
+            "x": Polynomial([x0 - vx * t0, vx]),
+            "y": Polynomial([y0 - vy * t0, vy]),
+        },
+        constants={"id": obj_id},
+    )
+
+
+def main() -> None:
+    planned = plan_query(parse_query(QUERY))
+    query = to_continuous_plan(planned)
+
+    # Three aircraft-like objects over the next 120 seconds:
+    #  - alpha flies east, bravo flies west on a crossing course;
+    #  - charlie is far away and stays far away.
+    objects = [
+        trajectory("alpha", 0, 120, x0=0.0, y0=0.0, vx=10.0, vy=0.0),
+        trajectory("bravo", 0, 120, x0=1000.0, y0=10.0, vx=-10.0, vy=0.0),
+        trajectory("charlie", 0, 120, x0=0.0, y0=5000.0, vx=3.0, vy=3.0),
+    ]
+
+    print("trajectories:")
+    for seg in objects:
+        vx = seg.model("x").derivative()(0.0)
+        vy = seg.model("y").derivative()(0.0)
+        print(
+            f"  {seg.constants['id']:>7}: from "
+            f"({seg.value_at('x', 0):7.1f}, {seg.value_at('y', 0):7.1f}) "
+            f"at velocity ({vx:+.1f}, {vy:+.1f}) m/s"
+        )
+
+    alerts = []
+    for seg in objects:
+        alerts.extend(query.push("objects", seg))
+
+    print("\npredicted close encounters (distance < 50 m):")
+    seen = set()
+    for alert in alerts:
+        pair = tuple(sorted((alert.constants["r.id"], alert.constants["s.id"])))
+        window = (round(alert.t_start, 2), round(alert.t_end, 2))
+        if (pair, window) in seen:
+            continue  # the self-join reports each pair twice
+        seen.add((pair, window))
+        mid = 0.5 * (alert.t_start + alert.t_end)
+        dx = alert.model("r.x")(mid) - alert.model("s.x")(mid)
+        dy = alert.model("r.y")(mid) - alert.model("s.y")(mid)
+        print(
+            f"  {pair[0]} <-> {pair[1]}: t in [{window[0]}, {window[1]}) s, "
+            f"closest observed ≈ {math.hypot(dx, dy):.1f} m"
+        )
+
+    # Verify analytically: alpha and bravo close at relative speed
+    # 20 m/s from 1000 m apart; |gap| < sqrt(2500 - 100) = 49 m around
+    # t = 50 s.
+    assert any(a.t_start < 50.0 < a.t_end for a in alerts)
+    print(
+        "\nPulse solved one equation system per pair — no position "
+        "samples were compared."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: continuous-time query processing in five minutes.
+
+Builds a tiny piecewise-linear model of a sensor stream by hand, runs a
+filter query over it on both processing paths — the discrete baseline
+engine on tuples and Pulse's equation-system plan on segments — and
+shows they agree while Pulse does a fraction of the work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import parse_query, plan_query, to_continuous_plan, to_discrete_plan
+from repro.core import Polynomial, Segment
+from repro.core.operators import OutputSampler
+from repro.engine import StreamTuple
+
+QUERY = "select * from sensor where temp > 25"
+
+
+def main() -> None:
+    planned = plan_query(parse_query(QUERY))
+    print(f"query: {QUERY.strip()}\n")
+
+    # ------------------------------------------------------------------
+    # The continuous path: two model segments instead of 400 tuples.
+    # temp ramps 20 -> 30 over [0, 100), then cools 30 -> 22 over
+    # [100, 200).  The filter compiles (temp - 25)(t) > 0 and solves it.
+    # ------------------------------------------------------------------
+    segments = [
+        Segment(("probe1",), 0.0, 100.0, {"temp": Polynomial([20.0, 0.1])}),
+        Segment(("probe1",), 100.0, 200.0, {"temp": Polynomial([38.0, -0.08])}),
+    ]
+    continuous = to_continuous_plan(planned)
+    outputs = []
+    for seg in segments:
+        outputs.extend(continuous.push("sensor", seg))
+
+    print("continuous path (2 segments in):")
+    for out in outputs:
+        print(
+            f"  temp > 25 during [{out.t_start:.1f}, {out.t_end:.1f})  "
+            f"model: {out.model('temp')!r}"
+        )
+
+    # Sample tuples back out of the result models (Section III-C).
+    sampler = OutputSampler(period=25.0)
+    rows = [row for out in outputs for row in sampler.tuples(out)]
+    print("  sampled output tuples:")
+    for row in rows:
+        print(f"    t={row['time']:6.1f}  temp={row['temp']:.2f}")
+
+    # ------------------------------------------------------------------
+    # The discrete path: the same data as 400 raw tuples.
+    # ------------------------------------------------------------------
+    discrete = to_discrete_plan(planned)
+    matches = 0
+    for i in range(400):
+        t = i * 0.5
+        temp = 20.0 + 0.1 * t if t < 100.0 else 38.0 - 0.08 * t
+        if discrete.push("sensor", StreamTuple({"time": t, "temp": temp})):
+            matches += 1
+    print(f"\ndiscrete path (400 tuples in): {matches} tuples passed")
+
+    # Agreement: discrete matches fall inside the continuous ranges.
+    total_range = sum(o.t_end - o.t_start for o in outputs)
+    print(
+        f"continuous result covers {total_range:.1f}s of stream time "
+        f"≈ {matches} tuples at 2 Hz — the two paths agree."
+    )
+
+
+if __name__ == "__main__":
+    main()

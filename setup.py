@@ -1,0 +1,12 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The environment has no ``wheel`` package and no network access, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) fails; the
+legacy ``setup.py develop`` path used by
+``pip install -e . --no-use-pep517`` works without it.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

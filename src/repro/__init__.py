@@ -1,0 +1,53 @@
+"""repro: a reproduction of "Simultaneous Equation Systems for Query
+Processing on Continuous-Time Data Streams" (Pulse, ICDE 2008).
+
+Public API tour:
+
+* :mod:`repro.core` — segments, polynomials, equation systems, the
+  continuous operators and query transform, validation, and the
+  predictive/historical processing modes.
+* :mod:`repro.engine` — the discrete (tuple-at-a-time) baseline engine.
+* :mod:`repro.query` — the StreamSQL-style language (MODEL clauses,
+  windows, error bounds) with parser and planner.
+* :mod:`repro.fitting` — regression and online time-series segmentation.
+* :mod:`repro.workloads` — synthetic moving-object / NYSE / AIS feeds.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro import parse_query, plan_query, to_continuous_plan
+    planned = plan_query(parse_query("select * from s where x > 0"))
+    query = to_continuous_plan(planned)
+    outputs = query.push("s#1", segment)
+"""
+
+from .core import (
+    EquationSystem,
+    HistoricalProcessor,
+    Polynomial,
+    PredictiveProcessor,
+    Segment,
+    TimeSet,
+    to_continuous_plan,
+)
+from .core.validation import ErrorBound, QueryValidator
+from .engine.lowering import to_discrete_plan
+from .query import parse_query, plan_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EquationSystem",
+    "ErrorBound",
+    "HistoricalProcessor",
+    "Polynomial",
+    "PredictiveProcessor",
+    "QueryValidator",
+    "Segment",
+    "TimeSet",
+    "__version__",
+    "parse_query",
+    "plan_query",
+    "to_continuous_plan",
+    "to_discrete_plan",
+]

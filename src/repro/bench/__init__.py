@@ -1,0 +1,69 @@
+"""Benchmark harness: parameters, runners, series and the paper queries."""
+
+from .accuracy import AgreementReport, compare_outputs
+
+from .harness import (
+    PathResult,
+    best_of,
+    fast_validate_loop,
+    interleave_by_time,
+    model_table,
+    time_historical_path,
+    time_modeling_only,
+    time_pulse_online_path,
+    time_tuple_path,
+    validate_against,
+)
+from .params import (
+    FIG5_TPS_SWEEP,
+    FIG7I_RATE,
+    FIG7I_SLIDE,
+    FIG7I_WINDOWS,
+    FIG7II_JOIN_WINDOW,
+    FIG7II_RATES,
+    FIG8_RATES,
+    FIG8_SLIDE,
+    FIG8_WINDOW,
+    FIG9I_PRECISION,
+    FIG9I_RATES,
+    FIG9II_PRECISION,
+    FIG9II_RATES,
+    FIG9III_PRECISIONS,
+    FIG9III_RATE,
+    MICRO_PRECISION,
+    MICRO_WORKLOAD,
+    PARAMS_TABLE,
+    format_params_table,
+)
+from .queries import (
+    COLLISION_SQL,
+    FOLLOWING_SQL,
+    MACD_SQL,
+    collision_planned,
+    following_planned,
+    macd_planned,
+)
+from .series import (
+    Series,
+    crossover,
+    format_table,
+    growth_ratio,
+    is_monotone_increasing,
+    is_roughly_flat,
+)
+
+__all__ = [
+    "AgreementReport", "compare_outputs",
+    "COLLISION_SQL", "FIG5_TPS_SWEEP", "FIG7II_JOIN_WINDOW", "FIG7II_RATES",
+    "FIG7I_RATE", "FIG7I_SLIDE", "FIG7I_WINDOWS", "FIG8_RATES", "FIG8_SLIDE",
+    "FIG8_WINDOW", "FIG9III_PRECISIONS", "FIG9III_RATE", "FIG9II_PRECISION",
+    "FIG9II_RATES", "FIG9I_PRECISION", "FIG9I_RATES", "FOLLOWING_SQL",
+    "MACD_SQL", "MICRO_PRECISION", "MICRO_WORKLOAD", "PARAMS_TABLE",
+    "PathResult", "Series", "best_of", "collision_planned", "crossover",
+    "fast_validate_loop", "model_table",
+    "following_planned", "format_params_table", "format_table",
+    "growth_ratio", "interleave_by_time", "is_monotone_increasing",
+    "is_roughly_flat", "macd_planned", "time_historical_path",
+    "time_modeling_only", "time_pulse_online_path", "time_tuple_path",
+    "validate_against",
+]

@@ -1,0 +1,146 @@
+"""Output-semantics comparison: quantifying Section IV-A.
+
+The paper observes that continuous-time processing is not operationally
+identical to tuple processing: Pulse may emit **false positives** (model
+intersections no discrete tuple witnessed — superset semantics,
+Observation 1) and **false negatives** (tuples dropped within the
+precision bound — subset semantics, Observation 2).  This module
+measures both rates for any pair of runs, so integration tests and
+benchmarks can assert that disagreement stays confined to result
+boundaries instead of hand-waving about "approximate agreement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.segment import Segment
+from ..engine.tuples import StreamTuple
+
+#: Extracts the comparison key from a discrete output row.
+RowKey = Callable[[StreamTuple], tuple]
+#: Extracts the comparison key from a continuous output segment.
+SegmentKey = Callable[[Segment], tuple]
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Agreement statistics between a discrete and a continuous run.
+
+    All rates are in [0, 1]; ``false_negative_rate`` is relative to the
+    discrete results (how many of them Pulse missed),
+    ``false_positive_rate`` relative to the probe instants of the
+    continuous results (how much of Pulse's output no discrete row
+    confirms).
+    """
+
+    discrete_rows: int
+    matched_rows: int
+    probe_instants: int
+    confirmed_instants: int
+
+    @property
+    def false_negatives(self) -> int:
+        return self.discrete_rows - self.matched_rows
+
+    @property
+    def false_negative_rate(self) -> float:
+        if self.discrete_rows == 0:
+            return 0.0
+        return self.false_negatives / self.discrete_rows
+
+    @property
+    def false_positives(self) -> int:
+        return self.probe_instants - self.confirmed_instants
+
+    @property
+    def false_positive_rate(self) -> float:
+        if self.probe_instants == 0:
+            return 0.0
+        return self.false_positives / self.probe_instants
+
+    @property
+    def agreement(self) -> float:
+        """Combined agreement score (1 = operationally identical)."""
+        total = self.discrete_rows + self.probe_instants
+        if total == 0:
+            return 1.0
+        return (self.matched_rows + self.confirmed_instants) / total
+
+
+def compare_outputs(
+    discrete_rows: Iterable[StreamTuple],
+    continuous_segments: Sequence[Segment],
+    row_key: RowKey,
+    segment_key: SegmentKey,
+    time_slack: float = 0.0,
+    probe_period: float | None = None,
+    discrete_sample_period: float | None = None,
+) -> AgreementReport:
+    """Measure two runs' agreement.
+
+    * A discrete row is *matched* when some continuous segment with the
+      same key covers its timestamp (widened by ``time_slack``).
+    * The continuous output is probed at grid instants (``probe_period``
+      defaults to the median segment duration / 4); a probe is
+      *confirmed* when a discrete row with the same key lies within
+      ``discrete_sample_period`` (defaults to ``probe_period``) of it.
+    """
+    rows = list(discrete_rows)
+    by_key: dict[tuple, list[Segment]] = {}
+    for seg in continuous_segments:
+        by_key.setdefault(segment_key(seg), []).append(seg)
+
+    matched = 0
+    for row in rows:
+        key = row_key(row)
+        t = row.time
+        if any(
+            s.t_start - time_slack <= t < s.t_end + time_slack
+            for s in by_key.get(key, ())
+        ):
+            matched += 1
+
+    if probe_period is None:
+        durations = sorted(
+            s.duration for s in continuous_segments if not s.is_point
+        )
+        probe_period = (
+            durations[len(durations) // 2] / 4.0 if durations else 1.0
+        )
+    if discrete_sample_period is None:
+        discrete_sample_period = probe_period
+
+    rows_by_key: dict[tuple, list[float]] = {}
+    for row in rows:
+        rows_by_key.setdefault(row_key(row), []).append(row.time)
+    for times in rows_by_key.values():
+        times.sort()
+
+    probes = 0
+    confirmed = 0
+    import bisect
+
+    for seg in continuous_segments:
+        key = segment_key(seg)
+        times = rows_by_key.get(key, [])
+        t = seg.t_start + probe_period / 2.0
+        while t < seg.t_end:
+            probes += 1
+            i = bisect.bisect_left(times, t)
+            near = []
+            if i < len(times):
+                near.append(times[i])
+            if i > 0:
+                near.append(times[i - 1])
+            if any(abs(x - t) <= discrete_sample_period for x in near):
+                confirmed += 1
+            t += probe_period
+
+    return AgreementReport(
+        discrete_rows=len(rows),
+        matched_rows=matched,
+        probe_instants=probes,
+        confirmed_instants=confirmed,
+    )

@@ -1,0 +1,239 @@
+"""Measured execution paths shared by the benchmark files.
+
+Each helper times one *processing strategy* over a fixed workload and
+returns seconds of processing per input tuple (the service time).  The
+queueing model in :mod:`repro.engine.metrics` then turns service times
+into the paper's offered-rate/throughput/latency curves.
+
+The three strategies of Figures 8 and 9:
+
+* **tuple path** — the discrete plan processes every raw tuple;
+* **pulse (online) path** — online model fitting per tuple, segment
+  processing through the continuous plan when pieces close, and a
+  per-tuple validation check against the active model;
+* **historical path** — segments alone (the model was fitted offline);
+  per-segment cost amortized over the tuples each segment covers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.segment import Segment
+from ..core.transform import TransformedQuery, to_continuous_plan
+from ..engine.lowering import to_discrete_plan
+from ..engine.tuples import StreamTuple
+from ..fitting.model_builder import StreamModelBuilder
+
+
+@dataclass
+class PathResult:
+    """Outcome of timing one strategy over a workload."""
+
+    name: str
+    tuples: int
+    seconds: float
+    outputs: int
+    violations: int = 0
+
+    @property
+    def service_time(self) -> float:
+        return self.seconds / self.tuples if self.tuples else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.tuples / self.seconds if self.seconds > 0 else float("inf")
+
+
+def time_tuple_path(planned, tuples: Sequence[StreamTuple], stream: str) -> PathResult:
+    """Discrete baseline: every tuple through the lowered plan."""
+    query = to_discrete_plan(planned)
+    outputs = 0
+    start = time.perf_counter()
+    for tup in tuples:
+        outputs += len(query.push(stream, tup))
+    outputs += len(query.flush())
+    elapsed = time.perf_counter() - start
+    return PathResult("tuple", len(tuples), elapsed, outputs)
+
+
+def time_historical_path(
+    planned,
+    segments: Sequence[Segment],
+    stream: str,
+    tuples_covered: int,
+) -> PathResult:
+    """Segments alone (model fitted offline, cost amortized)."""
+    query = to_continuous_plan(planned)
+    outputs = 0
+    start = time.perf_counter()
+    for seg in segments:
+        outputs += len(query.push(stream, seg))
+    elapsed = time.perf_counter() - start
+    return PathResult("historical", tuples_covered, elapsed, outputs)
+
+
+def time_modeling_only(
+    tuples: Sequence[StreamTuple],
+    attrs: Sequence[str],
+    tolerance: float,
+    key_fields: Sequence[str],
+    constants: Sequence[str] = (),
+) -> PathResult:
+    """Model fitting alone — Fig. 8's inset 'modeling throughput'."""
+    builder = StreamModelBuilder(
+        attrs, tolerance, key_fields=key_fields, constants=constants
+    )
+    segments = 0
+    start = time.perf_counter()
+    for tup in tuples:
+        segments += len(builder.add(tup))
+    segments += len(builder.finish())
+    elapsed = time.perf_counter() - start
+    return PathResult("modeling", len(tuples), elapsed, segments)
+
+
+def time_pulse_online_path(
+    planned,
+    tuples: Sequence[StreamTuple],
+    stream: str,
+    attrs: Sequence[str],
+    tolerance: float,
+    key_fields: Sequence[str],
+    constants: Sequence[str] = (),
+    bound: float | None = None,
+) -> PathResult:
+    """Online Pulse: fitting + segment processing + per-tuple validation.
+
+    Every tuple passes through the online segmenter (O(1) incremental
+    fit); closed segments flow through the continuous plan; when a bound
+    is given, each tuple is additionally validated against the most
+    recent model for its key — the accuracy check whose violations
+    Fig. 9iii counts.
+    """
+    query = to_continuous_plan(planned)
+    builder = StreamModelBuilder(
+        attrs, tolerance, key_fields=key_fields, constants=constants
+    )
+    active: dict[tuple, Segment] = {}
+    outputs = 0
+    violations = 0
+    attr0 = attrs[0]
+    start = time.perf_counter()
+    for tup in tuples:
+        if bound is not None:
+            key = tup.key(key_fields)
+            model = active.get(key)
+            # The last fitted model extends forward as the prediction
+            # until a newer piece replaces it (predictive validation).
+            if model is not None and tup.time >= model.t_start:
+                deviation = abs(tup[attr0] - model.models[attr0](tup.time))
+                reference = abs(tup[attr0])
+                if deviation > bound * max(reference, 1e-12):
+                    violations += 1
+        for seg in builder.add(tup):
+            active[seg.key] = seg
+            outputs += len(query.push(stream, seg))
+    for seg in builder.finish():
+        outputs += len(query.push(stream, seg))
+    elapsed = time.perf_counter() - start
+    return PathResult("pulse", len(tuples), elapsed, outputs, violations)
+
+
+def interleave_by_time(
+    segments: Sequence[Segment], tuples: Sequence[StreamTuple]
+):
+    """Merge segments (by t_start) and tuples (by time) into one feed.
+
+    Microbenchmarks drive a continuous operator with segments while
+    validating the co-flowing tuples; this yields ``("segment", s)`` and
+    ``("tuple", t)`` events in time order.
+    """
+    events: list[tuple[float, int, str, object]] = []
+    for i, seg in enumerate(segments):
+        events.append((seg.t_start, i, "segment", seg))
+    for i, tup in enumerate(tuples):
+        events.append((tup.time, i, "tuple", tup))
+    events.sort(key=lambda e: (e[0], 0 if e[2] == "segment" else 1, e[1]))
+    for _, _, kind, payload in events:
+        yield kind, payload
+
+
+def validate_against(
+    model_by_key: Mapping[tuple, Segment],
+    tup: StreamTuple,
+    attr: str,
+    bound_abs: float,
+) -> bool:
+    """One accuracy check: |tuple - model(t)| <= bound.
+
+    This is the per-tuple fast path whose cost the microbenchmarks
+    charge to Pulse for every tuple that is *not* processed.
+    """
+    model = model_by_key.get(tup.key(("id",)))
+    if model is None or not model.contains_time(tup.time):
+        return False
+    deviation = tup[attr] - model.models[attr](tup.time)
+    return -bound_abs <= deviation <= bound_abs
+
+
+def model_table(
+    segments: Sequence[Segment], attr: str, key_field: str = "id"
+) -> dict:
+    """Index segments for the tight validation loop.
+
+    Maps a key value to a list of ``(t_start, t_end, coeffs)`` entries
+    sorted by start time; :func:`fast_validate_loop` scans them with a
+    per-key cursor (segments and tuples both advance in time).
+    """
+    table: dict = {}
+    for seg in segments:
+        key = seg.constants.get(key_field, seg.key[0] if seg.key else None)
+        table.setdefault(key, []).append(
+            (seg.t_start, seg.t_end, seg.models[attr].coeffs)
+        )
+    for entries in table.values():
+        entries.sort(key=lambda e: e[0])
+    return table
+
+
+def fast_validate_loop(
+    tuples: Sequence[StreamTuple],
+    table: Mapping,
+    attr: str,
+    bound_abs: float,
+    key_field: str = "id",
+) -> int:
+    """Validate every tuple against its model; returns violation count.
+
+    This is the cost Pulse pays per tuple instead of query processing: a
+    model lookup, a Horner evaluation, and a bound comparison — the loop
+    is deliberately lean because its per-tuple cost is exactly what the
+    microbenchmarks amortize the solver against.
+    """
+    violations = 0
+    cursors: dict = {}
+    for tup in tuples:
+        key = tup[key_field]
+        entries = table.get(key)
+        if not entries:
+            continue
+        t = tup["time"]
+        i = cursors.get(key, 0)
+        while i < len(entries) - 1 and entries[i][1] <= t:
+            i += 1
+        cursors[key] = i
+        coeffs = entries[i][2]
+        value = coeffs[-1]
+        for c in reversed(coeffs[:-1]):
+            value = value * t + c
+        if not (-bound_abs <= tup[attr] - value <= bound_abs):
+            violations += 1
+    return violations
+
+
+def best_of(fn: Callable[[], float], repeats: int = 3) -> float:
+    """Minimum of ``repeats`` timing runs (suppresses GC/alloc noise)."""
+    return min(fn() for _ in range(repeats))

@@ -1,0 +1,67 @@
+"""The paper's evaluation queries, as reusable constructors.
+
+Section V-B defines the two dataset queries: the MACD (moving average
+convergence/divergence) query over NYSE trades and the vessel
+"following" query over AIS reports.  Benchmarks and examples share
+these builders so every run executes the same query text.
+"""
+
+from __future__ import annotations
+
+from ..query import PlannedQuery, parse_query, plan_query
+
+#: Fig. 9i / 9iii: MACD with a short and a long moving average joined on
+#: symbol, selecting short-above-long crossings.  Window sizes follow
+#: the paper ([size 10 advance 2] and [size 60 advance 2]).
+MACD_SQL = """
+select symbol, S.ap - L.ap as diff from
+    (select symbol, avg(price) as ap from
+        trades [size 10 advance 2]) as S
+join
+    (select symbol, avg(price) as ap from
+        trades [size 60 advance 2]) as L
+on (S.symbol = L.symbol)
+where S.ap > L.ap
+error within 1%
+"""
+
+#: Fig. 9ii: pairwise vessel proximity joined on distinct ids, averaged
+#: over a long window, thresholded in HAVING.
+FOLLOWING_SQL = """
+select id1, id2, avg(dist) as avg_dist from
+    (select S1.id as id1, S2.id as id2,
+            sqrt(pow(S1.x - S2.x, 2) + pow(S1.y - S2.y, 2)) as dist
+     from vessels [size 10 advance 1] as S1
+     join vessels as S2 [size 10 advance 1]
+     on (S1.id <> S2.id)) [size 600 advance 10] as Candidates
+group by id1, id2 having avg(dist) < 1000
+error within 0.05%
+"""
+
+#: The intro's collision-detection query (proximity join, squared form).
+COLLISION_SQL = """
+select from objects R join objects S on (R.id <> S.id)
+where pow(R.x - S.x, 2) + pow(R.y - S.y, 2) < {radius_sq}
+"""
+
+
+def macd_planned(short: float = 10.0, long: float = 60.0, slide: float = 2.0) -> PlannedQuery:
+    """Plan the MACD query, optionally rescaling the windows."""
+    sql = MACD_SQL.replace("[size 10 advance 2]", f"[size {short} advance {slide}]")
+    sql = sql.replace("[size 60 advance 2]", f"[size {long} advance {slide}]")
+    return plan_query(parse_query(sql))
+
+
+def following_planned(
+    join_window: float = 10.0, avg_window: float = 600.0, slide: float = 10.0
+) -> PlannedQuery:
+    """Plan the AIS "following" query, optionally rescaling windows."""
+    sql = FOLLOWING_SQL.replace(
+        "[size 10 advance 1]", f"[size {join_window} advance 1]"
+    ).replace("[size 600 advance 10]", f"[size {avg_window} advance {slide}]")
+    return plan_query(parse_query(sql))
+
+
+def collision_planned(radius: float = 100.0) -> PlannedQuery:
+    """Plan the collision query for a given proximity radius."""
+    return plan_query(parse_query(COLLISION_SQL.format(radius_sq=radius * radius)))

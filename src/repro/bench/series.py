@@ -1,0 +1,96 @@
+"""Series containers and shape assertions for the experiment harness.
+
+The reproduction does not chase the paper's absolute 2006 C++ numbers;
+it checks *shapes*: who wins, by what rough factor, and where crossovers
+fall.  These helpers hold measured series, print them as the tables the
+paper plots, and provide the shape predicates the bench files assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Series:
+    """One named measurement series over a shared x-axis."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def y_at(self, x: float) -> float:
+        return self.ys[self.xs.index(x)]
+
+    @property
+    def max_y(self) -> float:
+        return max(self.ys)
+
+
+def crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float | None:
+    """First x at which series ``a`` meets or exceeds series ``b``.
+
+    Linear interpolation between samples; ``None`` when ``a`` never
+    catches up.  Used for Fig. 5's "continuous-time becomes viable at N
+    tuples per segment" readings.
+    """
+    for i, x in enumerate(xs):
+        if a[i] >= b[i]:
+            if i == 0:
+                return x
+            x0, x1 = xs[i - 1], x
+            gap0 = b[i - 1] - a[i - 1]
+            gap1 = a[i] - b[i]
+            if gap0 + gap1 <= 0:
+                return x
+            return x0 + (x1 - x0) * gap0 / (gap0 + gap1)
+    return None
+
+
+def is_monotone_increasing(ys: Sequence[float], slack: float = 0.15) -> bool:
+    """Whether the series trends upward (allowing measurement noise)."""
+    violations = sum(
+        1 for a, b in zip(ys[:-1], ys[1:]) if b < a * (1 - slack)
+    )
+    return violations <= max(1, len(ys) // 4)
+
+
+def is_roughly_flat(ys: Sequence[float], factor: float = 3.0) -> bool:
+    """Whether the series varies by no more than ``factor`` end to end."""
+    lo, hi = min(ys), max(ys)
+    return lo > 0 and hi / lo <= factor
+
+
+def growth_ratio(ys: Sequence[float]) -> float:
+    """Last-to-first ratio (cost growth over the sweep)."""
+    return ys[-1] / ys[0] if ys[0] else float("inf")
+
+
+def format_table(
+    x_label: str,
+    xs: Sequence[float],
+    series: Sequence[Series],
+    y_format: str = "{:.1f}",
+) -> str:
+    """Render series side by side, one row per x value."""
+    headers = [x_label] + [s.name for s in series]
+    rows = [headers]
+    for i, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for s in series:
+            row.append(y_format.format(s.ys[i]) if i < len(s.ys) else "-")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

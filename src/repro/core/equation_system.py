@@ -1,0 +1,403 @@
+"""Simultaneous equation systems — the paper's core computational element.
+
+A selective operator's predicate compiles, per (pair of) aligned segment(s),
+into a system of *difference rows* ``d_i(t) R_i 0`` that must hold
+simultaneously (Equation (1): ``D t R 0`` where ``D`` is the difference
+coefficient matrix and ``t`` the vector of time powers).  Solving the
+system yields the time ranges within the segment's validity during which
+the discrete query would produce results.
+
+Three solution strategies are provided, mirroring Section III-A:
+
+* the **general algorithm**: solve each row independently by root finding
+  and sign tests, then combine solution :class:`TimeSet`\\ s through the
+  predicate's boolean structure (intersection for conjunction, union for
+  disjunction);
+* the **equality fast path**: when every row uses ``=`` (natural/equi
+  joins), row-reduce the coefficient matrix ``D`` first (Gaussian
+  elimination) to detect inconsistency cheaply and to solve only one
+  minimal-degree row, verifying candidates against the rest;
+* **slack** evaluation (Section IV): ``min_t ||D t||_inf`` over the valid
+  range — how close the system came to producing a result, used to
+  suppress validation work after nulls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .errors import SolverError
+from .expr import ModelResolver
+from .intervals import Interval, TimeSet
+from .polynomial import Polynomial
+from .predicate import And, BoolExpr, Comparison, Literal, Not, Or, normalize
+from .relation import Rel
+from .roots import real_roots, solve_relation
+
+
+@dataclass(frozen=True)
+class DifferenceRow:
+    """One row of the system: ``poly(t) R 0``."""
+
+    poly: Polynomial
+    rel: Rel
+
+    def solve(self, lo: float, hi: float) -> TimeSet:
+        return solve_relation(self.poly, self.rel, lo, hi)
+
+    def holds_at(self, t: float, tol: float = 0.0) -> bool:
+        return self.rel.holds(self.poly(t), tol)
+
+    def __repr__(self) -> str:
+        return f"{self.poly!r} {self.rel} 0"
+
+
+class _Node:
+    """Boolean-structure node referencing row indices."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class _AtomNode(_Node):
+    row: int
+
+
+@dataclass(frozen=True)
+class _AndNode(_Node):
+    children: tuple[_Node, ...]
+
+
+@dataclass(frozen=True)
+class _OrNode(_Node):
+    children: tuple[_Node, ...]
+
+
+@dataclass(frozen=True)
+class _NotNode(_Node):
+    child: _Node
+
+
+@dataclass(frozen=True)
+class _LiteralNode(_Node):
+    value: bool
+
+
+class EquationSystem:
+    """A compiled predicate: difference rows plus boolean structure.
+
+    Build one per (pair of) aligned segment(s) with
+    :meth:`from_predicate`; the rows' polynomials already have the models
+    substituted (steps 2–3 of the transform).
+    """
+
+    #: Number of row solves performed across all instances (benchmark hook).
+    solve_counter = 0
+
+    def __init__(
+        self,
+        rows: Sequence[DifferenceRow],
+        structure: _Node,
+        equality_strategy: str = "gaussian",
+    ):
+        if equality_strategy not in ("gaussian", "svd"):
+            raise SolverError(
+                f"unknown equality strategy {equality_strategy!r}"
+            )
+        self.rows = tuple(rows)
+        self._structure = structure
+        #: How all-equality systems are pre-processed: "gaussian"
+        #: row-reduces D; "svd" uses the singular value decomposition for
+        #: rank/consistency analysis (both named in Section III-A).
+        self.equality_strategy = equality_strategy
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_predicate(
+        cls,
+        predicate: BoolExpr,
+        resolve: ModelResolver,
+        equality_strategy: str = "gaussian",
+    ) -> "EquationSystem":
+        """Compile a (normalized or raw) predicate against segment models.
+
+        ``resolve`` maps attribute names to their polynomial models within
+        the current segment alignment.
+        """
+        predicate = normalize(predicate)
+        rows: list[DifferenceRow] = []
+
+        def build(node: BoolExpr) -> _Node:
+            if isinstance(node, Literal):
+                return _LiteralNode(node.value)
+            if isinstance(node, Comparison):
+                poly = node.difference_expr().to_polynomial(resolve)
+                rows.append(DifferenceRow(poly, node.rel))
+                return _AtomNode(len(rows) - 1)
+            if isinstance(node, And):
+                return _AndNode(tuple(build(c) for c in node.children))
+            if isinstance(node, Or):
+                return _OrNode(tuple(build(c) for c in node.children))
+            if isinstance(node, Not):
+                return _NotNode(build(node.child))
+            raise SolverError(f"unsupported predicate node {node!r}")
+
+        structure = build(predicate)
+        return cls(rows, structure, equality_strategy=equality_strategy)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_conjunctive(self) -> bool:
+        if isinstance(self._structure, _AtomNode):
+            return True
+        return isinstance(self._structure, _AndNode) and all(
+            isinstance(c, _AtomNode) for c in self._structure.children
+        )
+
+    @property
+    def all_equalities(self) -> bool:
+        return bool(self.rows) and all(r.rel is Rel.EQ for r in self.rows)
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """The difference coefficient matrix ``D`` of Equation (1).
+
+        Row ``i`` holds the coefficients of ``d_i`` padded to the maximum
+        degree, constant term first, so ``D @ [1, t, t^2, ...]`` evaluates
+        every row at once.
+        """
+        width = max((len(r.poly.coeffs) for r in self.rows), default=1)
+        matrix = np.zeros((len(self.rows), width))
+        for i, row in enumerate(self.rows):
+            matrix[i, : len(row.poly.coeffs)] = row.poly.coeffs
+        return matrix
+
+    def holds_at(self, t: float, tol: float = 0.0) -> bool:
+        """Evaluate the whole predicate at instant ``t``."""
+
+        def walk(node: _Node) -> bool:
+            if isinstance(node, _LiteralNode):
+                return node.value
+            if isinstance(node, _AtomNode):
+                return self.rows[node.row].holds_at(t, tol)
+            if isinstance(node, _AndNode):
+                return all(walk(c) for c in node.children)
+            if isinstance(node, _OrNode):
+                return any(walk(c) for c in node.children)
+            if isinstance(node, _NotNode):
+                return not walk(node.child)
+            raise SolverError(f"unknown node {node!r}")
+
+        return walk(self._structure)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, lo: float, hi: float) -> TimeSet:
+        """Solve the system over the half-open domain ``[lo, hi)``.
+
+        Uses the equality fast path for all-equality conjunctions and the
+        general row-by-row algorithm otherwise.
+        """
+        if lo >= hi:
+            return TimeSet.empty()
+        if self.all_equalities and self.is_conjunctive and len(self.rows) > 1:
+            return self._solve_equality_system(lo, hi)
+        return self._solve_node(self._structure, lo, hi)
+
+    def _solve_node(self, node: _Node, lo: float, hi: float) -> TimeSet:
+        if isinstance(node, _LiteralNode):
+            return TimeSet.interval(lo, hi) if node.value else TimeSet.empty()
+        if isinstance(node, _AtomNode):
+            EquationSystem.solve_counter += 1
+            return self.rows[node.row].solve(lo, hi)
+        if isinstance(node, _AndNode):
+            result = TimeSet.interval(lo, hi)
+            for child in node.children:
+                result = result & self._solve_node(child, lo, hi)
+                if result.is_empty:
+                    return result
+            return result
+        if isinstance(node, _OrNode):
+            result = TimeSet.empty()
+            for child in node.children:
+                result = result | self._solve_node(child, lo, hi)
+            return result
+        if isinstance(node, _NotNode):
+            inner = self._solve_node(node.child, lo, hi)
+            return inner.complement(Interval(lo, hi))
+        raise SolverError(f"unknown node {node!r}")
+
+    def _solve_equality_system(self, lo: float, hi: float) -> TimeSet:
+        """Fast path for pure equality systems (Gaussian or SVD).
+
+        Both strategies pre-analyze the coefficient matrix ``D`` before
+        any root finding, as Section III-A suggests for natural/equi
+        joins: Gaussian elimination row-reduces ``D`` to detect
+        inconsistency and isolate a minimal-degree residual row; the SVD
+        variant reads rank and consistency from the singular values.
+        Candidates from the selected row are verified against every
+        original row.
+        """
+        EquationSystem.solve_counter += 1
+        matrix = self.coefficient_matrix()
+        if self.equality_strategy == "svd":
+            candidate_poly = self._svd_candidate(matrix)
+        else:
+            candidate_poly = self._gaussian_candidate(matrix)
+        if candidate_poly is _INCONSISTENT:
+            return TimeSet.empty()
+        if candidate_poly is None:
+            # All rows identically zero: the system holds everywhere.
+            return TimeSet.interval(lo, hi)
+        scale = max(abs(c) for r in self.rows for c in r.poly.coeffs)
+        tol = 1e-7 * max(1.0, scale)
+        points = [
+            r
+            for r in real_roots(candidate_poly, lo, hi)
+            if lo <= r < hi
+            and all(abs(row.poly(r)) <= tol for row in self.rows)
+        ]
+        return TimeSet.from_points(points)
+
+    def _gaussian_candidate(self, matrix: np.ndarray) -> "Polynomial | None":
+        reduced = _row_reduce(matrix)
+        candidate: Polynomial | None = None
+        for row in reduced:
+            if np.allclose(row, 0.0, atol=1e-12):
+                continue
+            poly = Polynomial(row)
+            if poly.is_constant:
+                return _INCONSISTENT  # c = 0 with c != 0
+            if candidate is None or poly.degree < candidate.degree:
+                candidate = poly
+        return candidate
+
+    def _svd_candidate(self, matrix: np.ndarray) -> "Polynomial | None":
+        """SVD-based pre-analysis of the equality system.
+
+        Rank 0 means the system holds everywhere.  A right-singular
+        direction concentrated on the constant column (i.e. the row
+        space contains a pure-constant equation) means inconsistency.
+        Otherwise the densest row of the rank-truncated row space serves
+        as the candidate equation.
+        """
+        scale = np.max(np.abs(matrix))
+        if scale == 0.0:
+            return None
+        u, s, vt = np.linalg.svd(matrix)
+        rank = int(np.sum(s > 1e-12 * s[0])) if s.size else 0
+        if rank == 0:
+            return None
+        # Row space basis: the first `rank` right-singular vectors.
+        for basis_row in vt[:rank]:
+            # A basis vector supported only on the constant term encodes
+            # the equation "c = 0" with c != 0: inconsistent.
+            if abs(basis_row[0]) > 1e-9 and np.all(
+                np.abs(basis_row[1:]) <= 1e-12 * abs(basis_row[0])
+            ):
+                return _INCONSISTENT
+        # Prefer the basis equation of minimal degree (fewest trailing
+        # non-zeros) for cheap root finding.
+        best: Polynomial | None = None
+        for basis_row in vt[:rank]:
+            poly = Polynomial((basis_row * scale).tolist())
+            if poly.is_zero:
+                continue
+            if poly.is_constant:
+                return _INCONSISTENT
+            if best is None or poly.degree < best.degree:
+                best = poly
+        return best
+
+    # ------------------------------------------------------------------
+    # slack (Section IV)
+    # ------------------------------------------------------------------
+    def slack(self, lo: float, hi: float, samples: int = 64) -> float:
+        """``min_t ||D t||_inf`` over ``[lo, hi]``.
+
+        The continuous measure of how close the query came to producing a
+        result.  Computed by dense sampling followed by golden-section
+        refinement around the best sample — the objective is piecewise
+        smooth, so local refinement recovers the minimum to high accuracy.
+        """
+        if not self.rows:
+            return 0.0
+        if hi <= lo:
+            return self._inf_norm(lo)
+        ts = np.linspace(lo, hi, samples)
+        values = np.max(
+            np.abs(np.vstack([row.poly(ts) for row in self.rows])), axis=0
+        )
+        best = int(np.argmin(values))
+        a = ts[max(best - 1, 0)]
+        b = ts[min(best + 1, samples - 1)]
+        refined_t = _golden_section(self._inf_norm, a, b)
+        return min(float(values[best]), self._inf_norm(refined_t))
+
+    def _inf_norm(self, t: float) -> float:
+        return max(abs(row.poly(t)) for row in self.rows)
+
+    def __repr__(self) -> str:
+        return f"EquationSystem({len(self.rows)} rows)"
+
+
+#: Sentinel distinguishing "inconsistent system" from "no candidate row".
+_INCONSISTENT = Polynomial([1.0])
+
+
+def _row_reduce(matrix: np.ndarray) -> np.ndarray:
+    """Reduced row-echelon form, eliminating from the highest power down.
+
+    Pivoting on the *highest*-degree columns first drives the reduction
+    toward a minimal-degree residual row, which is the cheapest to solve by
+    root finding.
+    """
+    m = matrix.astype(float).copy()
+    rows, cols = m.shape
+    pivot_row = 0
+    for col in range(cols - 1, -1, -1):
+        if pivot_row >= rows:
+            break
+        pivot = pivot_row + int(np.argmax(np.abs(m[pivot_row:, col])))
+        if abs(m[pivot, col]) < 1e-12:
+            continue
+        m[[pivot_row, pivot]] = m[[pivot, pivot_row]]
+        m[pivot_row] /= m[pivot_row, col]
+        for r in range(rows):
+            if r != pivot_row and abs(m[r, col]) > 1e-14:
+                m[r] -= m[r, col] * m[pivot_row]
+        pivot_row += 1
+    return m
+
+
+def _golden_section(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    tol: float = 1e-10,
+    max_iter: int = 80,
+) -> float:
+    """Golden-section minimization of ``f`` on ``[a, b]``."""
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = f(c), f(d)
+    for _ in range(max_iter):
+        if b - a < tol * max(1.0, abs(a) + abs(b)):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = f(d)
+    return 0.5 * (a + b)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Pulse reproduction.
+
+Every error raised by the library derives from :class:`PulseError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class PulseError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidIntervalError(PulseError):
+    """An interval was constructed with a non-positive extent."""
+
+
+class InvalidSegmentError(PulseError):
+    """A segment violates the data-stream model of Section II-B."""
+
+
+class PredicateError(PulseError):
+    """A predicate cannot be compiled to a polynomial difference form."""
+
+
+class NonPolynomialExpressionError(PredicateError):
+    """An expression falls outside the supported closed polynomial class.
+
+    The paper restricts models to polynomials with non-negative exponents so
+    that the operator set stays closed (Section II-B); expressions such as an
+    un-eliminable ``sqrt`` land here.
+    """
+
+
+class SolverError(PulseError):
+    """The equation-system solver failed to produce a solution set."""
+
+
+class UnsupportedAggregateError(PulseError):
+    """A frequency-based aggregate was requested on the continuous path.
+
+    Mirrors the paper's "Transformation Limitations": ``count``, frequency
+    moments and histograms depend on tuple counts and have no continuous
+    form.
+    """
+
+
+class PlanError(PulseError):
+    """A logical plan cannot be transformed or executed."""
+
+
+class QuerySyntaxError(PulseError):
+    """The query text failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ValidationError(PulseError):
+    """Accuracy or slack validation could not be performed."""
+
+
+class BoundInversionError(ValidationError):
+    """An output bound could not be inverted onto the operator inputs."""

@@ -1,0 +1,294 @@
+"""Scalar expression language over stream attributes.
+
+Queries reference attributes through arithmetic expressions — the paper's
+examples include ``S.ap - L.ap``, ``pow(S1.x - S2.x, 2)`` and
+``sqrt(...)``.  The same expression tree serves both processing paths:
+
+* the **discrete** engine evaluates an expression against a tuple's
+  attribute values (:meth:`Expr.evaluate`);
+* the **continuous** path compiles an expression to a :class:`Polynomial`
+  in the time variable, given each attribute's model
+  (:meth:`Expr.to_polynomial`).
+
+``sqrt`` and ``abs`` are not polynomial; they are eliminated at the
+*predicate* level by monotone rewrites (see :mod:`repro.core.predicate`),
+and raise :class:`NonPolynomialExpressionError` if compilation reaches
+them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .errors import NonPolynomialExpressionError
+from .polynomial import Polynomial
+
+#: Resolves an attribute name to its polynomial model within one segment
+#: (or aligned pair of segments).
+ModelResolver = Callable[[str], Polynomial]
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by the expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        """Evaluate against concrete attribute values (discrete path)."""
+        raise NotImplementedError
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        """Compile to a polynomial in ``t`` (continuous path)."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and planners can compose trees naturally.
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return Add(self, _coerce(other))
+
+    def __radd__(self, other: float) -> "Expr":
+        return Add(_coerce(other), self)
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return Sub(self, _coerce(other))
+
+    def __rsub__(self, other: float) -> "Expr":
+        return Sub(_coerce(other), self)
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return Mul(self, _coerce(other))
+
+    def __rmul__(self, other: float) -> "Expr":
+        return Mul(_coerce(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+
+def _coerce(value: "Expr | float | int") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.value
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return Polynomial.constant(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Attr(Expr):
+    """A (possibly qualified) attribute reference such as ``S.price``."""
+
+    name: str
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        try:
+            return env[self.name]
+        except KeyError:
+            # Allow unqualified fallback: "price" matches "S.price" when
+            # unambiguous, or when all matches hold the same value (the
+            # post-equi-join case: s.symbol == l.symbol).
+            matches = [k for k in env if k.split(".")[-1] == self.name]
+            if len(matches) == 1:
+                return env[matches[0]]
+            if len(matches) > 1:
+                values = [env[m] for m in matches]
+                if all(v == values[0] for v in values[1:]):
+                    return values[0]
+            raise KeyError(f"attribute {self.name!r} not bound") from None
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return resolve(self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.left.evaluate(env) + self.right.evaluate(env)
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return self.left.to_polynomial(resolve) + self.right.to_polynomial(resolve)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.left.evaluate(env) - self.right.evaluate(env)
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return self.left.to_polynomial(resolve) - self.right.to_polynomial(resolve)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} - {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return self.left.to_polynomial(resolve) * self.right.to_polynomial(resolve)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Div(Expr):
+    """Division; the continuous path only supports constant divisors
+    (otherwise the result is rational, not polynomial)."""
+
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.left.evaluate(env) / self.right.evaluate(env)
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        divisor = self.right.to_polynomial(resolve)
+        if not divisor.is_constant:
+            raise NonPolynomialExpressionError(
+                "division by a modeled attribute is not polynomial"
+            )
+        if divisor.coeffs[0] == 0.0:
+            raise ZeroDivisionError("division by the zero polynomial")
+        return self.left.to_polynomial(resolve) / divisor.coeffs[0]
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} / {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return -self.operand.evaluate(env)
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        return -self.operand.to_polynomial(resolve)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Pow(Expr):
+    """Integer power, e.g. ``pow(S1.x - S2.x, 2)``."""
+
+    base: Expr
+    exponent: int
+
+    def attributes(self) -> frozenset[str]:
+        return self.base.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return self.base.evaluate(env) ** self.exponent
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        if self.exponent < 0:
+            raise NonPolynomialExpressionError(
+                "negative exponents leave the closed polynomial class"
+            )
+        return self.base.to_polynomial(resolve) ** self.exponent
+
+    def __repr__(self) -> str:
+        return f"pow({self.base!r}, {self.exponent})"
+
+
+@dataclass(frozen=True)
+class Sqrt(Expr):
+    """Square root — eliminable only through predicate rewrites."""
+
+    operand: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return math.sqrt(self.operand.evaluate(env))
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        raise NonPolynomialExpressionError(
+            "sqrt is not polynomial; it must be eliminated by a predicate "
+            "rewrite (sqrt(E) R c  =>  E R c^2)"
+        )
+
+    def __repr__(self) -> str:
+        return f"sqrt({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Abs(Expr):
+    """Absolute value — eliminable only through predicate rewrites."""
+
+    operand: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        return abs(self.operand.evaluate(env))
+
+    def to_polynomial(self, resolve: ModelResolver) -> Polynomial:
+        raise NonPolynomialExpressionError(
+            "abs is not polynomial; it must be eliminated by a predicate "
+            "rewrite (abs(E) < c  =>  -c < E < c)"
+        )
+
+    def __repr__(self) -> str:
+        return f"abs({self.operand!r})"

@@ -1,0 +1,294 @@
+"""Time-interval algebra: the solution domain of every equation system.
+
+Pulse's segments are valid over half-open time ranges ``[tl, tu)`` and the
+solutions of a difference equation ``(x - y)(t) R 0`` are unions of such
+ranges plus isolated points (the roots, for equality predicates).
+:class:`TimeSet` represents exactly that: a normalized union of disjoint
+half-open intervals and isolated points, with the set operations needed to
+compose predicates (intersection for conjunction, union for disjunction,
+complement for negation).
+
+All endpoints are floats.  A small absolute tolerance ``EPS`` is used when
+normalizing so that adjacent intervals produced by independent root-finding
+runs merge instead of leaving sliver gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .errors import InvalidIntervalError
+
+#: Absolute tolerance used when merging endpoints and deduplicating points.
+EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open time range ``[lo, hi)`` with ``lo < hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (self.lo < self.hi):
+            raise InvalidIntervalError(
+                f"interval requires lo < hi, got [{self.lo}, {self.hi})"
+            )
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise InvalidIntervalError("interval endpoints may not be NaN")
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, t: float, tol: float = 0.0) -> bool:
+        """Whether ``t`` lies in ``[lo, hi)``, widened by ``tol``."""
+        return self.lo - tol <= t < self.hi + tol
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo < hi:
+            return Interval(lo, hi)
+        return None
+
+    def shift(self, delta: float) -> "Interval":
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def __str__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g})"
+
+
+def _merge_intervals(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort and coalesce intervals whose gap is below ``EPS``."""
+    ordered = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: list[Interval] = []
+    for iv in ordered:
+        if merged and iv.lo <= merged[-1].hi + EPS:
+            last = merged[-1]
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+def _dedupe_points(points: Iterable[float]) -> tuple[float, ...]:
+    ordered = sorted(points)
+    out: list[float] = []
+    for p in ordered:
+        if not out or p - out[-1] > EPS:
+            out.append(p)
+    return tuple(out)
+
+
+class TimeSet:
+    """A normalized union of disjoint half-open intervals and isolated points.
+
+    Instances are immutable.  Points that fall inside (or within ``EPS`` of)
+    an interval are absorbed into it during normalization, so the points
+    tuple only holds genuinely isolated solutions — the output of equality
+    predicates.
+    """
+
+    __slots__ = ("intervals", "points")
+
+    def __init__(
+        self,
+        intervals: Iterable[Interval] = (),
+        points: Iterable[float] = (),
+    ):
+        merged = _merge_intervals(intervals)
+        isolated = tuple(
+            p
+            for p in _dedupe_points(points)
+            if not any(iv.lo - EPS <= p <= iv.hi + EPS for iv in merged)
+        )
+        object.__setattr__(self, "intervals", merged)
+        object.__setattr__(self, "points", isolated)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("TimeSet is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TimeSet":
+        return _EMPTY
+
+    @classmethod
+    def interval(cls, lo: float, hi: float) -> "TimeSet":
+        """The single interval ``[lo, hi)``; empty when ``lo >= hi``."""
+        if lo >= hi:
+            return _EMPTY
+        return cls(intervals=[Interval(lo, hi)])
+
+    @classmethod
+    def point(cls, t: float) -> "TimeSet":
+        return cls(points=[t])
+
+    @classmethod
+    def from_points(cls, points: Sequence[float]) -> "TimeSet":
+        return cls(points=points)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals and not self.points
+
+    @property
+    def measure(self) -> float:
+        """Total length of the interval parts (points have measure zero)."""
+        return sum(iv.length for iv in self.intervals)
+
+    @property
+    def infimum(self) -> float:
+        """Smallest element; raises ``ValueError`` on the empty set."""
+        candidates = []
+        if self.intervals:
+            candidates.append(self.intervals[0].lo)
+        if self.points:
+            candidates.append(self.points[0])
+        if not candidates:
+            raise ValueError("empty TimeSet has no infimum")
+        return min(candidates)
+
+    @property
+    def supremum(self) -> float:
+        candidates = []
+        if self.intervals:
+            candidates.append(self.intervals[-1].hi)
+        if self.points:
+            candidates.append(self.points[-1])
+        if not candidates:
+            raise ValueError("empty TimeSet has no supremum")
+        return max(candidates)
+
+    def contains(self, t: float, tol: float = 0.0) -> bool:
+        if any(iv.contains(t, tol) for iv in self.intervals):
+            return True
+        return any(abs(t - p) <= max(tol, EPS) for p in self.points)
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "TimeSet") -> "TimeSet":
+        return TimeSet(
+            intervals=list(self.intervals) + list(other.intervals),
+            points=list(self.points) + list(other.points),
+        )
+
+    def intersect(self, other: "TimeSet") -> "TimeSet":
+        intervals: list[Interval] = []
+        for a in self.intervals:
+            for b in other.intervals:
+                hit = a.intersect(b)
+                if hit is not None:
+                    intervals.append(hit)
+        points: list[float] = []
+        for p in self.points:
+            if other.contains(p, tol=EPS):
+                points.append(p)
+        for p in other.points:
+            if self.contains(p, tol=EPS):
+                points.append(p)
+        return TimeSet(intervals=intervals, points=points)
+
+    def complement(self, domain: Interval) -> "TimeSet":
+        """The complement of this set within ``domain``.
+
+        Isolated points of this set become interval boundaries (they are
+        removed from the complement's interior only up to measure zero;
+        since downstream consumers operate on interval measure, we treat
+        points as not splitting the complement).
+        """
+        gaps: list[Interval] = []
+        cursor = domain.lo
+        for iv in self.intervals:
+            clipped = iv.intersect(domain)
+            if clipped is None:
+                continue
+            if clipped.lo > cursor + EPS:
+                gaps.append(Interval(cursor, clipped.lo))
+            cursor = max(cursor, clipped.hi)
+        if cursor < domain.hi - EPS:
+            gaps.append(Interval(cursor, domain.hi))
+        return TimeSet(intervals=gaps)
+
+    def clip(self, lo: float, hi: float) -> "TimeSet":
+        """Restrict to the window ``[lo, hi)``."""
+        if lo >= hi:
+            return _EMPTY
+        window = Interval(lo, hi)
+        intervals = []
+        for iv in self.intervals:
+            hit = iv.intersect(window)
+            if hit is not None:
+                intervals.append(hit)
+        points = [p for p in self.points if window.contains(p)]
+        return TimeSet(intervals=intervals, points=points)
+
+    def shift(self, delta: float) -> "TimeSet":
+        return TimeSet(
+            intervals=[iv.shift(delta) for iv in self.intervals],
+            points=[p + delta for p in self.points],
+        )
+
+    # ------------------------------------------------------------------
+    # iteration / comparison
+    # ------------------------------------------------------------------
+    def pieces(self) -> Iterator[tuple[float, float]]:
+        """Yield ``(lo, hi)`` per interval then ``(p, p)`` per point."""
+        for iv in self.intervals:
+            yield (iv.lo, iv.hi)
+        for p in self.points:
+            yield (p, p)
+
+    def approx_equal(self, other: "TimeSet", tol: float = 1e-7) -> bool:
+        if len(self.intervals) != len(other.intervals):
+            return False
+        if len(self.points) != len(other.points):
+            return False
+        for a, b in zip(self.intervals, other.intervals):
+            if abs(a.lo - b.lo) > tol or abs(a.hi - b.hi) > tol:
+                return False
+        return all(abs(p - q) <= tol for p, q in zip(self.points, other.points))
+
+    def __or__(self, other: "TimeSet") -> "TimeSet":
+        return self.union(other)
+
+    def __and__(self, other: "TimeSet") -> "TimeSet":
+        return self.intersect(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSet):
+            return NotImplemented
+        return self.intervals == other.intervals and self.points == other.points
+
+    def __hash__(self) -> int:
+        return hash((self.intervals, self.points))
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __repr__(self) -> str:
+        parts = [str(iv) for iv in self.intervals]
+        parts += [f"{{{p:g}}}" for p in self.points]
+        body = " ∪ ".join(parts) if parts else "∅"
+        return f"TimeSet({body})"
+
+
+_EMPTY = TimeSet()

@@ -1,0 +1,64 @@
+"""Continuous filter: the simplest selective-operator transform.
+
+Fig. 3, row 1: per input segment, instantiate the equation system
+``D = [x_i - c_i]`` from the segment's own models, solve ``D t R 0`` over
+the segment's valid range, and emit ``{(t, x_i) | D t R 0}`` — the input
+models restricted to the solution time ranges (point segments for
+equality comparisons).
+"""
+
+from __future__ import annotations
+
+from ..equation_system import EquationSystem
+from ..predicate import BoolExpr, Literal
+from ..segment import Segment
+from .base import AttributeBinding, ContinuousOperator, partial_evaluate
+
+
+class ContinuousFilter(ContinuousOperator):
+    """Stateless selective operator over single segments.
+
+    Parameters
+    ----------
+    predicate:
+        The filter predicate; may mix modeled-attribute comparisons
+        (compiled into the equation system) and discrete-attribute
+        comparisons (folded to literals per segment).
+    alias:
+        Optional stream alias so qualified references (``S.price``)
+        resolve against this input.
+    """
+
+    arity = 1
+
+    def __init__(self, predicate: BoolExpr, alias: str | None = None, name: str = "filter"):
+        self.predicate = predicate
+        self.alias = alias
+        self.name = name
+        #: Count of equation systems instantiated (benchmark hook).
+        self.systems_solved = 0
+
+    def process(self, segment: Segment, port: int = 0) -> list[Segment]:
+        binding = AttributeBinding({self.alias: segment})
+        residual = partial_evaluate(self.predicate, binding)
+        if isinstance(residual, Literal):
+            if residual.value:
+                return [segment]
+            return []
+        system = EquationSystem.from_predicate(residual, binding.resolver())
+        self.systems_solved += 1
+        solution = system.solve(segment.t_start, segment.t_end)
+        outputs: list[Segment] = []
+        for iv in solution.intervals:
+            outputs.append(segment.restrict(iv.lo, iv.hi))
+        for p in solution.points:
+            outputs.append(segment.at_instant(p))
+        return outputs
+
+    def slack_system(self, segment: Segment) -> EquationSystem | None:
+        """The equation system for slack computation on a null result."""
+        binding = AttributeBinding({self.alias: segment})
+        residual = partial_evaluate(self.predicate, binding)
+        if isinstance(residual, Literal):
+            return None
+        return EquationSystem.from_predicate(residual, binding.resolver())

@@ -1,0 +1,208 @@
+"""Continuous join with order-based segment buffers.
+
+Fig. 3, row 2: segments arriving on either input are aligned with respect
+to ``t`` against the opposite buffer's temporally overlapping segments;
+for each aligned pair the difference system ``D = [x_i - y_i]`` is
+instantiated from the join predicate and solved over the overlap of the
+two validity ranges (the paper's "equi-join semantics along the time
+dimension").  Solutions become output segments carrying both inputs'
+models qualified by their stream aliases.
+
+A join *window* bounds state exactly as in the paper's state table
+(``S_x = {([tl, tu), s_x) | tl > t_y}`` generalized by a window width):
+segments wholly before the opposite side's high-water mark minus the
+window are evicted.
+"""
+
+from __future__ import annotations
+
+from ..equation_system import EquationSystem
+from ..predicate import BoolExpr, Literal
+from ..segment import Segment, SegmentBuffer
+from .base import (
+    AttributeBinding,
+    ContinuousOperator,
+    merged_constants,
+    merged_models,
+    partial_evaluate,
+)
+
+
+class ContinuousJoin(ContinuousOperator):
+    """Two-input selective operator over aligned segment pairs.
+
+    Parameters
+    ----------
+    predicate:
+        Join predicate; key comparisons (e.g. ``R.id <> S.id`` or the
+        equi-key ``S.symbol = L.symbol``) are folded discretely per pair,
+        modeled comparisons become equation-system rows.
+    left_alias, right_alias:
+        Aliases qualifying each side's attributes in the predicate and in
+        output segments.
+    window:
+        State-retention bound (seconds).  ``None`` keeps unbounded state.
+    index_cell_width:
+        When set, state is held in interval-indexed buffers
+        (:class:`~repro.core.segment_index.IndexedSegmentBuffer`) so the
+        per-arrival partner lookup no longer scans all live segments —
+        the paper's future-work segment indexing for highly segmented
+        datasets.
+    """
+
+    arity = 2
+
+    def __init__(
+        self,
+        predicate: BoolExpr,
+        left_alias: str = "L",
+        right_alias: str = "R",
+        window: float | None = None,
+        index_cell_width: float | None = None,
+        name: str = "join",
+    ):
+        self.predicate = predicate
+        self.left_alias = left_alias
+        self.right_alias = right_alias
+        self.window = window
+        self.index_cell_width = index_cell_width
+        self.name = name
+        if index_cell_width is not None:
+            from ..segment_index import IndexedSegmentBuffer
+
+            self._buffers = (
+                IndexedSegmentBuffer(index_cell_width),
+                IndexedSegmentBuffer(index_cell_width),
+            )
+        else:
+            self._buffers = (SegmentBuffer(), SegmentBuffer())
+        self._high_water = [float("-inf"), float("-inf")]
+        # Max t_start seen per side: inputs arrive with monotonically
+        # increasing reference timestamps (Section II-B), so a side's
+        # start watermark bounds where future arrivals can begin.
+        self._start_water = [float("-inf"), float("-inf")]
+        #: Count of equation systems instantiated (benchmark hook).
+        self.systems_solved = 0
+        #: Count of aligned pairs whose predicate was discretely false.
+        self.pairs_rejected_discrete = 0
+
+    def reset(self) -> None:
+        for buf in self._buffers:
+            buf.clear()
+        self._high_water = [float("-inf"), float("-inf")]
+        self._start_water = [float("-inf"), float("-inf")]
+
+    def process(self, segment: Segment, port: int = 0) -> list[Segment]:
+        if port not in (0, 1):
+            raise ValueError(f"join has ports 0 and 1, got {port}")
+        own, other = port, 1 - port
+        self._buffers[own].insert(segment)
+        self._high_water[own] = max(self._high_water[own], segment.t_end)
+        self._start_water[own] = max(self._start_water[own], segment.t_start)
+        self._evict()
+
+        outputs: list[Segment] = []
+        for partner in list(
+            self._buffers[other].overlapping(segment.t_start, segment.t_end)
+        ):
+            left_seg, right_seg = (
+                (segment, partner) if port == 0 else (partner, segment)
+            )
+            outputs.extend(self._join_pair(left_seg, right_seg))
+        return outputs
+
+    def _evict(self) -> None:
+        """Drop state no future arrival can pair with.
+
+        Future arrivals on either side start at or after that side's
+        start watermark (monotone reference timestamps), so a stored
+        segment ending before ``min(start watermarks) - window`` can
+        never overlap one and is safe to evict.
+        """
+        if self.window is None:
+            return
+        horizon = min(self._start_water) - self.window
+        if horizon > float("-inf"):
+            for buf in self._buffers:
+                buf.evict_before(horizon)
+
+    def _join_pair(self, left: Segment, right: Segment) -> list[Segment]:
+        overlap = left.overlap_range(right)
+        if overlap is None:
+            return []
+        lo, hi = overlap
+        binding = AttributeBinding(
+            {self.left_alias: left, self.right_alias: right}
+        )
+        residual = partial_evaluate(self.predicate, binding)
+        if isinstance(residual, Literal):
+            if not residual.value:
+                self.pairs_rejected_discrete += 1
+                return []
+            return [self._emit(left, right, lo, hi)]
+        system = EquationSystem.from_predicate(residual, binding.resolver())
+        self.systems_solved += 1
+        solution = system.solve(lo, hi)
+        outputs: list[Segment] = []
+        for iv in solution.intervals:
+            outputs.append(self._emit(left, right, iv.lo, iv.hi))
+        for p in solution.points:
+            outputs.append(self._emit_point(left, right, p))
+        return outputs
+
+    # ------------------------------------------------------------------
+    # output construction
+    # ------------------------------------------------------------------
+    def _merged(self, left: Segment, right: Segment):
+        pairs = [(self.left_alias, left), (self.right_alias, right)]
+        return merged_models(pairs), merged_constants(pairs)
+
+    def _emit(self, left: Segment, right: Segment, lo: float, hi: float) -> Segment:
+        models, constants = self._merged(left, right)
+        return Segment(
+            key=left.key + right.key,
+            t_start=lo,
+            t_end=hi,
+            models=models,
+            constants=constants,
+            lineage=(left.seg_id, right.seg_id),
+        )
+
+    def _emit_point(self, left: Segment, right: Segment, p: float) -> Segment:
+        from ..intervals import EPS
+
+        models, constants = self._merged(left, right)
+        return Segment(
+            key=left.key + right.key,
+            t_start=p,
+            t_end=p + EPS,
+            models=models,
+            constants=constants,
+            lineage=(left.seg_id, right.seg_id),
+        )
+
+    def slack_system(
+        self, segment: Segment, port: int = 0
+    ) -> EquationSystem | None:
+        """System over the most recent aligned pair, for slack validation."""
+        other = 1 - port
+        partners = list(
+            self._buffers[other].overlapping(segment.t_start, segment.t_end)
+        )
+        if not partners:
+            return None
+        partner = partners[-1]
+        left_seg, right_seg = (
+            (segment, partner) if port == 0 else (partner, segment)
+        )
+        binding = AttributeBinding(
+            {self.left_alias: left_seg, self.right_alias: right_seg}
+        )
+        residual = partial_evaluate(self.predicate, binding)
+        if isinstance(residual, Literal):
+            return None
+        return EquationSystem.from_predicate(residual, binding.resolver())
+
+    @property
+    def state_size(self) -> int:
+        return len(self._buffers[0]) + len(self._buffers[1])

@@ -1,0 +1,123 @@
+"""Continuous map/projection: arithmetic and renaming over models.
+
+Projections such as ``S.ap - L.ap as diff`` (the MACD query) compile each
+output expression to a polynomial over the input segment's models.  The
+rename metadata produced here — which output attribute is an alias (or
+arithmetic function) of which inputs — is exactly the *bound translation*
+information query inversion consumes (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import NonPolynomialExpressionError
+from ..expr import Attr, Expr
+from ..polynomial import Polynomial
+from ..segment import Segment
+from .base import AttributeBinding, ContinuousOperator
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One output column: ``expr AS name``."""
+
+    name: str
+    expr: Expr
+
+    @property
+    def is_alias(self) -> bool:
+        """A pure rename (``b AS x``), the simplest bound translation."""
+        return isinstance(self.expr, Attr)
+
+
+class ContinuousMap(ContinuousOperator):
+    """Projection over segments.
+
+    Modeled output attributes are computed polynomials; discrete input
+    attributes referenced by a bare :class:`Attr` pass through as
+    constants.  Key attributes and unlisted constants are preserved.
+    """
+
+    arity = 1
+
+    def __init__(
+        self,
+        projections: Sequence[Projection],
+        alias: str | None = None,
+        keep_constants: bool = True,
+        approximate_degree: int | None = 2,
+        name: str = "map",
+    ):
+        self.projections = tuple(projections)
+        self.alias = alias
+        self.keep_constants = keep_constants
+        self.approximate_degree = approximate_degree
+        self.name = name
+        #: Projections that required least-squares re-approximation because
+        #: the expression left the polynomial class (e.g. sqrt of a model).
+        self.approximations = 0
+
+    def translations(self) -> Mapping[str, frozenset[str]]:
+        """Output attribute -> input attributes it depends on.
+
+        This is the ``translations(o)`` set used by the split heuristics'
+        dependency function ``D(o)`` (Section IV-C).
+        """
+        return {p.name: p.expr.attributes() for p in self.projections}
+
+    def process(self, segment: Segment, port: int = 0) -> list[Segment]:
+        binding = AttributeBinding({self.alias: segment})
+        resolver = binding.resolver()
+        models = {}
+        constants = dict(segment.constants) if self.keep_constants else {}
+        for proj in self.projections:
+            if isinstance(proj.expr, Attr) and binding.is_discrete(proj.expr.name):
+                constants[proj.name] = binding.discrete_value(proj.expr.name)
+                continue
+            try:
+                models[proj.name] = proj.expr.to_polynomial(resolver)
+            except NonPolynomialExpressionError:
+                if self.approximate_degree is None:
+                    raise
+                models[proj.name] = self._approximate(
+                    proj.expr, binding, segment
+                )
+                self.approximations += 1
+        return [
+            Segment(
+                key=segment.key,
+                t_start=segment.t_start,
+                t_end=segment.t_end,
+                models=models,
+                constants=constants,
+                lineage=(segment.seg_id,),
+            )
+        ]
+
+    def _approximate(
+        self, expr: Expr, binding: AttributeBinding, segment: Segment
+    ) -> Polynomial:
+        """Least-squares polynomial fit of a non-polynomial expression.
+
+        Exactly in the spirit of Pulse's models-as-approximations: a
+        ``sqrt`` (the AIS distance projection) is re-modeled as a low
+        degree polynomial over the segment's valid range by sampling the
+        expression against the input models; the approximation error is
+        part of what the validation layer bounds.
+        """
+        degree = self.approximate_degree
+        samples = max(2 * degree + 3, 7)
+        ts = np.linspace(segment.t_start, segment.t_end, samples)
+        env_base = dict(segment.constants)
+        values = []
+        for t in ts:
+            env = dict(env_base)
+            for attr, poly in segment.models.items():
+                env[attr] = poly(t)
+            values.append(expr.evaluate(env))
+        coeffs = np.polynomial.polynomial.polyfit(ts, values, degree)
+        return Polynomial(coeffs.tolist())

@@ -1,0 +1,80 @@
+"""Output sampling: segments back to tuples (Section III-C).
+
+Once a processed segment reaches an output stream, tuples are produced by
+sampling the segment's models.  Selective operators need a user-defined
+sampling rate; aggregates infer their output rate from the window's slide
+parameter, so callers pass the slide as the rate's period there.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Mapping
+
+from ..intervals import EPS
+from ..segment import Segment
+from .base import ContinuousOperator
+
+OutputTuple = dict
+
+
+class OutputSampler(ContinuousOperator):
+    """Materialize output tuples from segments at a fixed period.
+
+    Parameters
+    ----------
+    period:
+        Time between consecutive samples (``1 / rate``).  Samples sit on
+        the global grid ``t = k * period`` so runs are reproducible and
+        adjacent segments never double-sample an instant.
+    include_time:
+        Name of the tuple field carrying the sample timestamp.
+    """
+
+    arity = 1
+
+    def __init__(
+        self,
+        period: float,
+        include_time: str = "time",
+        name: str = "sampler",
+    ):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.period = float(period)
+        self.include_time = include_time
+        self.name = name
+        self.tuples_emitted = 0
+
+    def sample_times(self, segment: Segment) -> Iterator[float]:
+        """Grid instants within the segment's valid range.
+
+        Point segments (equality results) always yield their instant.
+        """
+        if segment.is_point:
+            yield segment.t_start
+            return
+        first = math.ceil((segment.t_start - EPS) / self.period) * self.period
+        t = first
+        while t < segment.t_end - EPS:
+            yield t
+            t += self.period
+
+    def tuples(self, segment: Segment) -> list[OutputTuple]:
+        out = []
+        for t in self.sample_times(segment):
+            row: OutputTuple = {self.include_time: t}
+            for attr, poly in segment.models.items():
+                row[attr] = poly(t)
+            row.update(segment.constants)
+            if segment.key:
+                row["__key"] = segment.key
+            out.append(row)
+        self.tuples_emitted += len(out)
+        return out
+
+    def process(self, segment: Segment, port: int = 0) -> list[Segment]:
+        # Samplers sit at plan outputs; they pass segments through so the
+        # plan can expose both representations, and accumulate tuples via
+        # `tuples` when the executor materializes results.
+        return [segment]

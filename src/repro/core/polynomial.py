@@ -1,0 +1,295 @@
+"""Dense univariate polynomials over time.
+
+This is the numeric kernel underneath every Pulse model: a modeled stream
+attribute ``a`` is ``a(t) = sum_i c_i t^i`` (Section II-B), and operator
+transforms manipulate these coefficient vectors — differencing them for
+selective predicates, integrating them for sum/average window functions, and
+expanding ``(t - w)^i`` terms by the binomial theorem for tail integrals.
+
+Coefficients are stored in ascending order (``coeffs[i]`` multiplies
+``t**i``) as a tuple of floats, so instances are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Union
+
+Number = Union[int, float]
+
+def _trim(coeffs: Sequence[float]) -> tuple[float, ...]:
+    """Drop exactly-zero leading coefficients.
+
+    Only *exact* zeros are trimmed: any magnitude threshold would
+    silently delete legitimately tiny coefficients (a cubed millimeter
+    slope matters at large t).  Cancellation residue from differencing
+    nearly-equal models survives as a tiny leading coefficient; the
+    root finder's residual checks are built to tolerate that.
+    """
+    end = len(coeffs)
+    while end > 1 and coeffs[end - 1] == 0.0:
+        end -= 1
+    return tuple(float(c) for c in coeffs[:end])
+
+
+class Polynomial:
+    """An immutable dense polynomial with ascending coefficients."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Iterable[Number] = (0.0,)):
+        seq = list(coeffs)
+        if not seq:
+            seq = [0.0]
+        object.__setattr__(self, "coeffs", _trim(seq))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polynomial is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return _ZERO
+
+    @classmethod
+    def constant(cls, value: Number) -> "Polynomial":
+        return cls([value])
+
+    @classmethod
+    def linear(cls, intercept: Number, slope: Number) -> "Polynomial":
+        """The line ``intercept + slope * t``."""
+        return cls([intercept, slope])
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: Number = 1.0) -> "Polynomial":
+        """``coefficient * t**degree``."""
+        if degree < 0:
+            raise ValueError("monomial degree must be non-negative")
+        return cls([0.0] * degree + [coefficient])
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    @property
+    def is_zero(self) -> bool:
+        return len(self.coeffs) == 1 and self.coeffs[0] == 0.0
+
+    @property
+    def is_constant(self) -> bool:
+        return len(self.coeffs) == 1
+
+    @property
+    def leading_coefficient(self) -> float:
+        return self.coeffs[-1]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, t):
+        """Evaluate by Horner's rule.
+
+        Accepts a scalar or anything supporting ``*`` and ``+`` (e.g. a
+        numpy array), returning the same shape.
+        """
+        result = self.coeffs[-1]
+        if len(self.coeffs) == 1:
+            # Broadcast constants over array arguments.
+            try:
+                return result + 0.0 * t
+            except TypeError:
+                return result
+        for c in reversed(self.coeffs[:-1]):
+            result = result * t + c
+        return result
+
+    # ------------------------------------------------------------------
+    # ring arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Polynomial | Number") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = [0.0] * n
+        for i, c in enumerate(self.coeffs):
+            out[i] += c
+        for i, c in enumerate(other.coeffs):
+            out[i] += c
+        return Polynomial(out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial([-c for c in self.coeffs])
+
+    def __sub__(self, other: "Polynomial | Number") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: "Polynomial | Number") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        return other + (-self)
+
+    def __mul__(self, other: "Polynomial | Number") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        out = [0.0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0.0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] += a * b
+        return Polynomial(out)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "Polynomial":
+        if isinstance(scalar, Polynomial):
+            raise TypeError("polynomial division is not closed; divide by scalars only")
+        return Polynomial([c / scalar for c in self.coeffs])
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("polynomial powers must be non-negative integers")
+        result = Polynomial([1.0])
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # calculus
+    # ------------------------------------------------------------------
+    def derivative(self) -> "Polynomial":
+        if len(self.coeffs) == 1:
+            return _ZERO
+        return Polynomial([i * c for i, c in enumerate(self.coeffs)][1:])
+
+    def antiderivative(self, constant: float = 0.0) -> "Polynomial":
+        """The antiderivative with integration constant ``constant``.
+
+        This is Equation (2)'s ``sum c_{i-1}/i * t^i`` form.
+        """
+        out = [constant]
+        out.extend(c / (i + 1) for i, c in enumerate(self.coeffs))
+        return Polynomial(out)
+
+    def definite_integral(self, lo: float, hi: float) -> float:
+        anti = self.antiderivative()
+        return anti(hi) - anti(lo)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def shift(self, delta: float) -> "Polynomial":
+        """Return ``q`` with ``q(t) = p(t + delta)``.
+
+        Expanding ``(t + delta)^i`` by the binomial theorem — the same
+        expansion the paper uses for ``(t - w)^i`` terms in tail integrals.
+        """
+        if delta == 0.0:
+            return self
+        n = len(self.coeffs)
+        out = [0.0] * n
+        for i, c in enumerate(self.coeffs):
+            if c == 0.0:
+                continue
+            for k in range(i + 1):
+                out[k] += c * math.comb(i, k) * delta ** (i - k)
+        return Polynomial(out)
+
+    def compose_affine(self, scale: float, offset: float) -> "Polynomial":
+        """Return ``q`` with ``q(t) = p(scale * t + offset)``."""
+        n = len(self.coeffs)
+        out = [0.0] * n
+        for i, c in enumerate(self.coeffs):
+            if c == 0.0:
+                continue
+            for k in range(i + 1):
+                out[k] += (
+                    c * math.comb(i, k) * (scale**k) * offset ** (i - k)
+                )
+        return Polynomial(out)
+
+    def sliding_window_integral(self, window: float) -> "Polynomial":
+        """The window function ``wf(t) = integral_{t-w}^{t} p(tau) dtau``.
+
+        Used by the sum/average aggregate transform for segments whose
+        lifespan covers the whole window (Equation (2)): the result is again
+        a polynomial in the window-closing timestamp ``t``, preserving
+        operator closure.
+        """
+        anti = self.antiderivative()
+        return anti - anti.shift(-window)
+
+    # ------------------------------------------------------------------
+    # extrema helpers
+    # ------------------------------------------------------------------
+    def bound_on(self, lo: float, hi: float) -> float:
+        """A cheap upper bound for ``|p(t)|`` on ``[lo, hi]``.
+
+        Sum of coefficient magnitudes times the max power of the endpoint
+        magnitudes — loose but sufficient for validation short-circuits.
+        """
+        m = max(abs(lo), abs(hi), 1.0)
+        return sum(abs(c) * m**i for i, c in enumerate(self.coeffs))
+
+    # ------------------------------------------------------------------
+    # comparison / repr
+    # ------------------------------------------------------------------
+    def approx_equal(self, other: "Polynomial", tol: float = 1e-9) -> bool:
+        n = max(len(self.coeffs), len(other.coeffs))
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else 0.0
+            b = other.coeffs[i] if i < len(other.coeffs) else 0.0
+            scale = max(abs(a), abs(b), 1.0)
+            if abs(a - b) > tol * scale:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs)
+
+    def __repr__(self) -> str:
+        terms = []
+        for i, c in enumerate(self.coeffs):
+            if c == 0.0 and len(self.coeffs) > 1:
+                continue
+            if i == 0:
+                terms.append(f"{c:g}")
+            elif i == 1:
+                terms.append(f"{c:g}*t")
+            else:
+                terms.append(f"{c:g}*t^{i}")
+        return f"Polynomial({' + '.join(terms) or '0'})"
+
+
+def _coerce(value: "Polynomial | Number | object") -> "Polynomial | None":
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, float)):
+        return Polynomial([value])
+    return None
+
+
+_ZERO = Polynomial([0.0])

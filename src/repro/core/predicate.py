@@ -1,0 +1,297 @@
+"""Predicates and their normalization to polynomial difference form.
+
+Section III-A's three-step transform — rewrite in difference form,
+substitute the continuous models, factorize over the time variable — is
+implemented here as :meth:`Comparison.difference_expr` plus
+:func:`normalize`, which additionally eliminates ``sqrt`` and ``abs`` by
+monotone rewrites so that every *atom* reaching the equation system is a
+pure polynomial comparison against zero.
+
+Boolean structure (conjunction, disjunction, negation) is kept as a tree;
+the equation-system solver applies it to the per-atom solution time ranges
+exactly as the paper prescribes for general predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .errors import PredicateError
+from .expr import Abs, Const, Expr, Sqrt, Sub
+from .relation import Rel
+
+
+class BoolExpr:
+    """Base class for boolean predicate trees."""
+
+    def attributes(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        """Discrete-path evaluation against concrete attribute values."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterable["Comparison"]:
+        """All comparison atoms in the tree, left to right."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Comparison(BoolExpr):
+    """An atomic comparison ``left R right``."""
+
+    left: Expr
+    rel: Rel
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return self.rel.holds(left - right)
+        # Non-numeric values (keys, symbols) compare directly.
+        return _compare_values(left, self.rel, right)
+
+    def atoms(self) -> Iterable["Comparison"]:
+        yield self
+
+    def difference_expr(self) -> Expr:
+        """Step 1 of the transform: rewrite ``x R y`` as ``x - y R 0``."""
+        if isinstance(self.right, Const) and self.right.value == 0.0:
+            return self.left
+        return Sub(self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.rel} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    children: tuple[BoolExpr, ...]
+
+    def __init__(self, *children: BoolExpr):
+        flat: list[BoolExpr] = []
+        for child in children:
+            if isinstance(child, And):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for child in self.children:
+            out |= child.attributes()
+        return out
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        return all(child.evaluate(env) for child in self.children)
+
+    def atoms(self) -> Iterable[Comparison]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    children: tuple[BoolExpr, ...]
+
+    def __init__(self, *children: BoolExpr):
+        flat: list[BoolExpr] = []
+        for child in children:
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        object.__setattr__(self, "children", tuple(flat))
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for child in self.children:
+            out |= child.attributes()
+        return out
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        return any(child.evaluate(env) for child in self.children)
+
+    def atoms(self) -> Iterable[Comparison]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    child: BoolExpr
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        return not self.child.evaluate(env)
+
+    def atoms(self) -> Iterable[Comparison]:
+        yield from self.child.atoms()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+#: Predicate atoms that always hold / never hold, used when rewrites
+#: resolve a comparison statically (e.g. ``sqrt(E) >= c`` with ``c < 0``).
+@dataclass(frozen=True)
+class Literal(BoolExpr):
+    value: bool
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, float]) -> bool:
+        return self.value
+
+    def atoms(self) -> Iterable[Comparison]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+def _compare_values(left: object, rel: Rel, right: object) -> bool:
+    """Direct comparison for non-numeric operand values."""
+    if rel is Rel.EQ:
+        return left == right
+    if rel is Rel.NE:
+        return left != right
+    if rel is Rel.LT:
+        return left < right
+    if rel is Rel.LE:
+        return left <= right
+    if rel is Rel.GE:
+        return left >= right
+    return left > right
+
+
+def normalize(pred: BoolExpr) -> BoolExpr:
+    """Rewrite a predicate so every atom is polynomial-compilable.
+
+    Applies, recursively until fixpoint:
+
+    * ``NOT atom``      → atom with the negated relation;
+    * ``sqrt(E) R c``   → ``E R c**2`` (sqrt is monotone; its argument is
+      non-negative wherever it is defined) with static resolution when
+      ``c < 0``;
+    * ``abs(E) R c``    → the two-sided expansion (``abs(E) < c`` becomes
+      ``E < c AND E > -c``; ``abs(E) > c`` becomes ``E > c OR E < -c``);
+    * constants are folded through ``And``/``Or``.
+    """
+    if isinstance(pred, Literal):
+        return pred
+    if isinstance(pred, And):
+        children = [normalize(c) for c in pred.children]
+        if any(c == FALSE for c in children):
+            return FALSE
+        children = [c for c in children if c != TRUE]
+        if not children:
+            return TRUE
+        if len(children) == 1:
+            return children[0]
+        return And(*children)
+    if isinstance(pred, Or):
+        children = [normalize(c) for c in pred.children]
+        if any(c == TRUE for c in children):
+            return TRUE
+        children = [c for c in children if c != FALSE]
+        if not children:
+            return FALSE
+        if len(children) == 1:
+            return children[0]
+        return Or(*children)
+    if isinstance(pred, Not):
+        return normalize(_push_not(pred.child))
+    if isinstance(pred, Comparison):
+        return _normalize_comparison(pred)
+    raise PredicateError(f"unknown predicate node {pred!r}")
+
+
+def _push_not(pred: BoolExpr) -> BoolExpr:
+    if isinstance(pred, Literal):
+        return Literal(not pred.value)
+    if isinstance(pred, Comparison):
+        return Comparison(pred.left, pred.rel.negate(), pred.right)
+    if isinstance(pred, And):
+        return Or(*[_push_not(c) for c in pred.children])
+    if isinstance(pred, Or):
+        return And(*[_push_not(c) for c in pred.children])
+    if isinstance(pred, Not):
+        return pred.child
+    raise PredicateError(f"unknown predicate node {pred!r}")
+
+
+def _normalize_comparison(cmp: Comparison) -> BoolExpr:
+    left, rel, right = cmp.left, cmp.rel, cmp.right
+
+    # Orient sqrt/abs to the left-hand side.
+    if isinstance(right, (Sqrt, Abs)) and not isinstance(left, (Sqrt, Abs)):
+        left, rel, right = right, rel.flip(), left
+
+    if isinstance(left, Sqrt):
+        return _rewrite_sqrt(left, rel, right)
+    if isinstance(left, Abs):
+        return _rewrite_abs(left, rel, right)
+    return Comparison(left, rel, right)
+
+
+def _require_const(expr: Expr, context: str) -> float:
+    if not isinstance(expr, Const):
+        raise PredicateError(
+            f"{context} can only be compared against constants in the "
+            "continuous transform"
+        )
+    return expr.value
+
+
+def _rewrite_sqrt(left: Sqrt, rel: Rel, right: Expr) -> BoolExpr:
+    c = _require_const(right, "sqrt(...)")
+    if c < 0.0:
+        # sqrt(E) >= 0 > c always; so >,>=,!= hold and <,<=,= never do.
+        return TRUE if rel in (Rel.GT, Rel.GE, Rel.NE) else FALSE
+    squared = Const(c * c)
+    return normalize(Comparison(left.operand, rel, squared))
+
+
+def _rewrite_abs(left: Abs, rel: Rel, right: Expr) -> BoolExpr:
+    c = _require_const(right, "abs(...)")
+    inner = left.operand
+    if c < 0.0:
+        return TRUE if rel in (Rel.GT, Rel.GE, Rel.NE) else FALSE
+    neg = Const(-c)
+    pos = Const(c)
+    if rel in (Rel.LT, Rel.LE):
+        return normalize(
+            And(Comparison(inner, rel, pos), Comparison(inner, rel.flip(), neg))
+        )
+    if rel in (Rel.GT, Rel.GE):
+        return normalize(
+            Or(Comparison(inner, rel, pos), Comparison(inner, rel.flip(), neg))
+        )
+    if rel is Rel.EQ:
+        return normalize(
+            Or(Comparison(inner, Rel.EQ, pos), Comparison(inner, Rel.EQ, neg))
+        )
+    # NE: negation of EQ.
+    return normalize(
+        And(Comparison(inner, Rel.NE, pos), Comparison(inner, Rel.NE, neg))
+    )

@@ -1,0 +1,101 @@
+"""Comparison relations used in predicate difference forms.
+
+The selective-operator transform of Section III-A rewrites a predicate
+``x R y`` into ``(x - y)(t) R 0`` where ``R`` is one of the six standard
+relational comparison operators.  :class:`Rel` is that ``R``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Rel(enum.Enum):
+    """One of the six relational comparison operators.
+
+    The value of each member is its SQL surface syntax.
+    """
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    NE = "<>"
+    GE = ">="
+    GT = ">"
+
+    def holds(self, value: float, tol: float = 0.0) -> bool:
+        """Return whether ``value R 0`` holds.
+
+        ``tol`` widens equality comparisons: ``EQ`` holds when
+        ``|value| <= tol`` and ``NE`` when ``|value| > tol``.
+        """
+        if self is Rel.LT:
+            return value < -tol
+        if self is Rel.LE:
+            return value <= tol
+        if self is Rel.EQ:
+            return abs(value) <= tol
+        if self is Rel.NE:
+            return abs(value) > tol
+        if self is Rel.GE:
+            return value >= -tol
+        return value > tol  # GT
+
+    def flip(self) -> "Rel":
+        """The relation obtained by swapping the comparison's two sides.
+
+        ``x R y`` is equivalent to ``y flip(R) x``.
+        """
+        return _FLIPPED[self]
+
+    def negate(self) -> "Rel":
+        """The relation holding exactly when this one does not."""
+        return _NEGATED[self]
+
+    @property
+    def is_equality(self) -> bool:
+        """Whether the relation is the equality comparison.
+
+        Equality rows reduce solution sets to isolated points, which limits
+        model flow downstream (Section III-C).
+        """
+        return self is Rel.EQ
+
+    @property
+    def includes_equality(self) -> bool:
+        """Whether ``value == 0`` satisfies the relation."""
+        return self in (Rel.LE, Rel.EQ, Rel.GE)
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Rel":
+        """Parse a relation from its SQL symbol (``!=`` aliases ``<>``)."""
+        if symbol == "!=":
+            symbol = "<>"
+        if symbol == "==":
+            symbol = "="
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise ValueError(f"unknown relational operator {symbol!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_FLIPPED = {
+    Rel.LT: Rel.GT,
+    Rel.LE: Rel.GE,
+    Rel.EQ: Rel.EQ,
+    Rel.NE: Rel.NE,
+    Rel.GE: Rel.LE,
+    Rel.GT: Rel.LT,
+}
+
+_NEGATED = {
+    Rel.LT: Rel.GE,
+    Rel.LE: Rel.GT,
+    Rel.EQ: Rel.NE,
+    Rel.NE: Rel.EQ,
+    Rel.GE: Rel.LT,
+    Rel.GT: Rel.LE,
+}

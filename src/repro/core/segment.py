@@ -1,0 +1,328 @@
+"""Segments: Pulse's first-class datatype.
+
+A segment is one piece of a piecewise polynomial model (Section II-B): a
+time range ``[t_start, t_end)`` over which a particular set of polynomial
+coefficients is valid, together with the key values identifying the modeled
+entity and any unmodeled attributes (constant for the segment's lifespan).
+
+Segments flow through the transformed query plan the way tuples flow
+through a discrete plan; every continuous operator consumes segments and
+produces segments, which is what keeps the operator set closed
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from types import MappingProxyType
+from typing import Iterable, Iterator, Mapping
+
+from .errors import InvalidSegmentError
+from .intervals import EPS, Interval
+from .polynomial import Polynomial
+
+_segment_ids = itertools.count(1)
+
+Key = tuple
+
+
+class Segment:
+    """One piece of a piecewise polynomial model.
+
+    Parameters
+    ----------
+    key:
+        Tuple of key-attribute values identifying the modeled entity
+        (e.g. a vessel id, a stock symbol).  May be empty for keyless
+        streams.
+    t_start, t_end:
+        The half-open valid time range ``[t_start, t_end)``.
+    models:
+        Mapping from modeled attribute name to its :class:`Polynomial`
+        in the time variable ``t`` (absolute time, not segment-relative).
+    constants:
+        Unmodeled attributes, constant over the segment's lifespan.
+    lineage:
+        Identifiers of the input segments this segment was derived from;
+        maintained for query inversion (Section IV-B).
+    """
+
+    __slots__ = ("key", "t_start", "t_end", "models", "constants", "seg_id", "lineage")
+
+    def __init__(
+        self,
+        key: Key,
+        t_start: float,
+        t_end: float,
+        models: Mapping[str, Polynomial],
+        constants: Mapping[str, object] | None = None,
+        lineage: tuple[int, ...] = (),
+        seg_id: int | None = None,
+    ):
+        if not t_start < t_end:
+            raise InvalidSegmentError(
+                f"segment time range must be non-empty, got [{t_start}, {t_end})"
+            )
+        for name, model in models.items():
+            if not isinstance(model, Polynomial):
+                raise InvalidSegmentError(
+                    f"model for attribute {name!r} must be a Polynomial"
+                )
+        object.__setattr__(self, "key", tuple(key))
+        object.__setattr__(self, "t_start", float(t_start))
+        object.__setattr__(self, "t_end", float(t_end))
+        object.__setattr__(self, "models", MappingProxyType(dict(models)))
+        object.__setattr__(
+            self, "constants", MappingProxyType(dict(constants or {}))
+        )
+        object.__setattr__(self, "lineage", tuple(lineage))
+        object.__setattr__(
+            self, "seg_id", next(_segment_ids) if seg_id is None else seg_id
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Segment is immutable")
+
+    # ------------------------------------------------------------------
+    # temporal accessors
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.t_start, self.t_end)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def is_point(self) -> bool:
+        """Whether the segment's validity has collapsed to (almost) a point.
+
+        Equality predicates reduce segments to instants; we represent an
+        instant ``p`` as the sliver ``[p, p + EPS)``.
+        """
+        return self.duration <= 2 * EPS
+
+    def contains_time(self, t: float) -> bool:
+        return self.t_start <= t < self.t_end
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.t_start < other.t_end and other.t_start < self.t_end
+
+    def overlap_range(self, other: "Segment") -> tuple[float, float] | None:
+        lo = max(self.t_start, other.t_start)
+        hi = min(self.t_end, other.t_end)
+        if lo < hi:
+            return (lo, hi)
+        return None
+
+    # ------------------------------------------------------------------
+    # model access
+    # ------------------------------------------------------------------
+    def model(self, attr: str) -> Polynomial:
+        try:
+            return self.models[attr]
+        except KeyError:
+            raise KeyError(
+                f"segment has no model for attribute {attr!r}; "
+                f"available: {sorted(self.models)}"
+            ) from None
+
+    def value_at(self, attr: str, t: float):
+        """Evaluate a modeled attribute (or return an unmodeled constant)."""
+        if attr in self.models:
+            return self.models[attr](t)
+        if attr in self.constants:
+            return self.constants[attr]
+        raise KeyError(f"segment has no attribute {attr!r}")
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self.models) + tuple(self.constants)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def restrict(self, lo: float, hi: float) -> "Segment":
+        """The same models restricted to ``[lo, hi) ∩ [t_start, t_end)``."""
+        lo = max(lo, self.t_start)
+        hi = min(hi, self.t_end)
+        if not lo < hi:
+            raise InvalidSegmentError(
+                f"restriction [{lo}, {hi}) of {self} is empty"
+            )
+        return Segment(
+            self.key, lo, hi, self.models, self.constants, lineage=self.lineage
+        )
+
+    def at_instant(self, t: float) -> "Segment":
+        """A point segment capturing this model at instant ``t``."""
+        return Segment(
+            self.key,
+            t,
+            t + EPS,
+            self.models,
+            self.constants,
+            lineage=self.lineage,
+        )
+
+    def with_models(
+        self,
+        models: Mapping[str, Polynomial],
+        constants: Mapping[str, object] | None = None,
+        lineage: tuple[int, ...] | None = None,
+    ) -> "Segment":
+        return Segment(
+            self.key,
+            self.t_start,
+            self.t_end,
+            models,
+            self.constants if constants is None else constants,
+            lineage=self.lineage if lineage is None else lineage,
+        )
+
+    def derive(
+        self,
+        key: Key,
+        lo: float,
+        hi: float,
+        models: Mapping[str, Polynomial],
+        constants: Mapping[str, object] | None = None,
+        parents: Iterable["Segment"] = (),
+    ) -> "Segment":
+        """Build an output segment recording its parents as lineage."""
+        lineage = tuple(p.seg_id for p in parents) or (self.seg_id,)
+        return Segment(key, lo, hi, models, constants or {}, lineage=lineage)
+
+    def __repr__(self) -> str:
+        attrs = ",".join(sorted(self.models))
+        return (
+            f"Segment(key={self.key}, [{self.t_start:g},{self.t_end:g}), "
+            f"models=[{attrs}])"
+        )
+
+
+def resolve_model(segment: Segment, name: str) -> Polynomial:
+    """Find a model by exact name, then by unique suffix.
+
+    Post-join segments carry alias-qualified attributes (``s1.x``); plan
+    operators configured with bare names (``x``) resolve through the
+    suffix when it is unambiguous.
+    """
+    if name in segment.models:
+        return segment.models[name]
+    suffix = name.split(".")[-1]
+    matches = [a for a in segment.models if a.split(".")[-1] == suffix]
+    if len(matches) == 1:
+        return segment.models[matches[0]]
+    raise KeyError(
+        f"cannot resolve model {name!r} among {sorted(segment.models)}"
+    )
+
+
+def resolve_constant(segment: Segment, name: str, default=None):
+    """Find an unmodeled attribute by exact name, then unique suffix."""
+    if name in segment.constants:
+        return segment.constants[name]
+    suffix = name.split(".")[-1]
+    matches = [a for a in segment.constants if a.split(".")[-1] == suffix]
+    if len(matches) == 1:
+        return segment.constants[matches[0]]
+    if len(matches) > 1:
+        values = {segment.constants[m] for m in matches}
+        if len(values) == 1:
+            return values.pop()
+    return default
+
+
+def apply_update_semantics(
+    existing: list[Segment], incoming: Segment
+) -> list[Segment]:
+    """Apply the paper's successor-overrides-overlap update semantics.
+
+    For two temporally overlapping segments of the same key, the successor
+    acts as an update to the predecessor for the overlap: the predecessor
+    is trimmed to end where the successor begins (Section II-B).  Returns
+    the new segment list sorted by start time; ``existing`` is not mutated.
+    """
+    out: list[Segment] = []
+    for seg in existing:
+        if seg.key != incoming.key or not seg.overlaps(incoming):
+            out.append(seg)
+            continue
+        if seg.t_start < incoming.t_start:
+            out.append(seg.restrict(seg.t_start, incoming.t_start))
+        # Any part of the predecessor at or after the successor's start is
+        # overridden (the successor is newer for the whole overlap; a
+        # predecessor tail past the successor's end is also dropped since
+        # the update semantics order pieces sequentially).
+        if seg.t_end > incoming.t_end and incoming.t_start <= seg.t_start:
+            # Fully-later predecessor keeps its tail beyond the update.
+            out.append(seg.restrict(incoming.t_end, seg.t_end))
+    out.append(incoming)
+    out.sort(key=lambda s: (s.t_start, s.t_end))
+    return out
+
+
+class SegmentBuffer:
+    """Order-based per-key segment state used by stateful operators.
+
+    Joins keep one buffer per input (Fig. 3: "order-based segment
+    buffers"); min/max aggregates and the lineage store reuse it.  Segments
+    are held per key in start-time order with update semantics applied on
+    insert, and evicted by a temporal watermark.
+    """
+
+    def __init__(self):
+        self._by_key: dict[Key, list[Segment]] = {}
+        self._watermark = float("-inf")
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_key.values())
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    def insert(self, segment: Segment) -> None:
+        current = self._by_key.get(segment.key, [])
+        self._by_key[segment.key] = apply_update_semantics(current, segment)
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._by_key)
+
+    def segments(self, key: Key | None = None) -> Iterator[Segment]:
+        if key is not None:
+            yield from self._by_key.get(key, [])
+            return
+        for segs in self._by_key.values():
+            yield from segs
+
+    def overlapping(
+        self, lo: float, hi: float, key: Key | None = None
+    ) -> Iterator[Segment]:
+        """All stored segments overlapping ``[lo, hi)``."""
+        pool = (
+            self._by_key.get(key, [])
+            if key is not None
+            else (s for segs in self._by_key.values() for s in segs)
+        )
+        for seg in pool:
+            if seg.t_start < hi and lo < seg.t_end:
+                yield seg
+
+    def evict_before(self, watermark: float) -> int:
+        """Drop segments entirely before ``watermark``; returns drop count."""
+        self._watermark = max(self._watermark, watermark)
+        dropped = 0
+        for key in list(self._by_key):
+            kept = [s for s in self._by_key[key] if s.t_end > watermark]
+            dropped += len(self._by_key[key]) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                del self._by_key[key]
+        return dropped
+
+    def clear(self) -> None:
+        self._by_key.clear()

@@ -1,0 +1,34 @@
+"""Validation: error bounds, lineage, query inversion, split heuristics."""
+
+from .bounds import AllocatedBound, BoundAllocation, ErrorBound
+from .inversion import DependencyInfo, QueryInverter, collect_dependencies
+from .lineage import LineageRecord, LineageStore
+from .splitters import (
+    SplitInput,
+    SplitShare,
+    equi_split,
+    get_splitter,
+    gradient_split,
+    one_sided_split,
+)
+from .validator import Outcome, QueryValidator, ValidatorStats
+
+__all__ = [
+    "AllocatedBound",
+    "BoundAllocation",
+    "DependencyInfo",
+    "ErrorBound",
+    "LineageRecord",
+    "LineageStore",
+    "Outcome",
+    "QueryInverter",
+    "QueryValidator",
+    "SplitInput",
+    "SplitShare",
+    "ValidatorStats",
+    "collect_dependencies",
+    "equi_split",
+    "get_splitter",
+    "gradient_split",
+    "one_sided_split",
+]

@@ -1,0 +1,117 @@
+"""Error bounds and their allocations (Section IV).
+
+Users attach an accuracy bound to a query's outputs (``ERROR WITHIN 1%``)
+and Pulse *inverts* it to bounds on the query's inputs, so raw tuples can
+be validated — and usually dropped — without executing the query.
+
+:class:`ErrorBound` is the user-facing specification (absolute or
+relative).  :class:`BoundAllocation` is the result of inversion: per
+(input key, attribute), an interval of allowed deviation from the model,
+valid over a time range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..segment import Key
+
+
+@dataclass(frozen=True)
+class ErrorBound:
+    """An accuracy bound: ``value`` absolute, or relative to the data."""
+
+    value: float
+    relative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("error bound must be non-negative")
+
+    def absolute_for(self, reference: float) -> float:
+        """The absolute half-width of the bound around ``reference``."""
+        if self.relative:
+            return self.value * abs(reference)
+        return self.value
+
+    def interval_around(self, reference: float) -> tuple[float, float]:
+        half = self.absolute_for(reference)
+        return (reference - half, reference + half)
+
+    @classmethod
+    def from_spec(cls, spec) -> "ErrorBound":
+        """Build from a parsed ``ErrorSpec`` (query layer)."""
+        return cls(value=spec.bound, relative=spec.relative)
+
+
+@dataclass
+class AllocatedBound:
+    """One inverted bound: attribute deviation allowed for a key.
+
+    ``lo``/``hi`` bound the *deviation* (tuple value minus model value);
+    the allocation is valid for sample timestamps in
+    ``[t_start, t_end)``.
+    """
+
+    key: Key
+    attr: str
+    lo: float
+    hi: float
+    t_start: float
+    t_end: float
+    #: Which output segment this allocation was inverted from.
+    output_seg_id: int = 0
+
+    def allows(self, deviation: float) -> bool:
+        return self.lo <= deviation <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+class BoundAllocation:
+    """The active set of inverted input bounds, indexed by (key, attr).
+
+    Later allocations for the same (key, attr) override earlier ones on
+    their overlap, mirroring segment update semantics.
+    """
+
+    def __init__(self):
+        self._by_target: dict[tuple[Key, str], list[AllocatedBound]] = {}
+
+    def add(self, bound: AllocatedBound) -> None:
+        bounds = self._by_target.setdefault((bound.key, bound.attr), [])
+        bounds.append(bound)
+
+    def lookup(self, key: Key, attr: str, t: float) -> AllocatedBound | None:
+        """The most recent allocation covering time ``t``."""
+        bounds = self._by_target.get((key, attr))
+        if not bounds:
+            return None
+        for bound in reversed(bounds):
+            if bound.t_start <= t < bound.t_end:
+                return bound
+        return None
+
+    def evict_before(self, watermark: float) -> int:
+        dropped = 0
+        for target in list(self._by_target):
+            kept = [b for b in self._by_target[target] if b.t_end > watermark]
+            dropped += len(self._by_target[target]) - len(kept)
+            if kept:
+                self._by_target[target] = kept
+            else:
+                del self._by_target[target]
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_target.values())
+
+    def __iter__(self) -> Iterator[AllocatedBound]:
+        for bounds in self._by_target.values():
+            yield from bounds
+
+    def targets(self) -> list[tuple[Key, str]]:
+        return list(self._by_target)

@@ -1,0 +1,125 @@
+"""Query lineage: which input segments caused which outputs.
+
+Joins and aggregates are many-to-one and have no unique inverse from
+outputs alone; Pulse inverts them "given both the outputs and the inputs
+that caused them" by maintaining the lineage of query execution
+(Section IV).  Two properties make this well-defined:
+
+* continuous-time operators produce temporal sub-ranges as results, so
+  every output segment is caused by a unique set of input segments
+  (Property 1);
+* modeled attributes are functional dependents of keys throughout the
+  dataflow (Property 2).
+
+:class:`LineageStore` plugs into a :class:`ContinuousPlan` as a step
+observer and records, per emitted segment, its parents; transitive
+closure back to source segments answers the inverter's queries.  The
+paper notes lineage is cheap for segments (compactness); eviction by
+watermark keeps the store bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..plan import ContinuousPlan, PlanNode
+from ..segment import Segment
+
+
+@dataclass
+class LineageRecord:
+    """One recorded segment: where it came from and who made it."""
+
+    segment: Segment
+    operator_label: str
+    parent_ids: tuple[int, ...]
+
+
+class LineageStore:
+    """Records segment derivations during plan execution."""
+
+    def __init__(self):
+        self._records: dict[int, LineageRecord] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def attach(self, plan: ContinuousPlan) -> None:
+        """Register as a step observer on ``plan``."""
+        plan.add_observer(self.observe)
+
+    def observe(
+        self, node: PlanNode, input_segment: Segment, outputs: list[Segment]
+    ) -> None:
+        # Record the input if unseen (it may be a plan source segment).
+        if input_segment.seg_id not in self._records:
+            self._records[input_segment.seg_id] = LineageRecord(
+                input_segment, "source", input_segment.lineage
+            )
+        for out in outputs:
+            self._records[out.seg_id] = LineageRecord(
+                out, node.label, out.lineage or (input_segment.seg_id,)
+            )
+
+    def record_source(self, segment: Segment) -> None:
+        """Explicitly record a source segment (before pushing it)."""
+        self._records[segment.seg_id] = LineageRecord(segment, "source", ())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, seg_id: int) -> bool:
+        return seg_id in self._records
+
+    def record(self, seg_id: int) -> LineageRecord:
+        return self._records[seg_id]
+
+    def parents(self, seg_id: int) -> list[LineageRecord]:
+        rec = self._records.get(seg_id)
+        if rec is None:
+            return []
+        return [
+            self._records[p] for p in rec.parent_ids if p in self._records
+        ]
+
+    def source_segments(self, seg_id: int) -> list[Segment]:
+        """Transitive closure to the plan's source segments.
+
+        A segment with no recorded parents is a source.  Deduplicated by
+        segment id; order follows discovery (breadth-first).
+        """
+        seen: set[int] = set()
+        sources: list[Segment] = []
+        frontier = [seg_id]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            rec = self._records.get(current)
+            if rec is None:
+                continue
+            parent_ids = [p for p in rec.parent_ids if p in self._records]
+            if not parent_ids:
+                sources.append(rec.segment)
+            else:
+                frontier.extend(parent_ids)
+        return sources
+
+    def evict_before(self, watermark: float) -> int:
+        """Drop records for segments entirely before ``watermark``."""
+        stale = [
+            sid
+            for sid, rec in self._records.items()
+            if rec.segment.t_end <= watermark
+        ]
+        for sid in stale:
+            del self._records[sid]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._records.clear()

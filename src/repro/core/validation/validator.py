@@ -1,0 +1,216 @@
+"""The validation driver: accuracy and slack checking at query inputs.
+
+Pulse's predictive mode precomputes query results from models and then
+watches the real tuples arrive.  Validation "completely eliminates the
+need for executing the discrete-time query" (Section IV): each tuple is
+checked against its model *at the query input*,
+
+* against the **accuracy** bounds inverted from the output bound when
+  the input's segment produced query results, or
+* against the **slack** — ``min_t ||D t||_inf``, how far the input was
+  from producing any result — when it did not (a null result leaves the
+  accuracy bound undefined, Section IV's slack validation).
+
+A tuple within its bound is dropped without any query work; a violation
+tells the caller to re-model and re-solve.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..operators.filter_op import ContinuousFilter
+from ..operators.join_op import ContinuousJoin
+from ..segment import Key, Segment
+from ..transform import TransformedQuery
+from .bounds import BoundAllocation, ErrorBound
+from .inversion import DependencyInfo, QueryInverter
+from .lineage import LineageStore
+from .splitters import SplitHeuristic, get_splitter
+
+
+class Outcome(enum.Enum):
+    """Result of validating one tuple against its model."""
+
+    #: Within the inverted accuracy bound: drop, results stand.
+    ACCURATE = "accurate"
+    #: Within the slack range: drop, still no results.
+    WITHIN_SLACK = "within_slack"
+    #: Bound or slack exceeded: the model is wrong, re-solve.
+    VIOLATION = "violation"
+    #: No active model/bound for this key: must process.
+    UNKNOWN = "unknown"
+
+    @property
+    def can_drop(self) -> bool:
+        return self in (Outcome.ACCURATE, Outcome.WITHIN_SLACK)
+
+
+@dataclass
+class ValidatorStats:
+    tuples_checked: int = 0
+    accuracy_checks: int = 0
+    slack_checks: int = 0
+    violations: int = 0
+    dropped: int = 0
+    solver_runs: int = 0
+    inversions: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        if self.tuples_checked == 0:
+            return 0.0
+        return self.dropped / self.tuples_checked
+
+
+@dataclass
+class _SlackRecord:
+    slack: float
+    t_start: float
+    t_end: float
+
+
+class QueryValidator:
+    """Drives validated execution of a transformed query.
+
+    Parameters
+    ----------
+    query:
+        The transformed (continuous) query.
+    bound:
+        The user's output accuracy bound.
+    splitter:
+        Split heuristic name or callable ("equi", "gradient").
+    dependencies:
+        Bound translation / inference metadata from the planner.
+    """
+
+    def __init__(
+        self,
+        query: TransformedQuery,
+        bound: ErrorBound,
+        splitter: str | SplitHeuristic = "equi",
+        dependencies: DependencyInfo | None = None,
+    ):
+        self.query = query
+        self.bound = bound
+        self.lineage = LineageStore()
+        self.lineage.attach(query.plan)
+        self.allocation = BoundAllocation()
+        self.inverter = QueryInverter(
+            self.lineage, get_splitter(splitter), dependencies
+        )
+        self.stats = ValidatorStats()
+        self._slack: dict[Key, _SlackRecord] = {}
+        #: Active predictive model per key (stream source segments).
+        self._active: dict[Key, Segment] = {}
+
+    # ------------------------------------------------------------------
+    # segment ingestion (solver path)
+    # ------------------------------------------------------------------
+    def ingest(self, stream: str, segment: Segment) -> list[Segment]:
+        """Run the solver on a new input segment and set up validation.
+
+        Produces query outputs; on results, inverts the output bound to
+        input allocations; on a null, computes and records slack.
+        """
+        self.lineage.record_source(segment)
+        self._active[segment.key] = segment
+        self.stats.solver_runs += 1
+        outputs = self.query.push(stream, segment)
+        if outputs:
+            made = self.inverter.invert_all(outputs, self.bound, self.allocation)
+            self.stats.inversions += made
+        else:
+            self._record_slack(segment)
+        return outputs
+
+    def activate(self, segment: Segment) -> None:
+        """Mark ``segment`` as the active model for its key.
+
+        :meth:`ingest` activates automatically; replay-style callers that
+        ingest a whole history first use this to rewind the active model
+        when validating older tuples.
+        """
+        self._active[segment.key] = segment
+
+    def _record_slack(self, segment: Segment) -> None:
+        slack = self._compute_slack(segment)
+        if slack is not None:
+            self._slack[segment.key] = _SlackRecord(
+                slack, segment.t_start, segment.t_end
+            )
+
+    def _compute_slack(self, segment: Segment) -> float | None:
+        """Slack of the first selective operator fed by this segment.
+
+        Walks the plan from the sources; the first filter or join with a
+        compilable system against this segment supplies
+        ``min_t ||D t||_inf`` over the segment's valid range.
+        """
+        from ..errors import PulseError
+
+        for op in self.query.plan.operators():
+            if not isinstance(op, (ContinuousFilter, ContinuousJoin)):
+                continue
+            try:
+                system = op.slack_system(segment)
+            except (PulseError, KeyError):
+                # This operator's predicate references attributes the
+                # input segment does not carry (it sits deeper in the
+                # plan, fed by derived segments); it cannot supply an
+                # input-level slack.
+                continue
+            if system is not None and system.rows:
+                return system.slack(segment.t_start, segment.t_end)
+        return None
+
+    # ------------------------------------------------------------------
+    # tuple validation (fast path)
+    # ------------------------------------------------------------------
+    def validate(self, key: Key, attr: str, t: float, value: float) -> Outcome:
+        """Validate one observed attribute value against its model."""
+        self.stats.tuples_checked += 1
+        model_segment = self._active.get(key)
+        if model_segment is None or not model_segment.contains_time(t):
+            return Outcome.UNKNOWN
+        if attr not in model_segment.models:
+            return Outcome.UNKNOWN
+        deviation = value - model_segment.models[attr](t)
+
+        allocated = self.allocation.lookup(key, attr, t)
+        if allocated is not None:
+            self.stats.accuracy_checks += 1
+            if allocated.allows(deviation):
+                self.stats.dropped += 1
+                return Outcome.ACCURATE
+            self.stats.violations += 1
+            return Outcome.VIOLATION
+
+        slack = self._slack.get(key)
+        if slack is not None and slack.t_start <= t < slack.t_end:
+            self.stats.slack_checks += 1
+            if abs(deviation) < slack.slack:
+                self.stats.dropped += 1
+                return Outcome.WITHIN_SLACK
+            self.stats.violations += 1
+            return Outcome.VIOLATION
+        return Outcome.UNKNOWN
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def evict_before(self, watermark: float) -> None:
+        self.allocation.evict_before(watermark)
+        self.lineage.evict_before(watermark)
+        for key in list(self._slack):
+            if self._slack[key].t_end <= watermark:
+                del self._slack[key]
+        for key in list(self._active):
+            if self._active[key].t_end <= watermark:
+                del self._active[key]
+
+    @property
+    def active_keys(self) -> list[Key]:
+        return list(self._active)

@@ -1,0 +1,36 @@
+"""Discrete stream-processing engine: the Borealis stand-in baseline.
+
+Provides the tuple datatype, schemas, discrete operators (filter, map,
+nested-loop sliding-window join, windowed aggregates with group-by), a
+push-based plan executor, and the throughput/latency/queueing
+instrumentation used by the benchmarks.
+"""
+
+from .metrics import QueueingModel, RunMetrics, Stopwatch, measure_service_time
+from .operators import (
+    DiscreteFilter,
+    DiscreteHashJoin,
+    DiscreteMap,
+    DiscreteNestedLoopJoin,
+    DiscreteOperator,
+    DiscreteWindowAggregate,
+)
+from .plan import DiscretePlan
+from .tuples import Schema, StreamDef, StreamTuple
+
+__all__ = [
+    "DiscreteFilter",
+    "DiscreteHashJoin",
+    "DiscreteMap",
+    "DiscreteNestedLoopJoin",
+    "DiscreteOperator",
+    "DiscretePlan",
+    "DiscreteWindowAggregate",
+    "QueueingModel",
+    "RunMetrics",
+    "Schema",
+    "Stopwatch",
+    "StreamDef",
+    "StreamTuple",
+    "measure_service_time",
+]

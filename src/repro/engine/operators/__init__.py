@@ -1,0 +1,17 @@
+"""Discrete (tuple-at-a-time) operator implementations — the baseline engine."""
+
+from .aggregate import DiscreteWindowAggregate
+from .base import DiscreteOperator
+from .filter_op import DiscreteFilter
+from .hash_join import DiscreteHashJoin
+from .join_op import DiscreteNestedLoopJoin
+from .map_op import DiscreteMap
+
+__all__ = [
+    "DiscreteFilter",
+    "DiscreteHashJoin",
+    "DiscreteMap",
+    "DiscreteNestedLoopJoin",
+    "DiscreteOperator",
+    "DiscreteWindowAggregate",
+]

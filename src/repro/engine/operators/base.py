@@ -1,0 +1,25 @@
+"""Base class for discrete (tuple-at-a-time) operators."""
+
+from __future__ import annotations
+
+from ..tuples import StreamTuple
+
+
+class DiscreteOperator:
+    """Tuple-in / tuple-out operator for the baseline engine."""
+
+    name: str = "operator"
+    arity: int = 1
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        raise NotImplementedError
+
+    def flush(self) -> list[StreamTuple]:
+        """Emit buffered results at end of stream."""
+        return []
+
+    def reset(self) -> None:
+        """Discard operator state."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,29 @@
+"""Discrete filter: per-tuple predicate evaluation."""
+
+from __future__ import annotations
+
+from ...core.predicate import BoolExpr
+from ..tuples import StreamTuple
+from .base import DiscreteOperator
+
+
+class DiscreteFilter(DiscreteOperator):
+    """Evaluates the predicate against every tuple's attribute values.
+
+    This is the "extremely simple filter operation" of Fig. 5i whose
+    per-tuple cost the continuous filter must amortize across a segment.
+    """
+
+    arity = 1
+
+    def __init__(self, predicate: BoolExpr, alias: str | None = None, name: str = "filter"):
+        self.predicate = predicate
+        self.alias = alias
+        self.name = name
+        self.tuples_processed = 0
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        self.tuples_processed += 1
+        if self.predicate.evaluate(tup.env(self.alias)):
+            return [tup]
+        return []

@@ -1,0 +1,119 @@
+"""Discrete hash join for equi-key predicates.
+
+Section V-A: "We plan on investigating this result with other join
+implementations, such as a hash join or indexed join, but believe the
+result will still hold due to the low overhead of validation compared to
+the join predicate evaluation."  This operator lets the reproduction
+test that conjecture (see ``benchmarks/bench_ablation_join_impl.py``):
+tuples are bucketed by an equi-key, so each arrival only probes its own
+bucket instead of the whole window — still linear in bucket size, but
+with a much smaller constant than the nested-loop join.
+
+A residual (non-equi) predicate is evaluated per bucket match.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...core.predicate import BoolExpr
+from ..tuples import StreamTuple
+from .base import DiscreteOperator
+
+
+class DiscreteHashJoin(DiscreteOperator):
+    """Sliding-window equi-hash join with optional residual predicate.
+
+    Parameters
+    ----------
+    left_key, right_key:
+        The equi-join attribute on each input (e.g. ``symbol``).
+    residual:
+        Optional additional predicate evaluated on each hash match
+        (aliased attributes, like the nested-loop join's predicate).
+    window:
+        Band width on timestamps, as in the nested-loop join.
+    """
+
+    arity = 2
+
+    def __init__(
+        self,
+        left_key: str,
+        right_key: str,
+        residual: BoolExpr | None = None,
+        left_alias: str = "L",
+        right_alias: str = "R",
+        window: float = 1.0,
+        name: str = "hash-join",
+    ):
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self.left_alias = left_alias
+        self.right_alias = right_alias
+        self.window = float(window)
+        self.name = name
+        self._buckets: tuple[dict, dict] = ({}, {})
+        self.tuples_processed = 0
+        self.probes = 0
+
+    def reset(self) -> None:
+        self._buckets = ({}, {})
+        self.tuples_processed = 0
+        self.probes = 0
+
+    def _key_attr(self, port: int) -> str:
+        return self.left_key if port == 0 else self.right_key
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        if port not in (0, 1):
+            raise ValueError(f"join has ports 0 and 1, got {port}")
+        self.tuples_processed += 1
+        key = tup[self._key_attr(port)]
+        own = self._buckets[port].setdefault(key, deque())
+        own.append(tup)
+        horizon = tup.time - self.window
+        # Evict expired tuples from this key's buckets on both sides.
+        for side in (0, 1):
+            bucket = self._buckets[side].get(key)
+            if bucket:
+                while bucket and bucket[0].time < horizon:
+                    bucket.popleft()
+
+        other = self._buckets[1 - port].get(key)
+        if not other:
+            return []
+        aliases = (
+            (self.left_alias, self.right_alias)
+            if port == 0
+            else (self.right_alias, self.left_alias)
+        )
+        outputs: list[StreamTuple] = []
+        for partner in other:
+            self.probes += 1
+            if abs(partner.time - tup.time) > self.window:
+                continue
+            if self.residual is not None:
+                env = tup.env(aliases[0])
+                env.update(partner.env(aliases[1]))
+                if not self.residual.evaluate(env):
+                    continue
+            outputs.append(self._merge(tup, partner, aliases))
+        return outputs
+
+    def _merge(self, tup, partner, aliases) -> StreamTuple:
+        out = StreamTuple({StreamTuple.TIME_FIELD: max(tup.time, partner.time)})
+        for alias, source in ((aliases[0], tup), (aliases[1], partner)):
+            for k, v in source.items():
+                if k != StreamTuple.TIME_FIELD:
+                    out[f"{alias}.{k}"] = v
+        return out
+
+    @property
+    def state_size(self) -> int:
+        return sum(
+            len(bucket)
+            for side in self._buckets
+            for bucket in side.values()
+        )

@@ -1,0 +1,50 @@
+"""Discrete map/projection: per-tuple expression evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core.operators.map_op import Projection
+from ..tuples import StreamTuple
+from .base import DiscreteOperator
+
+
+class DiscreteMap(DiscreteOperator):
+    """Evaluates each projection expression against the tuple.
+
+    Non-numeric attributes referenced by a bare ``Attr`` pass through
+    unchanged (symbols, ids); the timestamp is always preserved.
+    """
+
+    arity = 1
+
+    def __init__(
+        self,
+        projections: Sequence[Projection],
+        alias: str | None = None,
+        passthrough: Sequence[str] = (),
+        name: str = "map",
+    ):
+        self.projections = tuple(projections)
+        self.alias = alias
+        self.passthrough = tuple(passthrough)
+        self.name = name
+        self.tuples_processed = 0
+
+    def process(self, tup: StreamTuple, port: int = 0) -> list[StreamTuple]:
+        self.tuples_processed += 1
+        env = tup.env(self.alias)
+        out = StreamTuple({StreamTuple.TIME_FIELD: tup.time})
+        for field in self.passthrough:
+            if field in tup:
+                out[field] = tup[field]
+        for proj in self.projections:
+            from ...core.expr import Attr
+
+            if isinstance(proj.expr, Attr):
+                value = env.get(proj.expr.name)
+                if value is not None and not isinstance(value, (int, float)):
+                    out[proj.name] = value
+                    continue
+            out[proj.name] = proj.expr.evaluate(env)
+        return [out]

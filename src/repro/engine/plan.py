@@ -1,0 +1,185 @@
+"""Discrete query plans: push-based DAGs of tuple operators.
+
+The structural twin of :class:`repro.core.plan.ContinuousPlan` for the
+baseline engine — same builder API, same push semantics, tuples instead
+of segments.  Keeping the two executors shape-identical makes the
+benchmark comparisons measure *operator* cost, not executor overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.errors import PlanError
+from .operators.base import DiscreteOperator
+from .tuples import StreamTuple
+
+
+@dataclass
+class DiscretePlanNode:
+    node_id: int
+    operator: DiscreteOperator | None
+    label: str
+    successors: list[tuple[int, int]] = field(default_factory=list)
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+    @property
+    def is_source(self) -> bool:
+        return self.operator is None
+
+
+class DiscreteNodeRef:
+    __slots__ = ("node_id", "_plan")
+
+    def __init__(self, node_id: int, plan: "DiscretePlan"):
+        self.node_id = node_id
+        self._plan = plan
+
+    def __repr__(self) -> str:
+        return f"DiscreteNodeRef({self.node_id})"
+
+
+class DiscretePlan:
+    """Builder and push-based executor for a DAG of discrete operators."""
+
+    def __init__(self, name: str = "plan"):
+        self.name = name
+        self._nodes: dict[int, DiscretePlanNode] = {}
+        self._sources: dict[str, int] = {}
+        self._output_id: int | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_source(self, name: str) -> DiscreteNodeRef:
+        if name in self._sources:
+            raise PlanError(f"duplicate source {name!r}")
+        node = self._new_node(None, f"source:{name}")
+        self._sources[name] = node.node_id
+        return DiscreteNodeRef(node.node_id, self)
+
+    def add_operator(
+        self,
+        operator: DiscreteOperator,
+        inputs: Iterable[DiscreteNodeRef | tuple[DiscreteNodeRef, int]],
+    ) -> DiscreteNodeRef:
+        node = self._new_node(operator, operator.name)
+        wired = 0
+        for item in inputs:
+            ref, port = item if isinstance(item, tuple) else (item, 0)
+            if ref._plan is not self:
+                raise PlanError("input node belongs to a different plan")
+            self._nodes[ref.node_id].successors.append((node.node_id, port))
+            wired += 1
+        if wired != operator.arity:
+            raise PlanError(
+                f"operator {operator.name!r} has arity {operator.arity}, "
+                f"got {wired} inputs"
+            )
+        return DiscreteNodeRef(node.node_id, self)
+
+    def set_output(self, ref: DiscreteNodeRef) -> None:
+        self._output_id = ref.node_id
+
+    def _new_node(self, operator, label) -> DiscretePlanNode:
+        node = DiscretePlanNode(self._next_id, operator, label)
+        self._nodes[self._next_id] = node
+        self._next_id += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return tuple(self._sources)
+
+    def node(self, ref: DiscreteNodeRef) -> DiscretePlanNode:
+        return self._nodes[ref.node_id]
+
+    def nodes(self) -> Mapping[int, DiscretePlanNode]:
+        return dict(self._nodes)
+
+    def operators(self) -> list[DiscreteOperator]:
+        return [n.operator for n in self._nodes.values() if n.operator]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def push(self, source: str, tup: StreamTuple) -> list[StreamTuple]:
+        if source not in self._sources:
+            raise PlanError(
+                f"unknown source {source!r}; declared: {list(self._sources)}"
+            )
+        if self._output_id is None:
+            raise PlanError("plan has no output node; call set_output()")
+        results: list[StreamTuple] = []
+        src = self._nodes[self._sources[source]]
+        src.tuples_in += 1
+        src.tuples_out += 1
+        if self._sources[source] == self._output_id:
+            results.append(tup)
+        initial = [(succ_id, port, tup) for succ_id, port in src.successors]
+        self._cascade(initial, results)
+        return results
+
+    def _cascade(
+        self,
+        initial: list[tuple[int, int, StreamTuple]],
+        results: list[StreamTuple],
+    ) -> None:
+        queue: deque[tuple[int, int, StreamTuple]] = deque(initial)
+        while queue:
+            node_id, port, item = queue.popleft()
+            node = self._nodes[node_id]
+            node.tuples_in += 1
+            outputs = node.operator.process(item, port)
+            node.tuples_out += len(outputs)
+            for out in outputs:
+                if node_id == self._output_id:
+                    results.append(out)
+                for succ_id, succ_port in node.successors:
+                    queue.append((succ_id, succ_port, out))
+
+    def flush(self) -> list[StreamTuple]:
+        """Flush buffered operator state at end of stream.
+
+        Nodes flush in construction order (topological, since inputs are
+        built before their consumers); each node's flushed items cascade
+        through its successors like regular arrivals.
+        """
+        results: list[StreamTuple] = []
+        for node_id in sorted(self._nodes):
+            node = self._nodes[node_id]
+            if node.operator is None:
+                continue
+            flushed = node.operator.flush()
+            node.tuples_out += len(flushed)
+            for out in flushed:
+                if node_id == self._output_id:
+                    results.append(out)
+                self._cascade(
+                    [(succ_id, port, out) for succ_id, port in node.successors],
+                    results,
+                )
+        return results
+
+    def reset(self) -> None:
+        for node in self._nodes.values():
+            if node.operator is not None:
+                node.operator.reset()
+            node.tuples_in = 0
+            node.tuples_out = 0
+
+    def stats(self) -> dict[str, tuple[int, int]]:
+        return {
+            f"{n.node_id}:{n.label}": (n.tuples_in, n.tuples_out)
+            for n in self._nodes.values()
+        }
+
+    def __repr__(self) -> str:
+        return f"DiscretePlan({self.name!r}, {len(self._nodes)} nodes)"

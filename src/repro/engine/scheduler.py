@@ -1,0 +1,180 @@
+"""Multi-query runtime: queued inputs, round-robin scheduling.
+
+The paper's prototype ran inside Borealis, a push engine where operators
+consume from queues under a scheduler and queue growth (against the page
+pool) is what produces the throughput tail-offs of Figs. 8/9.  This
+module provides that runtime shape for the reproduction: any number of
+registered queries (continuous or discrete) share named input streams;
+arrivals are enqueued, a round-robin scheduler drains the queues in
+batches, and queue depths are observable — the live counterpart of the
+fluid :class:`~repro.engine.metrics.QueueingModel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.errors import PlanError
+from ..core.segment import Segment
+from ..core.transform import TransformedQuery
+from .lowering import LoweredQuery
+from .tuples import StreamTuple
+
+
+@dataclass
+class _Registration:
+    name: str
+    query: TransformedQuery | LoweredQuery
+    streams: tuple[str, ...]
+    queues: dict[str, deque] = field(default_factory=dict)
+    outputs: list = field(default_factory=list)
+    items_processed: int = 0
+
+    def __post_init__(self) -> None:
+        for stream in self.streams:
+            self.queues[stream] = deque()
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+
+class QueryRuntime:
+    """Hosts registered queries behind input queues.
+
+    Parameters
+    ----------
+    batch_size:
+        Items drained from one query's queues per scheduling round —
+        small batches interleave queries fairly, large batches amortize
+        scheduling overhead.
+    queue_capacity:
+        Total queued items across all queries before :meth:`enqueue`
+        reports back-pressure (the page-pool analogue).  ``None``
+        disables the check.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 64,
+        queue_capacity: int | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.batch_size = batch_size
+        self.queue_capacity = queue_capacity
+        self._queries: dict[str, _Registration] = {}
+        self._round_robin: deque[str] = deque()
+        self.items_enqueued = 0
+        self.items_dropped = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, query: TransformedQuery | LoweredQuery
+    ) -> None:
+        """Register a compiled query under a unique name."""
+        if name in self._queries:
+            raise PlanError(f"query {name!r} already registered")
+        streams = tuple(query.stream_sources)
+        reg = _Registration(name, query, streams)
+        self._queries[name] = reg
+        self._round_robin.append(name)
+
+    def unregister(self, name: str) -> None:
+        reg = self._queries.pop(name, None)
+        if reg is None:
+            raise PlanError(f"query {name!r} is not registered")
+        self._round_robin.remove(name)
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+    def enqueue(self, stream: str, item: Segment | StreamTuple) -> bool:
+        """Queue one arrival for every query consuming ``stream``.
+
+        Segments route to continuous queries, tuples to discrete ones.
+        Returns ``False`` (and drops the item) when the runtime is at
+        queue capacity — the observable back-pressure signal.
+        """
+        if (
+            self.queue_capacity is not None
+            and self.total_pending >= self.queue_capacity
+        ):
+            self.items_dropped += 1
+            return False
+        routed = False
+        want_segment = isinstance(item, Segment)
+        for reg in self._queries.values():
+            if stream not in reg.queues:
+                continue
+            is_continuous = isinstance(reg.query, TransformedQuery)
+            if is_continuous != want_segment:
+                continue
+            reg.queues[stream].append(item)
+            routed = True
+        if routed:
+            self.items_enqueued += 1
+        return routed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """One scheduling round: drain up to ``batch_size`` items from
+        the next query in round-robin order.  Returns items processed."""
+        if not self._round_robin:
+            return 0
+        name = self._round_robin[0]
+        self._round_robin.rotate(-1)
+        reg = self._queries[name]
+        processed = 0
+        while processed < self.batch_size and reg.pending:
+            for stream, queue in reg.queues.items():
+                if not queue:
+                    continue
+                item = queue.popleft()
+                reg.outputs.extend(reg.query.push(stream, item))
+                reg.items_processed += 1
+                processed += 1
+                if processed >= self.batch_size:
+                    break
+        return processed
+
+    def run_until_idle(self, max_rounds: int = 1_000_000) -> int:
+        """Schedule rounds until every queue is empty; returns items."""
+        total = 0
+        rounds = 0
+        while self.total_pending and rounds < max_rounds:
+            total += self.step()
+            rounds += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    @property
+    def total_pending(self) -> int:
+        return sum(reg.pending for reg in self._queries.values())
+
+    def queue_depths(self) -> Mapping[str, int]:
+        return {name: reg.pending for name, reg in self._queries.items()}
+
+    def outputs(self, name: str) -> list:
+        """Drain and return the named query's accumulated outputs."""
+        reg = self._queries[name]
+        out = reg.outputs
+        reg.outputs = []
+        return out
+
+    def stats(self) -> Mapping[str, int]:
+        return {
+            name: reg.items_processed for name, reg in self._queries.items()
+        }

@@ -1,0 +1,189 @@
+"""Frequency-domain models: Fourier series fitting (Section VII).
+
+The paper's future work names "frequency models such as Fourier series"
+as a model type to support.  Pulse's operator set is closed over
+*polynomials*, so this module takes the approximation route the paper's
+own framework suggests: fit a truncated Fourier series to periodic data
+(the right global model for, e.g., diurnal temperature or tidal vessel
+drift), then convert it to the piecewise polynomials the equation-system
+operators consume, with a controlled conversion error that folds into
+the validation bounds like any other modeling error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.polynomial import Polynomial
+from ..core.segment import Segment
+from .regression import fit_polynomial
+
+
+@dataclass(frozen=True)
+class FourierModel:
+    """A truncated Fourier series ``a0 + sum_k a_k cos(k w t) + b_k sin(k w t)``.
+
+    ``omega`` is the fundamental angular frequency (``2 pi / period``).
+    """
+
+    a0: float
+    cosine: tuple[float, ...]
+    sine: tuple[float, ...]
+    omega: float
+
+    @property
+    def harmonics(self) -> int:
+        return len(self.cosine)
+
+    @property
+    def period(self) -> float:
+        return 2.0 * math.pi / self.omega
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        result = np.full_like(t, self.a0, dtype=float)
+        for k, (a, b) in enumerate(zip(self.cosine, self.sine), start=1):
+            result += a * np.cos(k * self.omega * t) + b * np.sin(k * self.omega * t)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def derivative(self) -> "FourierModel":
+        """Term-wise derivative (stays a Fourier series)."""
+        cos = tuple(
+            k * self.omega * b for k, b in enumerate(self.sine, start=1)
+        )
+        sin = tuple(
+            -k * self.omega * a for k, a in enumerate(self.cosine, start=1)
+        )
+        return FourierModel(0.0, cos, sin, self.omega)
+
+
+def fit_fourier(
+    times: Sequence[float],
+    values: Sequence[float],
+    period: float,
+    harmonics: int = 3,
+) -> FourierModel:
+    """Least-squares fit of a truncated Fourier series.
+
+    Parameters
+    ----------
+    period:
+        The signal's fundamental period (must be known or estimated;
+        see :func:`estimate_period`).
+    harmonics:
+        Number of harmonics ``K``; the design matrix has ``2K + 1``
+        columns.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if harmonics < 1:
+        raise ValueError("at least one harmonic is required")
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if t.size < 2 * harmonics + 1:
+        raise ValueError(
+            f"need at least {2 * harmonics + 1} points for {harmonics} harmonics"
+        )
+    omega = 2.0 * math.pi / period
+    columns = [np.ones_like(t)]
+    for k in range(1, harmonics + 1):
+        columns.append(np.cos(k * omega * t))
+        columns.append(np.sin(k * omega * t))
+    design = np.stack(columns, axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return FourierModel(
+        a0=float(coeffs[0]),
+        cosine=tuple(float(c) for c in coeffs[1::2]),
+        sine=tuple(float(c) for c in coeffs[2::2]),
+        omega=omega,
+    )
+
+
+def estimate_period(times: Sequence[float], values: Sequence[float]) -> float:
+    """Dominant period via the FFT of a uniformly resampled signal."""
+    t = np.asarray(times, dtype=float)
+    y = np.asarray(values, dtype=float)
+    if t.size < 8:
+        raise ValueError("too few points to estimate a period")
+    uniform_t = np.linspace(t[0], t[-1], t.size)
+    uniform_y = np.interp(uniform_t, t, y)
+    uniform_y = uniform_y - np.mean(uniform_y)
+    spectrum = np.abs(np.fft.rfft(uniform_y))
+    freqs = np.fft.rfftfreq(t.size, d=(t[-1] - t[0]) / (t.size - 1))
+    # Ignore the DC bin.
+    peak = 1 + int(np.argmax(spectrum[1:]))
+    if freqs[peak] <= 0:
+        raise ValueError("no dominant frequency found")
+    return float(1.0 / freqs[peak])
+
+
+def fourier_to_piecewise(
+    model: FourierModel,
+    t_start: float,
+    t_end: float,
+    degree: int = 3,
+    pieces_per_period: int = 8,
+) -> list[tuple[float, float, Polynomial]]:
+    """Convert a Fourier model to piecewise polynomials.
+
+    Each period is cut into ``pieces_per_period`` spans and a degree-
+    ``degree`` least-squares polynomial is fitted per span — for the
+    default cubic-per-eighth-period the conversion error is far below a
+    percent of the amplitude, small enough to fold into validation
+    bounds.  Returns ``(lo, hi, poly)`` tuples covering ``[t_start,
+    t_end)``.
+    """
+    if t_end <= t_start:
+        raise ValueError("empty conversion range")
+    piece_width = model.period / pieces_per_period
+    n_pieces = max(1, math.ceil((t_end - t_start) / piece_width))
+    out: list[tuple[float, float, Polynomial]] = []
+    for i in range(n_pieces):
+        lo = t_start + i * piece_width
+        hi = min(t_start + (i + 1) * piece_width, t_end)
+        if hi <= lo:
+            break
+        samples = max(2 * degree + 3, 9)
+        ts = np.linspace(lo, hi, samples)
+        fit = fit_polynomial(ts, model(ts), degree)
+        out.append((lo, hi, fit.poly))
+    return out
+
+
+def fourier_segments(
+    model: FourierModel,
+    attr: str,
+    key: tuple,
+    t_start: float,
+    t_end: float,
+    degree: int = 3,
+    pieces_per_period: int = 8,
+    constants: dict | None = None,
+) -> list[Segment]:
+    """Piecewise-polynomial segments of a Fourier model, ready to push
+    into a continuous plan."""
+    return [
+        Segment(key, lo, hi, {attr: poly}, constants=constants or {})
+        for lo, hi, poly in fourier_to_piecewise(
+            model, t_start, t_end, degree, pieces_per_period
+        )
+    ]
+
+
+def conversion_error(
+    model: FourierModel,
+    pieces: Sequence[tuple[float, float, Polynomial]],
+    samples_per_piece: int = 32,
+) -> float:
+    """Max absolute deviation of the piecewise conversion from the model."""
+    worst = 0.0
+    for lo, hi, poly in pieces:
+        ts = np.linspace(lo, hi, samples_per_piece)
+        worst = max(worst, float(np.max(np.abs(poly(ts) - model(ts)))))
+    return worst

@@ -1,0 +1,50 @@
+"""StreamSQL-style query language: lexer, parser, planner."""
+
+from .ast_nodes import (
+    AggregateCall,
+    ErrorSpec,
+    JoinClause,
+    ModelClause,
+    SampleSpec,
+    SelectItem,
+    SelectStmt,
+    StreamRef,
+    SubQuery,
+    Window,
+)
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    explain,
+)
+from .parser import parse_expression, parse_predicate, parse_query
+from .planner import PlannedQuery, plan_query
+
+__all__ = [
+    "AggregateCall",
+    "ErrorSpec",
+    "JoinClause",
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalScan",
+    "ModelClause",
+    "PlannedQuery",
+    "SampleSpec",
+    "SelectItem",
+    "SelectStmt",
+    "StreamRef",
+    "SubQuery",
+    "Window",
+    "explain",
+    "parse_expression",
+    "parse_predicate",
+    "parse_query",
+    "plan_query",
+]

@@ -1,0 +1,159 @@
+"""Abstract syntax tree for the StreamSQL-style dialect.
+
+The AST mirrors the surface syntax; semantic analysis (resolving
+aggregates, group keys, model clauses) happens in the planner.
+Expressions reuse :mod:`repro.core.expr` / :mod:`repro.core.predicate`
+directly so the same trees flow into both processing paths, with one
+query-level addition: :class:`AggregateCall`, which only appears in
+select lists and ``HAVING`` clauses and is resolved away during planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.expr import Expr
+from ..core.predicate import BoolExpr
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """``func(expr)`` in a select list or HAVING clause.
+
+    Not a scalar expression — evaluating or compiling it directly is an
+    error; the planner replaces it with a reference to the aggregate
+    operator's output attribute.
+    """
+
+    func: str
+    argument: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.argument.attributes()
+
+    def evaluate(self, env):
+        raise TypeError(
+            f"aggregate {self.func}() must be resolved by the planner "
+            "before evaluation"
+        )
+
+    def to_polynomial(self, resolve):
+        raise TypeError(
+            f"aggregate {self.func}() must be resolved by the planner "
+            "before compilation"
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.func}({self.argument!r})"
+
+
+@dataclass(frozen=True)
+class Window:
+    """``[SIZE n ADVANCE m]``."""
+
+    size: float
+    advance: float
+
+
+@dataclass(frozen=True)
+class ModelClause:
+    """``MODEL attr = expr`` — a declarative model specification.
+
+    ``expr`` is a polynomial in the stream's coefficient attributes and
+    the reserved time variable ``t`` (Figure 1's
+    ``MODEL A.x = A.x + A.v*t``).
+    """
+
+    attr: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list column ``expr [AS alias]``; ``*`` has expr=None."""
+
+    expr: Optional[Expr]
+    alias: Optional[str] = None
+
+    @property
+    def is_star(self) -> bool:
+        return self.expr is None
+
+
+class FromItem:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class StreamRef(FromItem):
+    """``stream_name [MODEL ...] [[SIZE..ADVANCE..]] [AS alias]``."""
+
+    name: str
+    alias: Optional[str] = None
+    window: Optional[Window] = None
+    models: tuple[ModelClause, ...] = ()
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubQuery(FromItem):
+    """``(select ...) [[SIZE..ADVANCE..]] [AS alias]``."""
+
+    query: "SelectStmt"
+    alias: Optional[str] = None
+    window: Optional[Window] = None
+
+    @property
+    def binding_name(self) -> str:
+        if self.alias is None:
+            raise ValueError("subquery requires an alias")
+        return self.alias
+
+
+@dataclass(frozen=True)
+class JoinClause(FromItem):
+    """``left JOIN right ON (predicate)``."""
+
+    left: FromItem
+    right: FromItem
+    on: BoolExpr
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """``ERROR WITHIN x%`` (relative) or ``ERROR WITHIN x ABSOLUTE``."""
+
+    bound: float
+    relative: bool = True
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """``SAMPLE PERIOD p`` — the output sampling rate (Section III-C)."""
+
+    period: float
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A full SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    source: FromItem
+    where: Optional[BoolExpr] = None
+    group_by: tuple[str, ...] = ()
+    having: Optional[BoolExpr] = None
+    error_spec: Optional[ErrorSpec] = None
+    sample_spec: Optional[SampleSpec] = None
+
+    def aggregates(self) -> list[tuple[AggregateCall, Optional[str]]]:
+        """Aggregate calls in the select list with their aliases."""
+        out = []
+        for item in self.items:
+            if isinstance(item.expr, AggregateCall):
+                out.append((item.expr, item.alias))
+        return out

@@ -1,0 +1,153 @@
+"""Lexer for the StreamSQL-style query language.
+
+Tokenizes the dialect used throughout the paper: standard SQL keywords
+plus stream extensions — ``[SIZE n ADVANCE m]`` windows, the ``MODEL``
+clause for declarative model specification (Section II-B), and the
+accuracy/sampling specifications Pulse adds to the query language
+(``ERROR WITHIN x%``, ``SAMPLE PERIOD p``).
+
+Keywords and identifiers are case-insensitive (the paper itself mixes
+``S.Symbol`` and ``symbol``); identifiers are normalized to lower case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import QuerySyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "join",
+        "on",
+        "where",
+        "group",
+        "by",
+        "having",
+        "as",
+        "and",
+        "or",
+        "not",
+        "model",
+        "size",
+        "advance",
+        "stream",
+        "error",
+        "within",
+        "absolute",
+        "sample",
+        "period",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "<>", "!=", "==", "<", ">", "=", "+", "-", "*", "/", "^", "%")
+
+_PUNCT = "()[],."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, PUNCT, EOF
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`QuerySyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            advance(1)
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A dot not followed by a digit is a qualifier, not a
+                    # decimal point (e.g. the range "10." never appears).
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            # Scientific notation.
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    while k < n and source[k].isdigit():
+                        k += 1
+                    j = k
+            text = source[i:j]
+            tokens.append(Token("NUMBER", text, start_line, start_col))
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j].lower()
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, start_line, start_col))
+            advance(j - i)
+            continue
+        if ch in ("'", '"'):
+            j = i + 1
+            while j < n and source[j] != ch:
+                j += 1
+            if j >= n:
+                raise QuerySyntaxError("unterminated string literal", start_line, start_col)
+            tokens.append(Token("STRING", source[i + 1 : j], start_line, start_col))
+            advance(j - i + 1)
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, start_line, start_col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, start_line, start_col))
+            advance(1)
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", start_line, start_col)
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

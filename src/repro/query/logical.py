@@ -1,0 +1,142 @@
+"""Logical query plans: the engine-neutral middle layer.
+
+The planner turns the AST into this small relational algebra; the two
+lowering passes (:mod:`repro.core.transform` for the continuous path,
+:mod:`repro.engine.lowering` for the discrete baseline) share it, which
+is what makes the paper's "operator-by-operator transformation" concrete:
+each logical node maps to exactly one physical operator on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.expr import Expr
+from ..core.operators.map_op import Projection
+from ..core.predicate import BoolExpr
+from .ast_nodes import ModelClause, Window
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalNode", ...]:
+        raise NotImplementedError
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalNode):
+    """A base stream reference.
+
+    ``source_id`` disambiguates multiple scans of the same stream (the
+    AIS query scans ``vessels`` twice).
+    """
+
+    stream: str
+    alias: Optional[str]
+    window: Optional[Window]
+    models: tuple[ModelClause, ...] = ()
+    source_id: int = 0
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return ()
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.stream
+
+    @property
+    def source_name(self) -> str:
+        return f"{self.stream}#{self.source_id}"
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalNode):
+    child: LogicalNode
+    predicate: BoolExpr
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalNode):
+    child: LogicalNode
+    projections: tuple[Projection, ...]
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalNode):
+    left: LogicalNode
+    right: LogicalNode
+    predicate: BoolExpr
+    left_alias: str
+    right_alias: str
+    window: float
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalNode):
+    """One windowed aggregate with hash group-by.
+
+    ``group_fields`` name discrete attributes of the child's output;
+    grouping falls back to the stream key when empty.
+    """
+
+    child: LogicalNode
+    func: str
+    attr: str
+    window: float
+    slide: float
+    output_attr: str
+    group_fields: tuple[str, ...] = ()
+
+    def children(self) -> tuple[LogicalNode, ...]:
+        return (self.child,)
+
+
+def explain(node: LogicalNode, indent: int = 0) -> str:
+    """A readable multi-line rendering of a logical plan."""
+    pad = "  " * indent
+    if isinstance(node, LogicalScan):
+        win = (
+            f" [size {node.window.size} advance {node.window.advance}]"
+            if node.window
+            else ""
+        )
+        line = f"{pad}Scan({node.stream} as {node.binding_name}{win})"
+        lines = [line]
+    elif isinstance(node, LogicalFilter):
+        lines = [f"{pad}Filter({node.predicate!r})"]
+    elif isinstance(node, LogicalProject):
+        cols = ", ".join(p.name for p in node.projections)
+        lines = [f"{pad}Project({cols})"]
+    elif isinstance(node, LogicalJoin):
+        lines = [
+            f"{pad}Join({node.left_alias} ⋈ {node.right_alias} "
+            f"on {node.predicate!r}, window={node.window})"
+        ]
+    elif isinstance(node, LogicalAggregate):
+        group = f" group by {node.group_fields}" if node.group_fields else ""
+        lines = [
+            f"{pad}Aggregate({node.func}({node.attr}) as {node.output_attr}, "
+            f"window={node.window}/{node.slide}{group})"
+        ]
+    else:
+        lines = [f"{pad}{type(node).__name__}"]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the StreamSQL-style dialect.
+
+Grammar (informally)::
+
+    select   := SELECT items FROM from [WHERE pred] [GROUP BY names]
+                [HAVING pred] [ERROR WITHIN num (% | ABSOLUTE)]
+                [SAMPLE PERIOD num]
+    items    := '*' | item (',' item)*           item := expr [AS name]
+    from     := unit (JOIN unit ON pred)*
+    unit     := [STREAM] name models? window? (AS name)? window?
+              | '(' select ')' window? (AS name)? window?
+    models   := (MODEL qualified '=' expr)+ (',' separated also accepted)
+    window   := '[' SIZE num ADVANCE num ']'
+    pred     := or; or := and (OR and)*; and := unary (AND unary)*
+    unary    := NOT unary | comparison | '(' pred ')'
+    expr     := additive with * / ^ precedence; primaries are numbers,
+                strings, (qualified) names, function calls, parens.
+
+Functions: ``sqrt``, ``abs``, ``pow``, and the paper's ``distance(x1, y1,
+x2, y2)`` (expanded to the Euclidean form); ``min/max/sum/avg/count``
+parse to :class:`AggregateCall` for the planner.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import QuerySyntaxError
+from ..core.expr import Abs, Add, Attr, Const, Div, Expr, Mul, Neg, Pow, Sqrt, Sub
+from ..core.predicate import And, BoolExpr, Comparison, Not, Or
+from ..core.relation import Rel
+from .ast_nodes import (
+    AggregateCall,
+    ErrorSpec,
+    FromItem,
+    JoinClause,
+    ModelClause,
+    SampleSpec,
+    SelectItem,
+    SelectStmt,
+    StreamRef,
+    SubQuery,
+    Window,
+)
+from .lexer import Token, tokenize
+
+_AGGREGATE_FUNCS = frozenset({"min", "max", "sum", "avg", "count"})
+_RELOPS = frozenset({"<", "<=", "=", "==", "<>", "!=", ">=", ">"})
+
+
+def parse_query(source: str) -> SelectStmt:
+    """Parse one SELECT statement; raises :class:`QuerySyntaxError`."""
+    parser = _Parser(tokenize(source))
+    stmt = parser.select_stmt()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone scalar expression (used for MODEL strings)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect_eof()
+    return expr
+
+
+def parse_predicate(source: str) -> BoolExpr:
+    """Parse a standalone predicate."""
+    parser = _Parser(tokenize(source))
+    pred = parser.predicate()
+    parser.expect_eof()
+    return pred
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        tok = self._cur
+        return QuerySyntaxError(
+            f"{message}, found {tok.text or 'end of input'!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._cur.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word.upper()}")
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._cur.kind == "PUNCT" and self._cur.text == text:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> None:
+        if not self._accept_punct(text):
+            raise self._error(f"expected {text!r}")
+
+    def _accept_op(self, text: str) -> bool:
+        if self._cur.kind == "OP" and self._cur.text == text:
+            self._advance()
+            return True
+        return False
+
+    def _ident(self) -> str:
+        if self._cur.kind != "IDENT":
+            raise self._error("expected identifier")
+        return self._advance().text
+
+    def _number(self) -> float:
+        if self._cur.kind != "NUMBER":
+            raise self._error("expected number")
+        return float(self._advance().text)
+
+    def expect_eof(self) -> None:
+        if self._cur.kind != "EOF":
+            raise self._error("unexpected trailing input")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def select_stmt(self) -> SelectStmt:
+        self._expect_keyword("select")
+        items = self._select_items()
+        self._expect_keyword("from")
+        source = self._from_clause()
+        where = self.predicate() if self._accept_keyword("where") else None
+        group_by: tuple[str, ...] = ()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = tuple(self._name_list())
+        having = self.predicate() if self._accept_keyword("having") else None
+        error_spec = self._error_spec()
+        sample_spec = self._sample_spec()
+        return SelectStmt(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            error_spec=error_spec,
+            sample_spec=sample_spec,
+        )
+
+    def _select_items(self) -> list[SelectItem]:
+        if self._accept_op("*"):
+            return [SelectItem(None)]
+        # The intro's collision query writes a bare "select from ...":
+        # treat an immediate FROM as "select *".
+        if self._cur.is_keyword("from"):
+            return [SelectItem(None)]
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self.expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._ident()
+        elif self._cur.kind == "IDENT" and not self._peek_is_clause_boundary():
+            # Implicit alias ("expr name") is not supported; identifiers
+            # here are a syntax error surfaced at the next expect.
+            pass
+        return SelectItem(expr, alias)
+
+    def _peek_is_clause_boundary(self) -> bool:
+        return self._cur.kind in ("KEYWORD", "EOF", "PUNCT")
+
+    def _name_list(self) -> list[str]:
+        names = [self._qualified_name()]
+        while self._accept_punct(","):
+            names.append(self._qualified_name())
+        return names
+
+    def _qualified_name(self) -> str:
+        name = self._ident()
+        if self._accept_punct("."):
+            name = f"{name}.{self._ident()}"
+        return name
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _from_clause(self) -> FromItem:
+        left = self._from_unit()
+        while self._accept_keyword("join"):
+            right = self._from_unit()
+            self._expect_keyword("on")
+            pred = self.predicate()
+            left = JoinClause(left, right, pred)
+        return left
+
+    def _from_unit(self) -> FromItem:
+        if self._accept_punct("("):
+            query = self.select_stmt()
+            self._expect_punct(")")
+            window = self._window()
+            alias = self._alias()
+            if window is None:
+                window = self._window()
+            return SubQuery(query, alias=alias, window=window)
+        self._accept_keyword("stream")
+        name = self._ident()
+        models = self._model_clauses()
+        window = self._window()
+        alias = self._alias()
+        if window is None:
+            window = self._window()
+        return StreamRef(name, alias=alias, window=window, models=tuple(models))
+
+    def _alias(self) -> str | None:
+        """``AS name`` or SQL's implicit alias (``objects R``)."""
+        if self._accept_keyword("as"):
+            return self._ident()
+        if self._cur.kind == "IDENT":
+            return self._advance().text
+        return None
+
+    def _model_clauses(self) -> list[ModelClause]:
+        clauses: list[ModelClause] = []
+        while self._cur.is_keyword("model"):
+            self._advance()
+            attr = self._qualified_name()
+            if not self._accept_op("="):
+                raise self._error("expected '=' in MODEL clause")
+            clauses.append(ModelClause(attr, self.expr()))
+            self._accept_punct(",")  # optional separator between clauses
+        return clauses
+
+    def _window(self) -> Window | None:
+        if not self._accept_punct("["):
+            return None
+        self._expect_keyword("size")
+        size = self._number()
+        self._expect_keyword("advance")
+        advance = self._number()
+        self._expect_punct("]")
+        return Window(size, advance)
+
+    # ------------------------------------------------------------------
+    # trailing specs
+    # ------------------------------------------------------------------
+    def _error_spec(self) -> ErrorSpec | None:
+        if not self._accept_keyword("error"):
+            return None
+        self._expect_keyword("within")
+        bound = self._number()
+        if self._accept_op("%"):
+            return ErrorSpec(bound / 100.0, relative=True)
+        if self._accept_keyword("absolute"):
+            return ErrorSpec(bound, relative=False)
+        # Default: percentage (matches the paper's "1% error threshold").
+        return ErrorSpec(bound / 100.0, relative=True)
+
+    def _sample_spec(self) -> SampleSpec | None:
+        if not self._accept_keyword("sample"):
+            return None
+        self._expect_keyword("period")
+        return SampleSpec(self._number())
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def predicate(self) -> BoolExpr:
+        return self._or_pred()
+
+    def _or_pred(self) -> BoolExpr:
+        left = self._and_pred()
+        while self._accept_keyword("or"):
+            left = Or(left, self._and_pred())
+        return left
+
+    def _and_pred(self) -> BoolExpr:
+        left = self._unary_pred()
+        while self._accept_keyword("and"):
+            left = And(left, self._unary_pred())
+        return left
+
+    def _unary_pred(self) -> BoolExpr:
+        if self._accept_keyword("not"):
+            return Not(self._unary_pred())
+        if self._cur.kind == "PUNCT" and self._cur.text == "(":
+            # Ambiguous: parenthesized predicate or parenthesized
+            # arithmetic LHS.  Try the predicate reading, backtrack on
+            # failure or if an operator continues an arithmetic expression.
+            snapshot = self._pos
+            try:
+                self._advance()
+                inner = self.predicate()
+                self._expect_punct(")")
+                if self._cur.kind == "OP":
+                    raise QuerySyntaxError("arithmetic continues", 0, 0)
+                return inner
+            except QuerySyntaxError:
+                self._pos = snapshot
+        return self._comparison()
+
+    def _comparison(self) -> BoolExpr:
+        left = self.expr()
+        if self._cur.kind != "OP" or self._cur.text not in _RELOPS:
+            raise self._error("expected comparison operator")
+        rel = Rel.from_symbol(self._advance().text)
+        right = self.expr()
+        return Comparison(left, rel, right)
+
+    # ------------------------------------------------------------------
+    # scalar expressions
+    # ------------------------------------------------------------------
+    def expr(self) -> Expr:
+        return self._additive()
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self._accept_op("+"):
+                left = Add(left, self._multiplicative())
+            elif self._accept_op("-"):
+                left = Sub(left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary_expr()
+        while True:
+            if self._accept_op("*"):
+                left = Mul(left, self._unary_expr())
+            elif self._accept_op("/"):
+                left = Div(left, self._unary_expr())
+            else:
+                return left
+
+    def _unary_expr(self) -> Expr:
+        if self._accept_op("-"):
+            return Neg(self._unary_expr())
+        if self._accept_op("+"):
+            return self._unary_expr()
+        return self._power()
+
+    def _power(self) -> Expr:
+        base = self._primary()
+        if self._accept_op("^"):
+            if self._cur.kind != "NUMBER":
+                raise self._error("expected integer exponent after '^'")
+            exponent = self._number()
+            if exponent != int(exponent):
+                raise self._error("exponent must be an integer")
+            return Pow(base, int(exponent))
+        return base
+
+    def _primary(self) -> Expr:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            return Const(self._number())
+        if tok.kind == "STRING":
+            self._advance()
+            return _StringConst(tok.text)
+        if tok.kind == "PUNCT" and tok.text == "(":
+            self._advance()
+            inner = self.expr()
+            self._expect_punct(")")
+            return inner
+        if tok.kind == "IDENT" or tok.kind == "KEYWORD" and tok.text in _AGGREGATE_FUNCS:
+            name = self._advance().text
+            if self._cur.kind == "PUNCT" and self._cur.text == "(":
+                return self._function_call(name)
+            if self._accept_punct("."):
+                return Attr(f"{name}.{self._ident()}")
+            return Attr(name)
+        raise self._error("expected expression")
+
+    def _function_call(self, name: str) -> Expr:
+        self._expect_punct("(")
+        args: list[Expr] = []
+        if not self._accept_punct(")"):
+            args.append(self.expr())
+            while self._accept_punct(","):
+                args.append(self.expr())
+            self._expect_punct(")")
+        return self._build_function(name, args)
+
+    def _build_function(self, name: str, args: list[Expr]) -> Expr:
+        def arity(n: int) -> None:
+            if len(args) != n:
+                raise self._error(f"{name}() takes {n} argument(s)")
+
+        if name in _AGGREGATE_FUNCS:
+            arity(1)
+            return AggregateCall(name, args[0])
+        if name == "sqrt":
+            arity(1)
+            return Sqrt(args[0])
+        if name == "abs":
+            arity(1)
+            return Abs(args[0])
+        if name == "pow":
+            arity(2)
+            exponent = args[1]
+            if not isinstance(exponent, Const) or exponent.value != int(exponent.value):
+                raise self._error("pow() requires a literal integer exponent")
+            return Pow(args[0], int(exponent.value))
+        if name == "distance":
+            arity(4)
+            x1, y1, x2, y2 = args
+            return Sqrt(Add(Pow(Sub(x1, x2), 2), Pow(Sub(y1, y2), 2)))
+        raise self._error(f"unknown function {name!r}")
+
+
+class _StringConst(Const):
+    """A string literal; inherits Const so discrete comparison works."""
+
+    def __init__(self, value: str):
+        object.__setattr__(self, "value", value)
+
+    def __repr__(self) -> str:
+        return f"'{self.value}'"

@@ -1,0 +1,313 @@
+"""Planner: AST to logical plan.
+
+Responsibilities, mirroring Section III-C's query transform pipeline:
+
+* resolve FROM items (scans, subqueries, joins) into logical subtrees,
+  numbering repeated scans of the same stream;
+* place WHERE filters before aggregation and HAVING filters after;
+* turn aggregate calls in the select list into
+  :class:`LogicalAggregate` nodes, inferring the window from the FROM
+  item's ``[SIZE n ADVANCE m]`` and the group keys from ``GROUP BY``
+  plus any plain attributes in the select list (the paper's subqueries
+  rely on this implicit grouping: ``select symbol, avg(price) ...``);
+* rewrite aggregate references in HAVING and the select list to the
+  aggregates' output attributes;
+* add a final projection unless it would be the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import PlanError
+from ..core.expr import Attr, Expr
+from ..core.operators.map_op import Projection
+from ..core.predicate import BoolExpr, Comparison, And, Not, Or
+from .ast_nodes import (
+    AggregateCall,
+    ErrorSpec,
+    FromItem,
+    JoinClause,
+    SampleSpec,
+    SelectStmt,
+    StreamRef,
+    SubQuery,
+    Window,
+)
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+)
+
+#: Join state-retention window used when neither input carries a window
+#: specification (seconds).  Kept below typical aggregate slides so joins
+#: over aggregate outputs pair equal window-closes only.
+DEFAULT_JOIN_WINDOW = 0.5
+
+
+@dataclass
+class PlannedQuery:
+    """A logical plan plus the query-level execution specifications."""
+
+    root: LogicalNode
+    error_spec: Optional[ErrorSpec]
+    sample_spec: Optional[SampleSpec]
+    #: ``stream -> [source_name, ...]`` for wiring inputs to scans.
+    stream_sources: dict[str, list[str]] = field(default_factory=dict)
+
+    def scans(self) -> list[LogicalScan]:
+        return [n for n in self.root.walk() if isinstance(n, LogicalScan)]
+
+
+def plan_query(stmt: SelectStmt) -> PlannedQuery:
+    """Plan a parsed SELECT statement."""
+    planner = _Planner()
+    root = planner.plan_select(stmt)
+    sources: dict[str, list[str]] = {}
+    for scan in [n for n in root.walk() if isinstance(n, LogicalScan)]:
+        sources.setdefault(scan.stream, []).append(scan.source_name)
+    return PlannedQuery(
+        root=root,
+        error_spec=stmt.error_spec,
+        sample_spec=stmt.sample_spec,
+        stream_sources=sources,
+    )
+
+
+@dataclass
+class _FromResult:
+    node: LogicalNode
+    #: Window of the FROM item, if any (drives aggregate windows).
+    window: Optional[Window]
+    binding_name: Optional[str]
+
+
+class _Planner:
+    def __init__(self):
+        self._scan_counter = 0
+
+    # ------------------------------------------------------------------
+    def plan_select(self, stmt: SelectStmt) -> LogicalNode:
+        source = self._plan_from(stmt.source)
+        node = source.node
+
+        aggregates = self._collect_aggregates(stmt)
+        if stmt.where is not None:
+            if _contains_aggregate_pred(stmt.where):
+                raise PlanError("aggregates are not allowed in WHERE")
+            if aggregates:
+                # Pre-aggregation filter.
+                node = LogicalFilter(node, stmt.where)
+
+        agg_outputs: dict[tuple[str, Expr], str] = {}
+        if aggregates:
+            group_fields = self._group_fields(stmt)
+            for call, alias in aggregates:
+                node, output_attr = self._plan_aggregate(
+                    node, call, alias, source.window, group_fields
+                )
+                agg_outputs[(call.func, call.argument)] = output_attr
+
+        if stmt.having is not None:
+            if not aggregates:
+                raise PlanError("HAVING requires aggregation")
+            node = LogicalFilter(
+                node, _rewrite_aggregates_pred(stmt.having, agg_outputs)
+            )
+
+        if stmt.where is not None and not aggregates:
+            node = LogicalFilter(node, stmt.where)
+
+        projections = self._projections(stmt, agg_outputs)
+        if projections is not None:
+            node = LogicalProject(node, tuple(projections))
+        return node
+
+    # ------------------------------------------------------------------
+    # FROM
+    # ------------------------------------------------------------------
+    def _plan_from(self, item: FromItem) -> _FromResult:
+        if isinstance(item, StreamRef):
+            self._scan_counter += 1
+            scan = LogicalScan(
+                stream=item.name,
+                alias=item.alias,
+                window=item.window,
+                models=item.models,
+                source_id=self._scan_counter,
+            )
+            return _FromResult(scan, item.window, scan.binding_name)
+        if isinstance(item, SubQuery):
+            inner = self.plan_select(item.query)
+            return _FromResult(inner, item.window, item.alias)
+        if isinstance(item, JoinClause):
+            left = self._plan_from(item.left)
+            right = self._plan_from(item.right)
+            window = DEFAULT_JOIN_WINDOW
+            for side in (left, right):
+                if side.window is not None:
+                    window = max(
+                        window if window != DEFAULT_JOIN_WINDOW else 0.0,
+                        side.window.size,
+                    )
+            join = LogicalJoin(
+                left=left.node,
+                right=right.node,
+                predicate=item.on,
+                left_alias=left.binding_name or "l",
+                right_alias=right.binding_name or "r",
+                window=window,
+            )
+            return _FromResult(join, None, None)
+        raise PlanError(f"unknown FROM item {item!r}")
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def _collect_aggregates(self, stmt: SelectStmt):
+        aggregates = list(stmt.aggregates())
+        # HAVING may reference aggregates not in the select list.
+        if stmt.having is not None:
+            known = {(c.func, c.argument) for c, _ in aggregates}
+            for call in _aggregate_calls_in_pred(stmt.having):
+                if (call.func, call.argument) not in known:
+                    aggregates.append((call, None))
+                    known.add((call.func, call.argument))
+        return aggregates
+
+    def _group_fields(self, stmt: SelectStmt) -> tuple[str, ...]:
+        fields = list(stmt.group_by)
+        for item in stmt.items:
+            if isinstance(item.expr, Attr):
+                name = item.alias or item.expr.name
+                if name not in fields:
+                    fields.append(item.expr.name)
+        return tuple(fields)
+
+    def _plan_aggregate(
+        self,
+        node: LogicalNode,
+        call: AggregateCall,
+        alias: Optional[str],
+        window: Optional[Window],
+        group_fields: tuple[str, ...],
+    ) -> tuple[LogicalNode, str]:
+        if window is None:
+            raise PlanError(
+                f"aggregate {call.func}() requires a windowed input "
+                "([SIZE n ADVANCE m])"
+            )
+        if isinstance(call.argument, Attr):
+            attr = call.argument.name
+        else:
+            # Materialize the argument expression first.
+            attr = f"__agg_arg_{call.func}"
+            node = LogicalProject(
+                node,
+                (Projection(attr, call.argument),)
+                + tuple(Projection(g, Attr(g)) for g in group_fields),
+            )
+        output_attr = alias or f"{call.func}_{attr.split('.')[-1]}"
+        agg = LogicalAggregate(
+            child=node,
+            func=call.func,
+            attr=attr,
+            window=window.size,
+            slide=window.advance,
+            output_attr=output_attr,
+            group_fields=group_fields,
+        )
+        return agg, output_attr
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
+    def _projections(
+        self, stmt: SelectStmt, agg_outputs: dict
+    ) -> list[Projection] | None:
+        if len(stmt.items) == 1 and stmt.items[0].is_star:
+            return None
+        projections: list[Projection] = []
+        identity = True
+        for item in stmt.items:
+            expr = _rewrite_aggregates_expr(item.expr, agg_outputs)
+            if isinstance(expr, Attr):
+                name = item.alias or expr.name.split(".")[-1]
+                if name != expr.name:
+                    identity = False
+            else:
+                name = item.alias or f"col{len(projections)}"
+                identity = False
+            projections.append(Projection(name, expr))
+        if identity and not agg_outputs:
+            # Pure attribute list without renames: keep, it still narrows
+            # the schema; only skip a literal star.
+            pass
+        return projections
+
+
+# ----------------------------------------------------------------------
+# aggregate-reference rewriting
+# ----------------------------------------------------------------------
+def _aggregate_calls_in_pred(pred: BoolExpr):
+    for atom in pred.atoms():
+        for side in (atom.left, atom.right):
+            yield from _aggregate_calls_in_expr(side)
+
+
+def _aggregate_calls_in_expr(expr: Expr):
+    if isinstance(expr, AggregateCall):
+        yield expr
+        return
+    for attr in ("left", "right", "operand", "base", "argument"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            yield from _aggregate_calls_in_expr(child)
+
+
+def _contains_aggregate_pred(pred: BoolExpr) -> bool:
+    return any(True for _ in _aggregate_calls_in_pred(pred))
+
+
+def _rewrite_aggregates_expr(expr: Expr, agg_outputs: dict) -> Expr:
+    if isinstance(expr, AggregateCall):
+        key = (expr.func, expr.argument)
+        if key not in agg_outputs:
+            raise PlanError(f"unplanned aggregate {expr!r}")
+        return Attr(agg_outputs[key])
+    # Rebuild binary/unary nodes with rewritten children.
+    from ..core.expr import Add, Div, Mul, Neg, Pow, Sub, Sqrt, Abs
+
+    if isinstance(expr, (Add, Sub, Mul, Div)):
+        return type(expr)(
+            _rewrite_aggregates_expr(expr.left, agg_outputs),
+            _rewrite_aggregates_expr(expr.right, agg_outputs),
+        )
+    if isinstance(expr, Neg):
+        return Neg(_rewrite_aggregates_expr(expr.operand, agg_outputs))
+    if isinstance(expr, (Sqrt, Abs)):
+        return type(expr)(_rewrite_aggregates_expr(expr.operand, agg_outputs))
+    if isinstance(expr, Pow):
+        return Pow(_rewrite_aggregates_expr(expr.base, agg_outputs), expr.exponent)
+    return expr
+
+
+def _rewrite_aggregates_pred(pred: BoolExpr, agg_outputs: dict) -> BoolExpr:
+    if isinstance(pred, Comparison):
+        return Comparison(
+            _rewrite_aggregates_expr(pred.left, agg_outputs),
+            pred.rel,
+            _rewrite_aggregates_expr(pred.right, agg_outputs),
+        )
+    if isinstance(pred, And):
+        return And(*[_rewrite_aggregates_pred(c, agg_outputs) for c in pred.children])
+    if isinstance(pred, Or):
+        return Or(*[_rewrite_aggregates_pred(c, agg_outputs) for c in pred.children])
+    if isinstance(pred, Not):
+        return Not(_rewrite_aggregates_pred(pred.child, agg_outputs))
+    return pred

@@ -1,0 +1,23 @@
+"""Workload generators and trace replay.
+
+Synthetic substitutes for the paper's data sources (see DESIGN.md):
+moving objects for the microbenchmarks, an NYSE-like trade feed for the
+MACD experiments, an AIS-like vessel feed for the "following" query.
+"""
+
+from .ais import AisConfig, AisVesselGenerator
+from .moving_objects import MovingObjectConfig, MovingObjectGenerator
+from .nyse import NyseConfig, NyseTradeGenerator
+from .replay import read_trace, take, write_trace
+
+__all__ = [
+    "AisConfig",
+    "AisVesselGenerator",
+    "MovingObjectConfig",
+    "MovingObjectGenerator",
+    "NyseConfig",
+    "NyseTradeGenerator",
+    "read_trace",
+    "take",
+    "write_trace",
+]

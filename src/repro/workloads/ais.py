@@ -1,0 +1,135 @@
+"""Synthetic AIS-like vessel trajectory feed.
+
+The paper's second real dataset is the US Coast Guard's Automatic
+Identification System feed (vessel positions and velocities over six
+days of March 2006) — not redistributable.  AIS reports are literally
+the model class Pulse assumes: position plus velocity, i.e. a local
+linear model.  The generator produces piecewise-constant-velocity vessel
+trajectories with the AIS schema ``id, time, x, vx, y, vy`` (positions
+in meters on a local tangent plane), and *injects follower pairs* —
+vessels steaming within a controllable distance of a leader — so the
+"following" query selects a known subset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..engine.tuples import Schema, StreamTuple
+
+SCHEMA = Schema(
+    attributes=("time", "id", "x", "vx", "y", "vy"),
+    key_fields=("id",),
+)
+
+
+@dataclass(frozen=True)
+class AisConfig:
+    """Generator parameters.
+
+    Parameters
+    ----------
+    num_vessels:
+        Total vessels (followers included).
+    follower_pairs:
+        Number of (leader, follower) pairs; follower ``k`` shadows leader
+        ``k`` at ``follow_distance`` with small jitter.
+    rate:
+        Aggregate report rate in tuples/second.
+    follow_distance:
+        Mean separation of a follower from its leader (meters); set
+        below the query threshold so pairs are detected.
+    course_period:
+        Mean seconds between course changes.
+    speed:
+        Vessel speed scale (meters/second; ~10 kn).
+    seed:
+        RNG seed.
+    """
+
+    num_vessels: int = 20
+    follower_pairs: int = 3
+    rate: float = 1000.0
+    follow_distance: float = 500.0
+    course_period: float = 120.0
+    speed: float = 5.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if 2 * self.follower_pairs > self.num_vessels:
+            raise ValueError("not enough vessels for the follower pairs")
+
+
+class AisVesselGenerator:
+    """Piecewise-constant-velocity vessels with injected follower pairs."""
+
+    def __init__(self, config: AisConfig = AisConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        n = config.num_vessels
+        self._pos = self._rng.uniform(-50_000.0, 50_000.0, size=(n, 2))
+        self._vel = self._random_velocities(n)
+        self._time = 0.0
+        self._next_vessel = 0
+        # Pair follower i with leader i for i < follower_pairs: the
+        # follower starts near its leader and copies its velocity.
+        for k in range(config.follower_pairs):
+            leader, follower = self._pair(k)
+            offset = self._rng.normal(0.0, 0.2, size=2)
+            offset = (
+                offset / max(np.linalg.norm(offset), 1e-9)
+            ) * config.follow_distance
+            self._pos[follower] = self._pos[leader] + offset
+            self._vel[follower] = self._vel[leader]
+
+    def _pair(self, k: int) -> tuple[int, int]:
+        return 2 * k, 2 * k + 1
+
+    @property
+    def follower_pairs(self) -> list[tuple[str, str]]:
+        """Ids of the injected (leader, follower) pairs."""
+        return [
+            (f"vessel{2 * k}", f"vessel{2 * k + 1}")
+            for k in range(self.config.follower_pairs)
+        ]
+
+    def _random_velocities(self, n: int) -> np.ndarray:
+        angles = self._rng.uniform(0.0, 2.0 * math.pi, size=n)
+        speeds = self._rng.uniform(0.5, 1.5, size=n) * self.config.speed
+        return np.stack(
+            [speeds * np.cos(angles), speeds * np.sin(angles)], axis=1
+        )
+
+    def tuples(self, count: int) -> Iterator[StreamTuple]:
+        cfg = self.config
+        dt = 1.0 / cfg.rate
+        per_vessel_dt = cfg.num_vessels / cfg.rate
+        turn_prob = per_vessel_dt / cfg.course_period
+        followers = {f: l for l, f in (self._pair(k) for k in range(cfg.follower_pairs))}
+        for _ in range(count):
+            i = self._next_vessel
+            self._next_vessel = (self._next_vessel + 1) % cfg.num_vessels
+            if i in followers:
+                # Followers track their leader's velocity with jitter.
+                leader = followers[i]
+                self._vel[i] = self._vel[leader] + self._rng.normal(
+                    0.0, 0.02, size=2
+                )
+            elif self._rng.random() < turn_prob:
+                self._vel[i] = self._random_velocities(1)[0]
+            self._pos[i] += self._vel[i] * per_vessel_dt
+            yield StreamTuple(
+                {
+                    "time": self._time,
+                    "id": f"vessel{i}",
+                    "x": float(self._pos[i, 0]),
+                    "vx": float(self._vel[i, 0]),
+                    "y": float(self._pos[i, 1]),
+                    "vy": float(self._vel[i, 1]),
+                }
+            )
+            self._time += dt

@@ -1,0 +1,141 @@
+"""Synthetic moving-object workload generator (Section V-A).
+
+The paper's microbenchmarks use a generator that "simulates a moving
+object, exposing controls to vary stream rates, attribute values' rates
+of change, and parameters relating to model fitting", with schema
+``x, y, vx, vy``.  Objects move with piecewise-constant velocity; the
+*model fit* control is ``tuples_per_segment``: how many consecutive
+samples a single linear model describes exactly (velocity changes every
+that many samples, optionally with added noise so fits are approximate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.polynomial import Polynomial
+from ..core.segment import Segment
+from ..engine.tuples import Schema, StreamTuple
+
+SCHEMA = Schema(
+    attributes=("time", "id", "x", "y", "vx", "vy"),
+    key_fields=("id",),
+)
+
+
+@dataclass(frozen=True)
+class MovingObjectConfig:
+    """Generator parameters.
+
+    Parameters
+    ----------
+    num_objects:
+        Distinct object keys (round-robin sampled).
+    rate:
+        Aggregate stream rate in tuples/second across all objects.
+    tuples_per_segment:
+        Samples between velocity changes per object — the paper's model
+        expressiveness knob (Fig. 5's x-axis).
+    speed:
+        Velocity magnitude scale (units/second).
+    noise:
+        Standard deviation of additive position noise; non-zero noise
+        makes models approximate, exercising validation.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    num_objects: int = 10
+    rate: float = 1000.0
+    tuples_per_segment: float = 100.0
+    speed: float = 10.0
+    noise: float = 0.0
+    seed: int = 7
+
+
+class MovingObjectGenerator:
+    """Generates tuples and (ground-truth) segments for moving objects."""
+
+    def __init__(self, config: MovingObjectConfig = MovingObjectConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        n = config.num_objects
+        self._pos = self._rng.uniform(-1000.0, 1000.0, size=(n, 2))
+        self._vel = self._random_velocities(n)
+        self._samples_since_change = np.zeros(n, dtype=int)
+        self._time = 0.0
+        self._next_obj = 0
+
+    def _random_velocities(self, n: int) -> np.ndarray:
+        angles = self._rng.uniform(0.0, 2.0 * math.pi, size=n)
+        speeds = self._rng.uniform(0.5, 1.5, size=n) * self.config.speed
+        return np.stack([speeds * np.cos(angles), speeds * np.sin(angles)], axis=1)
+
+    @property
+    def dt(self) -> float:
+        """Time between consecutive tuples (any object)."""
+        return 1.0 / self.config.rate
+
+    def tuples(self, count: int) -> Iterator[StreamTuple]:
+        """Generate ``count`` tuples, round-robin over objects."""
+        cfg = self.config
+        per_object_dt = cfg.num_objects / cfg.rate
+        for _ in range(count):
+            obj = self._next_obj
+            self._next_obj = (self._next_obj + 1) % cfg.num_objects
+            # Advance this object's state by its inter-sample gap.
+            self._pos[obj] += self._vel[obj] * per_object_dt
+            self._samples_since_change[obj] += 1
+            if self._samples_since_change[obj] >= cfg.tuples_per_segment:
+                self._vel[obj] = self._random_velocities(1)[0]
+                self._samples_since_change[obj] = 0
+            noise = (
+                self._rng.normal(0.0, cfg.noise, size=2)
+                if cfg.noise > 0
+                else (0.0, 0.0)
+            )
+            yield StreamTuple(
+                {
+                    "time": self._time,
+                    "id": f"obj{obj}",
+                    "x": float(self._pos[obj, 0] + noise[0]),
+                    "y": float(self._pos[obj, 1] + noise[1]),
+                    "vx": float(self._vel[obj, 0]),
+                    "vy": float(self._vel[obj, 1]),
+                }
+            )
+            self._time += self.dt
+
+    def segments(self, count: int) -> Iterator[Segment]:
+        """Ground-truth linear segments (models the tuples exactly when
+        ``noise == 0``): one per object per velocity epoch.
+
+        ``count`` is the number of segments generated, round-robin over
+        objects; each segment covers ``tuples_per_segment`` samples'
+        worth of time for its object.
+        """
+        cfg = self.config
+        per_object_dt = cfg.num_objects / cfg.rate
+        epoch = cfg.tuples_per_segment * per_object_dt
+        # Track per-object epoch starts independently of tuple generation.
+        starts = {i: 0.0 for i in range(cfg.num_objects)}
+        pos = self._rng.uniform(-1000.0, 1000.0, size=(cfg.num_objects, 2))
+        for i in range(count):
+            obj = i % cfg.num_objects
+            t0 = starts[obj]
+            vel = self._random_velocities(1)[0]
+            x = Polynomial([pos[obj, 0] - vel[0] * t0, vel[0]])
+            y = Polynomial([pos[obj, 1] - vel[1] * t0, vel[1]])
+            yield Segment(
+                key=(f"obj{obj}",),
+                t_start=t0,
+                t_end=t0 + epoch,
+                models={"x": x, "y": y},
+                constants={"id": f"obj{obj}"},
+            )
+            pos[obj] += vel * epoch
+            starts[obj] = t0 + epoch

@@ -1,0 +1,110 @@
+"""Synthetic NYSE-like trade feed.
+
+The paper replays NYSE TAQ trades from January 2006 (proprietary data we
+cannot redistribute or access).  This generator reproduces the features
+the MACD query depends on: a per-symbol price process that is noisy but
+locally trending — geometric random walk with regime-switching drift,
+quantized to a tick size — with the TAQ trade schema
+``time, symbol, price, qty``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..engine.tuples import Schema, StreamTuple
+
+SCHEMA = Schema(
+    attributes=("time", "symbol", "price", "qty"),
+    key_fields=("symbol",),
+)
+
+#: A handful of familiar ticker names for readable examples.
+_DEFAULT_NAMES = (
+    "ibm", "ge", "xom", "msft", "wmt", "pfe", "jpm", "mo", "pg", "jnj",
+)
+
+
+@dataclass(frozen=True)
+class NyseConfig:
+    """Generator parameters.
+
+    Parameters
+    ----------
+    num_symbols:
+        Distinct stock symbols (trades round-robin across them).
+    rate:
+        Aggregate trade rate in tuples/second.
+    volatility:
+        Per-second relative price volatility of the random walk.
+    drift_period:
+        Mean seconds between drift regime changes (trend flips) — this
+        controls how often the MACD query's short average crosses the
+        long average.
+    tick:
+        Price quantization (one cent).
+    base_price:
+        Initial price scale.
+    seed:
+        RNG seed.
+    """
+
+    num_symbols: int = 10
+    rate: float = 3000.0
+    volatility: float = 1e-4
+    drift_period: float = 30.0
+    tick: float = 0.01
+    base_price: float = 80.0
+    seed: int = 11
+
+
+class NyseTradeGenerator:
+    """Per-symbol regime-switching geometric random walk."""
+
+    def __init__(self, config: NyseConfig = NyseConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        n = config.num_symbols
+        self._symbols = [
+            _DEFAULT_NAMES[i] if i < len(_DEFAULT_NAMES) else f"sym{i}"
+            for i in range(n)
+        ]
+        self._price = config.base_price * self._rng.uniform(0.5, 2.0, size=n)
+        self._drift = self._random_drifts(n)
+        self._time = 0.0
+        self._next_symbol = 0
+
+    def _random_drifts(self, n: int) -> np.ndarray:
+        # Relative drift per second, strong enough to dominate noise over
+        # the MACD windows.
+        return self._rng.uniform(-5e-4, 5e-4, size=n)
+
+    @property
+    def symbols(self) -> list[str]:
+        return list(self._symbols)
+
+    def tuples(self, count: int) -> Iterator[StreamTuple]:
+        cfg = self.config
+        dt = 1.0 / cfg.rate
+        per_symbol_dt = cfg.num_symbols / cfg.rate
+        flip_prob = per_symbol_dt / cfg.drift_period
+        for _ in range(count):
+            i = self._next_symbol
+            self._next_symbol = (self._next_symbol + 1) % cfg.num_symbols
+            if self._rng.random() < flip_prob:
+                self._drift[i] = self._random_drifts(1)[0]
+            shock = self._rng.normal(0.0, cfg.volatility * np.sqrt(per_symbol_dt))
+            self._price[i] *= 1.0 + self._drift[i] * per_symbol_dt + shock
+            price = round(self._price[i] / cfg.tick) * cfg.tick
+            yield StreamTuple(
+                {
+                    "time": self._time,
+                    "symbol": self._symbols[i],
+                    "price": float(price),
+                    "qty": int(self._rng.integers(100, 1000)),
+                }
+            )
+            self._time += dt

@@ -1,0 +1,196 @@
+"""Tests for the benchmark harness utilities (series, tables, runners)."""
+
+import pytest
+
+from repro.bench import (
+    Series,
+    best_of,
+    crossover,
+    fast_validate_loop,
+    format_params_table,
+    format_table,
+    growth_ratio,
+    is_monotone_increasing,
+    is_roughly_flat,
+    model_table,
+    time_historical_path,
+    time_modeling_only,
+    time_pulse_online_path,
+    time_tuple_path,
+)
+from repro.bench.queries import collision_planned, following_planned, macd_planned
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.engine.tuples import StreamTuple
+from repro.query import parse_query, plan_query
+from repro.workloads import NyseConfig, NyseTradeGenerator
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        s = Series("t/s")
+        s.add(1.0, 10.0)
+        s.add(2.0, 20.0)
+        assert s.y_at(2.0) == 20.0
+        assert s.max_y == 20.0
+
+    def test_crossover_interpolates(self):
+        xs = [0.0, 1.0, 2.0]
+        a = [0.0, 1.0, 4.0]   # overtakes b between x=1 and x=2
+        b = [2.0, 2.0, 2.0]
+        c = crossover(xs, a, b)
+        assert 1.0 < c < 2.0
+        # Linear interpolation: a-b goes -1 -> +2, crossing at 1/3.
+        assert c == pytest.approx(1.0 + 1.0 / 3.0)
+
+    def test_crossover_at_first_point(self):
+        assert crossover([5.0, 6.0], [3.0, 3.0], [1.0, 1.0]) == 5.0
+
+    def test_crossover_never(self):
+        assert crossover([1.0, 2.0], [0.0, 0.0], [1.0, 1.0]) is None
+
+    def test_monotone_and_flat_predicates(self):
+        assert is_monotone_increasing([1, 2, 3, 4])
+        assert is_monotone_increasing([1, 2, 1.9, 4])  # small dip tolerated
+        assert not is_monotone_increasing([4, 3, 2, 1])
+        assert is_roughly_flat([1.0, 1.5, 2.0], factor=3.0)
+        assert not is_roughly_flat([1.0, 10.0], factor=3.0)
+
+    def test_growth_ratio(self):
+        assert growth_ratio([2.0, 8.0]) == 4.0
+        assert growth_ratio([0.0, 1.0]) == float("inf")
+
+    def test_format_table_alignment(self):
+        s = Series("alpha")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        text = format_table("x", [1, 2], [s], y_format="{:.1f}")
+        lines = text.splitlines()
+        assert "alpha" in lines[0]
+        assert "10.0" in text and "20.0" in text
+
+    def test_params_table_renders(self):
+        text = format_params_table()
+        assert "Page pool" in text
+
+
+class TestValidationLoop:
+    def _segments(self):
+        return [
+            Segment(("a",), 0.0, 5.0, {"x": Polynomial([1.0, 1.0])},
+                    constants={"id": "a"}),
+            Segment(("a",), 5.0, 10.0, {"x": Polynomial([11.0])},
+                    constants={"id": "a"}),
+        ]
+
+    def test_model_table_structure(self):
+        table = model_table(self._segments(), "x")
+        assert set(table) == {"a"}
+        assert len(table["a"]) == 2
+        assert table["a"][0][0] == 0.0
+
+    def test_fast_validate_counts_violations(self):
+        table = model_table(self._segments(), "x")
+        tuples = [
+            StreamTuple({"time": 1.0, "id": "a", "x": 2.0}),   # exact
+            StreamTuple({"time": 2.0, "id": "a", "x": 3.4}),   # within 0.5
+            StreamTuple({"time": 6.0, "id": "a", "x": 20.0}),  # violation
+        ]
+        assert fast_validate_loop(tuples, table, "x", 0.5) == 1
+
+    def test_unknown_key_skipped(self):
+        table = model_table(self._segments(), "x")
+        tuples = [StreamTuple({"time": 1.0, "id": "zz", "x": 0.0})]
+        assert fast_validate_loop(tuples, table, "x", 0.5) == 0
+
+    def test_cursor_advances_between_pieces(self):
+        table = model_table(self._segments(), "x")
+        tuples = [
+            StreamTuple({"time": t, "id": "a", "x": (1.0 + t if t < 5 else 11.0)})
+            for t in [0.5, 2.5, 4.5, 5.5, 8.5]
+        ]
+        assert fast_validate_loop(tuples, table, "x", 0.01) == 0
+
+    def test_best_of_returns_minimum(self):
+        values = iter([3.0, 1.0, 2.0])
+        assert best_of(lambda: next(values), repeats=3) == 1.0
+
+
+class TestPathRunners:
+    @pytest.fixture(scope="class")
+    def nyse(self):
+        gen = NyseTradeGenerator(NyseConfig(num_symbols=2, rate=100.0, seed=31))
+        return list(gen.tuples(800))
+
+    def test_time_tuple_path(self, nyse):
+        planned = plan_query(parse_query("select * from trades where price > 0"))
+        run = time_tuple_path(planned, nyse, "trades")
+        assert run.tuples == len(nyse)
+        assert run.outputs == len(nyse)  # prices always positive
+        assert run.throughput > 0
+        assert run.service_time > 0
+
+    def test_time_modeling_only(self, nyse):
+        run = time_modeling_only(
+            nyse, attrs=("price",), tolerance=0.05, key_fields=("symbol",)
+        )
+        assert run.tuples == len(nyse)
+        assert 0 < run.outputs < len(nyse)  # segments, compressed
+
+    def test_time_historical_path(self, nyse):
+        from repro.fitting import build_segments
+
+        planned = macd_planned(short=2.0, long=4.0, slide=1.0)
+        segments = build_segments(
+            nyse, attrs=("price",), tolerance=0.05,
+            key_fields=("symbol",), constants=("symbol",),
+        )
+        run = time_historical_path(planned, segments, "trades", len(nyse))
+        assert run.tuples == len(nyse)
+
+    def test_time_pulse_online_path_counts_violations(self, nyse):
+        planned = plan_query(parse_query("select * from trades where price > 0"))
+        run = time_pulse_online_path(
+            planned, nyse, "trades",
+            attrs=("price",), tolerance=0.01,
+            key_fields=("symbol",), constants=("symbol",),
+            bound=1e-9,  # absurdly tight: essentially every check violates
+        )
+        # Checks only run once a model is active (after the first piece
+        # closes per key); from then on virtually everything violates.
+        assert run.violations > len(nyse) // 4
+
+
+class TestQueryBuilders:
+    def test_macd_windows_rescaled(self):
+        planned = macd_planned(short=3.0, long=9.0, slide=1.5)
+        from repro.query import LogicalAggregate
+
+        aggs = [
+            n for n in planned.root.walk() if isinstance(n, LogicalAggregate)
+        ]
+        assert sorted(a.window for a in aggs) == [3.0, 9.0]
+        assert all(a.slide == 1.5 for a in aggs)
+
+    def test_following_windows_rescaled(self):
+        planned = following_planned(join_window=4.0, avg_window=100.0, slide=20.0)
+        from repro.query import LogicalAggregate, LogicalJoin
+
+        agg = next(
+            n for n in planned.root.walk() if isinstance(n, LogicalAggregate)
+        )
+        join = next(
+            n for n in planned.root.walk() if isinstance(n, LogicalJoin)
+        )
+        assert agg.window == 100.0 and agg.slide == 20.0
+        assert join.window == 4.0
+
+    def test_collision_radius(self):
+        planned = collision_planned(radius=10.0)
+        from repro.query import LogicalFilter
+
+        filt = next(
+            n for n in planned.root.walk() if isinstance(n, LogicalFilter)
+        )
+        # The radius appears squared in the predicate.
+        assert "100" in repr(filt.predicate)

@@ -1,0 +1,122 @@
+"""Tests for the continuous map (projection) and output sampler."""
+
+import pytest
+
+from repro.core.expr import Attr, Const, Sub
+from repro.core.operators import ContinuousMap, OutputSampler, Projection
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+
+
+def seg(lo, hi, key=("k",), constants=None, **models):
+    return Segment(
+        key=key,
+        t_start=lo,
+        t_end=hi,
+        models={k: Polynomial(v) for k, v in models.items()},
+        constants=constants or {},
+    )
+
+
+class TestMap:
+    def test_alias_projection(self):
+        m = ContinuousMap([Projection("x", Attr("b"))])
+        out = m.process(seg(0, 10, b=[1.0, 2.0]))
+        assert out[0].model("x") == Polynomial([1.0, 2.0])
+
+    def test_arithmetic_projection(self):
+        # The MACD shape: S.ap - L.ap as diff.
+        m = ContinuousMap([Projection("diff", Sub(Attr("S.ap"), Attr("L.ap")))])
+        s = Segment(
+            ("k",),
+            0,
+            10,
+            models={
+                "S.ap": Polynomial([5.0, 1.0]),
+                "L.ap": Polynomial([3.0]),
+            },
+        )
+        out = m.process(s)
+        assert out[0].model("diff").coeffs == (2.0, 1.0)
+
+    def test_discrete_attribute_passes_as_constant(self):
+        m = ContinuousMap([Projection("sym", Attr("symbol"))])
+        out = m.process(seg(0, 1, constants={"symbol": "IBM"}, x=[1.0]))
+        assert out[0].constants["sym"] == "IBM"
+        assert "sym" not in out[0].models
+
+    def test_constants_preserved_by_default(self):
+        m = ContinuousMap([Projection("y", Attr("x"))])
+        out = m.process(seg(0, 1, constants={"tag": 7}, x=[1.0]))
+        assert out[0].constants["tag"] == 7
+
+    def test_keep_constants_false(self):
+        m = ContinuousMap([Projection("y", Attr("x"))], keep_constants=False)
+        out = m.process(seg(0, 1, constants={"tag": 7}, x=[1.0]))
+        assert "tag" not in out[0].constants
+
+    def test_translations_metadata(self):
+        m = ContinuousMap(
+            [
+                Projection("x", Attr("b")),
+                Projection("diff", Sub(Attr("a"), Attr("b"))),
+            ]
+        )
+        t = m.translations()
+        assert t["x"] == frozenset({"b"})
+        assert t["diff"] == frozenset({"a", "b"})
+
+    def test_projection_is_alias(self):
+        assert Projection("x", Attr("b")).is_alias
+        assert not Projection("x", Sub(Attr("a"), Attr("b"))).is_alias
+
+    def test_key_and_time_range_preserved(self):
+        m = ContinuousMap([Projection("y", Attr("x"))])
+        out = m.process(seg(2, 8, key=("v",), x=[1.0]))
+        assert out[0].key == ("v",)
+        assert (out[0].t_start, out[0].t_end) == (2, 8)
+
+    def test_lineage_recorded(self):
+        m = ContinuousMap([Projection("y", Attr("x"))])
+        s = seg(0, 1, x=[1.0])
+        out = m.process(s)
+        assert out[0].lineage == (s.seg_id,)
+
+
+class TestSampler:
+    def test_samples_on_grid(self):
+        sampler = OutputSampler(period=1.0)
+        times = list(sampler.sample_times(seg(0.5, 4.2, x=[0.0])))
+        assert times == [1.0, 2.0, 3.0, 4.0]
+
+    def test_point_segment_sampled_once(self):
+        sampler = OutputSampler(period=1.0)
+        s = seg(0, 10, x=[0.0]).at_instant(3.3)
+        assert list(sampler.sample_times(s)) == [3.3]
+
+    def test_tuples_evaluate_models(self):
+        sampler = OutputSampler(period=1.0)
+        rows = sampler.tuples(seg(0, 3, x=[0.0, 2.0]))
+        assert [r["x"] for r in rows] == [0.0, 2.0, 4.0]
+        assert [r["time"] for r in rows] == [0.0, 1.0, 2.0]
+
+    def test_tuples_include_constants_and_key(self):
+        sampler = OutputSampler(period=1.0)
+        rows = sampler.tuples(seg(0, 1, constants={"sym": "A"}, x=[1.0]))
+        assert rows[0]["sym"] == "A"
+        assert rows[0]["__key"] == ("k",)
+
+    def test_adjacent_segments_never_double_sample(self):
+        sampler = OutputSampler(period=1.0)
+        t1 = list(sampler.sample_times(seg(0, 2, x=[0.0])))
+        t2 = list(sampler.sample_times(seg(2, 4, x=[0.0])))
+        assert set(t1).isdisjoint(t2)
+
+    def test_counter(self):
+        sampler = OutputSampler(period=0.5)
+        sampler.tuples(seg(0, 2, x=[0.0]))
+        assert sampler.tuples_emitted == 4
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            OutputSampler(period=0.0)

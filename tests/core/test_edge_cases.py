@@ -1,0 +1,143 @@
+"""Edge-case tests across core modules (error paths, reprs, utilities)."""
+
+import pytest
+
+from repro.core.errors import (
+    PulseError,
+    QuerySyntaxError,
+    SolverError,
+    UnsupportedAggregateError,
+)
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment, resolve_constant, resolve_model
+
+
+def seg(lo, hi, key=("k",), constants=None, **models):
+    return Segment(
+        key=key,
+        t_start=lo,
+        t_end=hi,
+        models={k: Polynomial(v) for k, v in models.items()},
+        constants=constants or {},
+    )
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_pulse_error(self):
+        for exc_type in (SolverError, UnsupportedAggregateError, QuerySyntaxError):
+            assert issubclass(exc_type, PulseError)
+
+    def test_query_syntax_error_position_in_message(self):
+        err = QuerySyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_query_syntax_error_without_position(self):
+        err = QuerySyntaxError("bad token")
+        assert str(err) == "bad token"
+
+
+class TestSegmentResolvers:
+    def test_resolve_model_exact_beats_suffix(self):
+        s = seg(0, 1, **{"a.x": [1.0], "x": [2.0]})
+        assert resolve_model(s, "x") == Polynomial([2.0])
+
+    def test_resolve_model_unique_suffix(self):
+        s = seg(0, 1, **{"a.x": [1.0]})
+        assert resolve_model(s, "x") == Polynomial([1.0])
+
+    def test_resolve_model_ambiguous_raises(self):
+        s = seg(0, 1, **{"a.x": [1.0], "b.x": [2.0]})
+        with pytest.raises(KeyError):
+            resolve_model(s, "x")
+
+    def test_resolve_constant_ambiguous_equal_values(self):
+        s = seg(0, 1, constants={"a.sym": "Z", "b.sym": "Z"}, x=[0.0])
+        assert resolve_constant(s, "sym") == "Z"
+
+    def test_resolve_constant_ambiguous_different_values(self):
+        s = seg(0, 1, constants={"a.sym": "Z", "b.sym": "Q"}, x=[0.0])
+        assert resolve_constant(s, "sym") is None
+        assert resolve_constant(s, "sym", default="?") == "?"
+
+    def test_derive_defaults_lineage_to_self(self):
+        s = seg(0, 10, x=[1.0])
+        out = s.derive(("k2",), 1, 2, {"x": Polynomial([5.0])})
+        assert out.lineage == (s.seg_id,)
+
+    def test_attribute_names(self):
+        s = seg(0, 1, constants={"id": "a"}, x=[0.0], y=[1.0])
+        assert set(s.attribute_names) == {"x", "y", "id"}
+
+    def test_repr_compact(self):
+        s = seg(0, 1, x=[0.0])
+        text = repr(s)
+        assert "Segment" in text and "x" in text
+
+
+class TestExplainCoverage:
+    def test_every_node_kind_renders(self):
+        from repro.query import explain, parse_query, plan_query
+
+        sql = """
+        select id, avg(x) as m from
+            (select a.id as id, a.x as x from s a join s b on (a.id <> b.id))
+            [size 10 advance 2] as inner_q
+        group by id having avg(x) < 5
+        """
+        text = explain(plan_query(parse_query(sql)).root)
+        for token in ("Project", "Filter", "Aggregate", "Join", "Scan"):
+            assert token in text, token
+
+    def test_explain_indents_children(self):
+        from repro.query import explain, parse_query, plan_query
+
+        text = explain(plan_query(parse_query("select x from s where x > 0")).root)
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].startswith("  Filter")
+        assert lines[2].startswith("    Scan")
+
+
+class TestOperatorReprs:
+    def test_continuous_operator_repr(self):
+        from repro.core.expr import Attr, Const
+        from repro.core.operators import ContinuousFilter
+        from repro.core.predicate import Comparison
+        from repro.core.relation import Rel
+
+        op = ContinuousFilter(
+            Comparison(Attr("x"), Rel.GT, Const(0.0)), name="my-filter"
+        )
+        assert "my-filter" in repr(op)
+
+    def test_plan_repr(self):
+        from repro.core.plan import ContinuousPlan
+
+        plan = ContinuousPlan("macd")
+        assert "macd" in repr(plan)
+
+    def test_equation_system_repr(self):
+        from repro.core.equation_system import EquationSystem
+
+        assert "0 rows" in repr(EquationSystem([], None))
+
+    def test_timeset_repr(self):
+        from repro.core.intervals import TimeSet
+
+        assert "∅" in repr(TimeSet.empty())
+        assert "[0, 1)" in repr(TimeSet.interval(0, 1))
+
+
+class TestPolynomialMisc:
+    def test_coerce_rejects_strings(self):
+        p = Polynomial([1.0])
+        with pytest.raises(TypeError):
+            p + "nope"
+
+    def test_monomial_high_degree_eval(self):
+        p = Polynomial.monomial(5, 2.0)
+        assert p(2.0) == 64.0
+
+    def test_bound_on_constant(self):
+        assert Polynomial.constant(-3.0).bound_on(0, 1) == 3.0

@@ -1,0 +1,131 @@
+"""Tests for the scalar expression language."""
+
+import math
+
+import pytest
+
+from repro.core.errors import NonPolynomialExpressionError
+from repro.core.expr import (
+    Abs,
+    Add,
+    Attr,
+    Const,
+    Div,
+    Mul,
+    Neg,
+    Pow,
+    Sqrt,
+    Sub,
+)
+from repro.core.polynomial import Polynomial
+
+ENV = {"R.x": 3.0, "R.v": 2.0, "S.y": 10.0}
+MODELS = {
+    "R.x": Polynomial([3.0, 2.0]),
+    "S.y": Polynomial([10.0]),
+}
+
+
+def resolve(name):
+    return MODELS[name]
+
+
+class TestEvaluate:
+    def test_const(self):
+        assert Const(5.0).evaluate(ENV) == 5.0
+
+    def test_attr(self):
+        assert Attr("R.x").evaluate(ENV) == 3.0
+
+    def test_attr_unqualified_fallback(self):
+        assert Attr("y").evaluate(ENV) == 10.0
+
+    def test_attr_ambiguous_fallback_raises(self):
+        env = {"R.x": 1.0, "S.x": 2.0}
+        with pytest.raises(KeyError):
+            Attr("x").evaluate(env)
+
+    def test_attr_missing_raises(self):
+        with pytest.raises(KeyError):
+            Attr("nope").evaluate(ENV)
+
+    def test_arithmetic(self):
+        e = Add(Mul(Attr("R.x"), Const(2.0)), Neg(Attr("R.v")))
+        assert e.evaluate(ENV) == pytest.approx(4.0)
+
+    def test_sub_div(self):
+        e = Div(Sub(Attr("S.y"), Attr("R.x")), Const(7.0))
+        assert e.evaluate(ENV) == pytest.approx(1.0)
+
+    def test_pow(self):
+        assert Pow(Attr("R.v"), 3).evaluate(ENV) == pytest.approx(8.0)
+
+    def test_sqrt_abs(self):
+        assert Sqrt(Const(9.0)).evaluate(ENV) == 3.0
+        assert Abs(Const(-4.0)).evaluate(ENV) == 4.0
+
+    def test_operator_sugar(self):
+        e = Attr("R.x") + 2 * Attr("R.v") - 1
+        assert e.evaluate(ENV) == pytest.approx(6.0)
+
+
+class TestToPolynomial:
+    def test_attr_resolves_model(self):
+        assert Attr("R.x").to_polynomial(resolve) == Polynomial([3.0, 2.0])
+
+    def test_difference_compiles(self):
+        # R.x - S.y = (3 + 2t) - 10 = -7 + 2t
+        p = Sub(Attr("R.x"), Attr("S.y")).to_polynomial(resolve)
+        assert p.coeffs == (-7.0, 2.0)
+
+    def test_product_raises_degree(self):
+        p = Mul(Attr("R.x"), Attr("R.x")).to_polynomial(resolve)
+        assert p.degree == 2
+
+    def test_pow_compiles(self):
+        p = Pow(Sub(Attr("R.x"), Attr("S.y")), 2).to_polynomial(resolve)
+        # (-7 + 2t)^2 = 49 - 28t + 4t^2
+        assert p.coeffs == pytest.approx((49.0, -28.0, 4.0))
+
+    def test_pow_negative_exponent_rejected(self):
+        with pytest.raises(NonPolynomialExpressionError):
+            Pow(Attr("R.x"), -1).to_polynomial(resolve)
+
+    def test_div_by_constant(self):
+        p = Div(Attr("R.x"), Const(2.0)).to_polynomial(resolve)
+        assert p.coeffs == (1.5, 1.0)
+
+    def test_div_by_model_rejected(self):
+        with pytest.raises(NonPolynomialExpressionError):
+            Div(Const(1.0), Attr("R.x")).to_polynomial(resolve)
+
+    def test_sqrt_rejected(self):
+        with pytest.raises(NonPolynomialExpressionError):
+            Sqrt(Attr("R.x")).to_polynomial(resolve)
+
+    def test_abs_rejected(self):
+        with pytest.raises(NonPolynomialExpressionError):
+            Abs(Attr("R.x")).to_polynomial(resolve)
+
+    def test_compile_eval_consistency(self):
+        """Compiled polynomial at time t equals discrete evaluation with
+        the model values at t — the core soundness property of step 2 of
+        the transform."""
+        e = Sub(Mul(Attr("R.x"), Const(3.0)), Attr("S.y"))
+        p = e.to_polynomial(resolve)
+        for t in (0.0, 1.5, 4.0):
+            env = {name: MODELS[name](t) for name in MODELS}
+            assert p(t) == pytest.approx(e.evaluate(env))
+
+
+class TestAttributes:
+    def test_collects_all(self):
+        e = Add(Attr("R.x"), Mul(Attr("S.y"), Const(2.0)))
+        assert e.attributes() == frozenset({"R.x", "S.y"})
+
+    def test_const_has_none(self):
+        assert Const(1.0).attributes() == frozenset()
+
+    def test_nested(self):
+        e = Sqrt(Pow(Sub(Attr("a"), Attr("b")), 2))
+        assert e.attributes() == frozenset({"a", "b"})

@@ -1,0 +1,161 @@
+"""Tests for the time-interval algebra."""
+
+import pytest
+
+from repro.core.errors import InvalidIntervalError
+from repro.core.intervals import Interval, TimeSet
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1.0, 1.0)
+        with pytest.raises(InvalidIntervalError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(float("nan"), 1.0)
+
+    def test_contains_half_open(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(0.0)
+        assert iv.contains(0.5)
+        assert not iv.contains(1.0)
+
+    def test_intersect(self):
+        a = Interval(0.0, 2.0)
+        b = Interval(1.0, 3.0)
+        assert a.intersect(b) == Interval(1.0, 2.0)
+        assert a.intersect(Interval(2.0, 3.0)) is None
+
+    def test_overlaps_excludes_touching(self):
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+        assert Interval(0, 1.5).overlaps(Interval(1, 2))
+
+    def test_shift(self):
+        assert Interval(0, 1).shift(2.5) == Interval(2.5, 3.5)
+
+
+class TestTimeSetConstruction:
+    def test_empty(self):
+        ts = TimeSet.empty()
+        assert ts.is_empty
+        assert ts.measure == 0.0
+        assert not ts
+
+    def test_interval_constructor_empty_range(self):
+        assert TimeSet.interval(3.0, 3.0).is_empty
+        assert TimeSet.interval(3.0, 2.0).is_empty
+
+    def test_merges_overlapping(self):
+        ts = TimeSet(intervals=[Interval(0, 2), Interval(1, 3)])
+        assert ts.intervals == (Interval(0, 3),)
+
+    def test_merges_adjacent(self):
+        ts = TimeSet(intervals=[Interval(0, 1), Interval(1, 2)])
+        assert ts.intervals == (Interval(0, 2),)
+
+    def test_keeps_disjoint(self):
+        ts = TimeSet(intervals=[Interval(0, 1), Interval(2, 3)])
+        assert len(ts.intervals) == 2
+        assert ts.measure == pytest.approx(2.0)
+
+    def test_point_absorbed_into_interval(self):
+        ts = TimeSet(intervals=[Interval(0, 1)], points=[0.5])
+        assert ts.points == ()
+
+    def test_points_deduplicated(self):
+        ts = TimeSet(points=[1.0, 1.0, 2.0])
+        assert ts.points == (1.0, 2.0)
+
+    def test_immutability(self):
+        ts = TimeSet.point(1.0)
+        with pytest.raises(AttributeError):
+            ts.points = ()
+
+
+class TestTimeSetAlgebra:
+    def test_union(self):
+        a = TimeSet.interval(0, 1)
+        b = TimeSet.interval(2, 3) | TimeSet.point(5.0)
+        u = a | b
+        assert u.measure == pytest.approx(2.0)
+        assert u.points == (5.0,)
+
+    def test_intersect_intervals(self):
+        a = TimeSet.interval(0, 2)
+        b = TimeSet.interval(1, 3)
+        assert (a & b).intervals == (Interval(1, 2),)
+
+    def test_intersect_point_with_interval(self):
+        a = TimeSet.interval(0, 2)
+        p = TimeSet.point(1.0)
+        assert (a & p).points == (1.0,)
+        assert (a & TimeSet.point(5.0)).is_empty
+
+    def test_intersect_points(self):
+        a = TimeSet.from_points([1.0, 2.0])
+        b = TimeSet.from_points([2.0, 3.0])
+        assert (a & b).points == (2.0,)
+
+    def test_intersection_empty(self):
+        a = TimeSet.interval(0, 1)
+        b = TimeSet.interval(2, 3)
+        assert (a & b).is_empty
+
+    def test_complement_middle(self):
+        ts = TimeSet.interval(1, 2)
+        comp = ts.complement(Interval(0, 3))
+        assert comp.intervals == (Interval(0, 1), Interval(2, 3))
+
+    def test_complement_of_empty_is_domain(self):
+        comp = TimeSet.empty().complement(Interval(0, 3))
+        assert comp.intervals == (Interval(0, 3),)
+
+    def test_complement_of_domain_is_empty(self):
+        comp = TimeSet.interval(0, 3).complement(Interval(0, 3))
+        assert comp.is_empty
+
+    def test_clip(self):
+        ts = TimeSet.interval(0, 10) | TimeSet.point(20.0)
+        clipped = ts.clip(5, 25)
+        assert clipped.intervals == (Interval(5, 10),)
+        assert clipped.points == (20.0,)
+
+    def test_shift(self):
+        ts = TimeSet.interval(0, 1) | TimeSet.point(3.0)
+        shifted = ts.shift(1.5)
+        assert shifted.intervals == (Interval(1.5, 2.5),)
+        assert shifted.points == (4.5,)
+
+    def test_infimum_supremum(self):
+        ts = TimeSet.interval(1, 2) | TimeSet.point(0.5) | TimeSet.point(4.0)
+        assert ts.infimum == 0.5
+        assert ts.supremum == 4.0
+
+    def test_infimum_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = TimeSet.empty().infimum
+
+    def test_contains(self):
+        ts = TimeSet.interval(0, 1) | TimeSet.point(2.0)
+        assert ts.contains(0.5)
+        assert ts.contains(2.0)
+        assert not ts.contains(1.5)
+
+    def test_pieces_iteration(self):
+        ts = TimeSet.interval(0, 1) | TimeSet.point(2.0)
+        assert list(ts.pieces()) == [(0.0, 1.0), (2.0, 2.0)]
+
+    def test_equality_and_hash(self):
+        a = TimeSet.interval(0, 1)
+        b = TimeSet.interval(0, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_approx_equal(self):
+        a = TimeSet.interval(0, 1)
+        b = TimeSet.interval(0, 1 + 1e-9)
+        assert a.approx_equal(b)
+        assert not a.approx_equal(TimeSet.interval(0, 2))

@@ -1,0 +1,98 @@
+"""Tests for declarative MODEL clauses driving predictive processing.
+
+Figure 1's syntax end to end: models declared in the query text, the
+predictive processor built straight from the planned query.
+"""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.modes import PredictiveProcessor
+from repro.core.validation import ErrorBound
+from repro.engine.tuples import StreamTuple
+from repro.query import parse_query, plan_query
+
+FIG1_QUERY = """
+select * from objects MODEL objects.x = objects.x + objects.v * t
+where x > 0
+error within 5 absolute
+"""
+
+
+def tup(time, x, v, oid="a"):
+    return StreamTuple({"time": time, "id": oid, "x": x, "v": v})
+
+
+class TestFromQuery:
+    def make(self, **kw):
+        planned = plan_query(parse_query(FIG1_QUERY))
+        return PredictiveProcessor.from_query(
+            planned, horizon=10.0, key_fields=("id",),
+            constant_fields=("id",), **kw,
+        )
+
+    def test_model_extracted_from_query_text(self):
+        proc = self.make()
+        assert set(proc.model_exprs) == {"x"}
+        assert {"x", "v", "t"} <= {
+            a.split(".")[-1] for a in proc.model_exprs["x"].attributes()
+        }
+
+    def test_bound_defaults_to_error_within(self):
+        proc = self.make()
+        assert proc.validator.bound.value == 5.0
+        assert not proc.validator.bound.relative
+
+    def test_explicit_bound_overrides(self):
+        proc = self.make(bound=ErrorBound(1.0))
+        assert proc.validator.bound.value == 1.0
+
+    def test_prediction_uses_declared_model(self):
+        proc = self.make()
+        outputs = proc.process_tuple(tup(0.0, x=-20.0, v=4.0))
+        # x(t) = -20 + 4t > 0 from t = 5 within the 10 s horizon.
+        assert len(outputs) == 1
+        assert outputs[0].t_start == pytest.approx(5.0)
+        assert outputs[0].t_end == pytest.approx(10.0)
+
+    def test_validation_against_declared_model(self):
+        proc = self.make()
+        proc.process_tuple(tup(0.0, x=-20.0, v=4.0))
+        # On-model tuple at t=2: x = -12.
+        assert proc.process_tuple(tup(2.0, x=-12.0, v=4.0)) == []
+        assert proc.stats.tuples_dropped == 1
+
+    def test_query_without_model_clause_rejected(self):
+        planned = plan_query(parse_query("select * from s where x > 0"))
+        with pytest.raises(PlanError):
+            PredictiveProcessor.from_query(planned, horizon=1.0)
+
+    def test_query_without_bound_requires_explicit(self):
+        planned = plan_query(
+            parse_query(
+                "select * from s MODEL s.x = s.x + s.v * t where x > 0"
+            )
+        )
+        with pytest.raises(ValueError):
+            PredictiveProcessor.from_query(planned, horizon=1.0)
+        proc = PredictiveProcessor.from_query(
+            planned, horizon=1.0, bound=ErrorBound(1.0)
+        )
+        assert proc.validator.bound.value == 1.0
+
+    def test_quadratic_model_clause(self):
+        planned = plan_query(
+            parse_query(
+                "select * from b MODEL b.y = b.v * t + b.a * t^2 "
+                "where y > 10 error within 1 absolute"
+            )
+        )
+        proc = PredictiveProcessor.from_query(
+            planned, horizon=10.0, key_fields=("id",)
+        )
+        outputs = proc.process_tuple(
+            StreamTuple({"time": 0.0, "id": "b1", "v": 1.0, "a": 0.5})
+        )
+        # y(t) = t + 0.5 t^2 > 10 -> t > (-1 + sqrt(21)): ~3.58.
+        assert len(outputs) == 1
+        assert outputs[0].t_start == pytest.approx(3.5826, abs=1e-3)

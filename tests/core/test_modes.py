@@ -1,0 +1,149 @@
+"""Tests for the predictive and historical processing modes."""
+
+import pytest
+
+from repro.core.modes import HistoricalProcessor, PredictiveProcessor
+from repro.core.validation import ErrorBound
+from repro.engine.tuples import StreamTuple
+from repro.query import parse_expression, parse_query, plan_query
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+FILTER_SQL = "select * from objects where x > 0"
+MODEL_X = {"x": parse_expression("x + vx * t")}
+
+
+def tup(time, x, vx=0.0, oid="a"):
+    return StreamTuple({"time": time, "id": oid, "x": x, "vx": vx})
+
+
+def make_predictive(sql=FILTER_SQL, bound=1.0, horizon=10.0, **kw):
+    planned = plan_query(parse_query(sql))
+    return PredictiveProcessor(
+        planned,
+        model_exprs=MODEL_X,
+        horizon=horizon,
+        bound=ErrorBound(bound),
+        key_fields=("id",),
+        constant_fields=("id",),
+        **kw,
+    )
+
+
+class TestPredictiveProcessor:
+    def test_first_tuple_builds_model_and_predicts(self):
+        proc = make_predictive()
+        outputs = proc.process_tuple(tup(0.0, x=5.0, vx=1.0))
+        assert proc.stats.models_built == 1
+        # x = 5 + t > 0 over the whole horizon: predicted output covers it.
+        assert outputs
+        assert outputs[0].t_end == pytest.approx(10.0)
+
+    def test_accurate_tuples_are_dropped(self):
+        proc = make_predictive()
+        proc.process_tuple(tup(0.0, x=5.0, vx=1.0))
+        # Tuples exactly on the model: dropped without solver runs.
+        for t in (1.0, 2.0, 3.0):
+            out = proc.process_tuple(tup(t, x=5.0 + t, vx=1.0))
+            assert out == []
+        assert proc.stats.models_built == 1
+        assert proc.stats.tuples_dropped == 3
+        assert proc.stats.drop_rate == pytest.approx(0.75)
+
+    def test_small_deviation_within_bound_dropped(self):
+        proc = make_predictive(bound=1.0)
+        proc.process_tuple(tup(0.0, x=5.0, vx=1.0))
+        out = proc.process_tuple(tup(1.0, x=6.4, vx=1.0))  # model says 6.0
+        assert out == []
+
+    def test_violation_rebuilds_model(self):
+        proc = make_predictive(bound=0.5)
+        proc.process_tuple(tup(0.0, x=5.0, vx=1.0))
+        out = proc.process_tuple(tup(1.0, x=9.0, vx=1.0))  # deviation 3.0
+        assert proc.stats.violations == 1
+        assert proc.stats.models_built == 2
+        assert out  # re-solved with the new model
+
+    def test_model_expiry_rebuilds(self):
+        proc = make_predictive(horizon=1.0)
+        proc.process_tuple(tup(0.0, x=5.0, vx=0.0))
+        proc.process_tuple(tup(5.0, x=5.0, vx=0.0))  # past horizon
+        assert proc.stats.models_built == 2
+
+    def test_null_result_uses_slack(self):
+        # x = -5 never passes x > 0; slack is 5.
+        proc = make_predictive(bound=0.5)
+        out = proc.process_tuple(tup(0.0, x=-5.0, vx=0.0))
+        assert out == []
+        # Deviations below slack: dropped even though they exceed the
+        # accuracy bound (no result to be accurate about).
+        assert proc.process_tuple(tup(1.0, x=-3.0, vx=0.0)) == []
+        assert proc.stats.models_built == 1
+        # Deviation beyond slack: could flip the (null) result; rebuild.
+        proc.process_tuple(tup(2.0, x=1.0, vx=0.0))
+        assert proc.stats.models_built == 2
+
+    def test_per_key_models(self):
+        proc = make_predictive()
+        proc.process_tuple(tup(0.0, x=5.0, vx=0.0, oid="a"))
+        proc.process_tuple(tup(0.0, x=7.0, vx=0.0, oid="b"))
+        assert proc.stats.models_built == 2
+        proc.process_tuple(tup(1.0, x=5.0, vx=0.0, oid="a"))
+        proc.process_tuple(tup(1.0, x=7.0, vx=0.0, oid="b"))
+        assert proc.stats.tuples_dropped == 2
+
+    def test_moving_object_workload_drop_rate(self):
+        """On the synthetic workload with exact models, almost every
+        tuple validates against its predictive model — the essence of
+        the paper's throughput gains."""
+        gen = MovingObjectGenerator(
+            MovingObjectConfig(
+                num_objects=2, rate=200.0, tuples_per_segment=100, noise=0.0
+            )
+        )
+        proc = make_predictive(horizon=5.0)
+        for t in gen.tuples(1000):
+            proc.process_tuple(t)
+        assert proc.stats.drop_rate > 0.8
+        assert proc.stats.models_built < 100
+
+
+class TestHistoricalProcessor:
+    def _tuples(self):
+        gen = MovingObjectGenerator(
+            MovingObjectConfig(num_objects=2, rate=200.0, tuples_per_segment=50)
+        )
+        return list(gen.tuples(1000))
+
+    def test_model_fitted_once(self):
+        hist = HistoricalProcessor(
+            self._tuples(), attrs=("x",), tolerance=1e-6,
+            key_fields=("id",), constant_fields=("id",),
+        )
+        assert 0 < hist.segment_count < 100
+
+    def test_run_single_query(self):
+        hist = HistoricalProcessor(
+            self._tuples(), attrs=("x",), tolerance=1e-6,
+            key_fields=("id",), constant_fields=("id",),
+        )
+        planned = plan_query(parse_query(FILTER_SQL))
+        outputs = hist.run(planned)
+        assert outputs
+
+    def test_what_if_sweep_reuses_model(self):
+        hist = HistoricalProcessor(
+            self._tuples(), attrs=("x",), tolerance=1e-6,
+            key_fields=("id",), constant_fields=("id",),
+        )
+        thresholds = [-500, 0, 500]
+        queries = [
+            plan_query(parse_query(f"select * from objects where x > {c}"))
+            for c in thresholds
+        ]
+        results = hist.run_many(queries)
+        assert len(results) == 3
+        # Monotonicity: higher thresholds select less output time.
+        measures = [
+            sum(s.duration for s in outs) for outs in results
+        ]
+        assert measures[0] >= measures[1] >= measures[2]

@@ -1,0 +1,139 @@
+"""Tests for piecewise functions and envelope computation."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.piecewise import (
+    Piece,
+    PiecewiseFunction,
+    lower_envelope,
+    upper_envelope,
+)
+from repro.core.polynomial import Polynomial
+
+
+def piece(lo, hi, coeffs):
+    return Piece(Interval(lo, hi), Polynomial(coeffs))
+
+
+class TestPiecewiseFunction:
+    def test_empty(self):
+        f = PiecewiseFunction.empty()
+        assert f.is_empty
+        with pytest.raises(ValueError):
+            _ = f.domain_start
+
+    def test_rejects_overlapping_pieces(self):
+        with pytest.raises(ValueError):
+            PiecewiseFunction([piece(0, 2, [1.0]), piece(1, 3, [2.0])])
+
+    def test_eval(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0]), piece(1, 2, [0.0, 1.0])])
+        assert f(0.5) == 1.0
+        assert f(1.5) == 1.5
+
+    def test_eval_at_domain_end_uses_last_piece(self):
+        f = PiecewiseFunction([piece(0, 2, [0.0, 1.0])])
+        assert f(2.0) == pytest.approx(2.0)
+
+    def test_eval_in_gap_raises(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0]), piece(2, 3, [2.0])])
+        with pytest.raises(ValueError):
+            f(1.5)
+
+    def test_defined_at(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0])])
+        assert f.defined_at(0.5)
+        assert not f.defined_at(5.0)
+
+    def test_restrict(self):
+        f = PiecewiseFunction([piece(0, 10, [1.0])])
+        r = f.restrict(2, 4)
+        assert r.domain_start == 2
+        assert r.domain_end == 4
+
+    def test_splice_replaces_middle(self):
+        f = PiecewiseFunction([piece(0, 10, [1.0])])
+        g = f.splice(3, 6, Polynomial([5.0]))
+        assert g(1.0) == 1.0
+        assert g(4.0) == 5.0
+        assert g(8.0) == 1.0
+        assert len(g.pieces) == 3
+
+    def test_splice_into_empty(self):
+        f = PiecewiseFunction.empty().splice(0, 1, Polynomial([2.0]))
+        assert f(0.5) == 2.0
+
+    def test_splice_noop_on_empty_range(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0])])
+        assert f.splice(5, 5, Polynomial([9.0])) is f
+
+    def test_definite_integral_spans_pieces(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0]), piece(1, 2, [3.0])])
+        assert f.definite_integral(0, 2) == pytest.approx(4.0)
+        assert f.definite_integral(0.5, 1.5) == pytest.approx(0.5 + 1.5)
+
+    def test_approx_equal(self):
+        f = PiecewiseFunction([piece(0, 1, [1.0])])
+        g = PiecewiseFunction([piece(0, 1, [1.0 + 1e-9])])
+        assert f.approx_equal(g)
+
+
+class TestEnvelopes:
+    def test_two_crossing_lines_lower(self):
+        # f(t) = t and g(t) = 2 - t cross at t = 1.
+        pieces = [piece(0, 2, [0.0, 1.0]), piece(0, 2, [2.0, -1.0])]
+        env = lower_envelope(pieces)
+        assert env(0.5) == pytest.approx(0.5)   # t is lower before 1
+        assert env(1.5) == pytest.approx(0.5)   # 2 - t after
+        assert env(1.0) == pytest.approx(1.0)
+
+    def test_two_crossing_lines_upper(self):
+        pieces = [piece(0, 2, [0.0, 1.0]), piece(0, 2, [2.0, -1.0])]
+        env = upper_envelope(pieces)
+        assert env(0.5) == pytest.approx(1.5)
+        assert env(1.5) == pytest.approx(1.5)
+
+    def test_disjoint_domains_concatenate(self):
+        pieces = [piece(0, 1, [1.0]), piece(2, 3, [2.0])]
+        env = lower_envelope(pieces)
+        assert env(0.5) == 1.0
+        assert env(2.5) == 2.0
+        assert not env.defined_at(1.5)
+
+    def test_partial_overlap(self):
+        # Constant 5 on [0, 4); constant 1 on [2, 6).
+        pieces = [piece(0, 4, [5.0]), piece(2, 6, [1.0])]
+        env = lower_envelope(pieces)
+        assert env(1.0) == 5.0
+        assert env(3.0) == 1.0
+        assert env(5.0) == 1.0
+
+    def test_quadratic_against_line(self):
+        # t^2 vs 1: t^2 lower on (-1, 1).
+        pieces = [piece(-2, 2, [0.0, 0.0, 1.0]), piece(-2, 2, [1.0])]
+        env = lower_envelope(pieces)
+        assert env(0.0) == pytest.approx(0.0)
+        assert env(-1.5) == pytest.approx(1.0)
+        assert env(1.5) == pytest.approx(1.0)
+
+    def test_envelope_pointwise_property(self):
+        pieces = [
+            piece(0, 10, [3.0, 0.5]),
+            piece(0, 10, [8.0, -0.5]),
+            piece(2, 8, [1.0, 0.0, 0.1]),
+        ]
+        env = lower_envelope(pieces)
+        for i in range(100):
+            t = 0.05 + i * 0.0999
+            live = [p.poly(t) for p in pieces if p.interval.contains(t)]
+            if live and env.defined_at(t):
+                assert env(t) == pytest.approx(min(live), abs=1e-6)
+
+    def test_identical_pieces_merge(self):
+        pieces = [piece(0, 1, [1.0]), piece(1, 2, [1.0])]
+        env = lower_envelope(pieces)
+        assert len(env.pieces) == 1
+
+    def test_empty_input(self):
+        assert lower_envelope([]).is_empty

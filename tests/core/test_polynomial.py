@@ -1,0 +1,175 @@
+"""Tests for the polynomial kernel."""
+
+import math
+
+import pytest
+
+from repro.core.polynomial import Polynomial
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert Polynomial().is_zero
+
+    def test_trims_trailing_zeros(self):
+        p = Polynomial([1.0, 2.0, 0.0, 0.0])
+        assert p.coeffs == (1.0, 2.0)
+        assert p.degree == 1
+
+    def test_zero_polynomial_keeps_single_coefficient(self):
+        assert Polynomial([0.0, 0.0]).coeffs == (0.0,)
+
+    def test_constructors(self):
+        assert Polynomial.constant(3.0).coeffs == (3.0,)
+        assert Polynomial.linear(1.0, 2.0).coeffs == (1.0, 2.0)
+        assert Polynomial.monomial(3).coeffs == (0.0, 0.0, 0.0, 1.0)
+
+    def test_monomial_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            Polynomial.monomial(-1)
+
+    def test_immutable(self):
+        p = Polynomial([1.0])
+        with pytest.raises(AttributeError):
+            p.coeffs = (2.0,)
+
+
+class TestEvaluation:
+    def test_horner_matches_direct(self):
+        p = Polynomial([1.0, -2.0, 3.0, 0.5])
+        for t in (-2.0, 0.0, 0.7, 5.0):
+            direct = 1.0 - 2.0 * t + 3.0 * t**2 + 0.5 * t**3
+            assert p(t) == pytest.approx(direct)
+
+    def test_constant_broadcast_over_arrays(self):
+        import numpy as np
+
+        p = Polynomial.constant(4.0)
+        out = p(np.array([1.0, 2.0, 3.0]))
+        assert list(out) == [4.0, 4.0, 4.0]
+
+    def test_array_evaluation(self):
+        import numpy as np
+
+        p = Polynomial([0.0, 1.0, 1.0])  # t + t^2
+        out = p(np.array([1.0, 2.0]))
+        assert list(out) == [2.0, 6.0]
+
+
+class TestArithmetic:
+    def test_add(self):
+        p = Polynomial([1.0, 2.0]) + Polynomial([3.0, 0.0, 1.0])
+        assert p.coeffs == (4.0, 2.0, 1.0)
+
+    def test_add_scalar(self):
+        assert (Polynomial([1.0, 1.0]) + 2).coeffs == (3.0, 1.0)
+        assert (2 + Polynomial([1.0, 1.0])).coeffs == (3.0, 1.0)
+
+    def test_sub_cancels_to_zero(self):
+        p = Polynomial([1.0, 2.0])
+        assert (p - p).is_zero
+
+    def test_rsub(self):
+        assert (5 - Polynomial([1.0, 1.0])).coeffs == (4.0, -1.0)
+
+    def test_mul(self):
+        # (1 + t)(1 - t) = 1 - t^2
+        p = Polynomial([1.0, 1.0]) * Polynomial([1.0, -1.0])
+        assert p.coeffs == (1.0, 0.0, -1.0)
+
+    def test_scalar_mul(self):
+        assert (3 * Polynomial([1.0, 2.0])).coeffs == (3.0, 6.0)
+
+    def test_div_by_scalar(self):
+        assert (Polynomial([2.0, 4.0]) / 2).coeffs == (1.0, 2.0)
+
+    def test_div_by_polynomial_rejected(self):
+        with pytest.raises(TypeError):
+            Polynomial([1.0]) / Polynomial([1.0, 1.0])
+
+    def test_pow(self):
+        p = Polynomial([1.0, 1.0]) ** 2
+        assert p.coeffs == (1.0, 2.0, 1.0)
+        assert (Polynomial([2.0]) ** 0).coeffs == (1.0,)
+
+    def test_pow_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Polynomial([1.0, 1.0]) ** -1
+
+
+class TestCalculus:
+    def test_derivative(self):
+        p = Polynomial([1.0, 2.0, 3.0])  # 1 + 2t + 3t^2
+        assert p.derivative().coeffs == (2.0, 6.0)
+
+    def test_derivative_of_constant_is_zero(self):
+        assert Polynomial.constant(5.0).derivative().is_zero
+
+    def test_antiderivative_inverts_derivative(self):
+        p = Polynomial([1.0, 2.0, 3.0])
+        assert p.antiderivative().derivative().approx_equal(p)
+
+    def test_definite_integral(self):
+        # integral of t on [0, 2] is 2.
+        assert Polynomial([0.0, 1.0]).definite_integral(0, 2) == pytest.approx(2.0)
+
+    def test_definite_integral_orientation(self):
+        p = Polynomial([1.0])
+        assert p.definite_integral(2, 0) == pytest.approx(-2.0)
+
+
+class TestComposition:
+    def test_shift_identity(self):
+        p = Polynomial([1.0, 2.0, 3.0])
+        assert p.shift(0.0) is p
+
+    def test_shift_evaluates_correctly(self):
+        p = Polynomial([1.0, -2.0, 0.5])
+        q = p.shift(1.5)  # q(t) = p(t + 1.5)
+        for t in (-1.0, 0.0, 2.0):
+            assert q(t) == pytest.approx(p(t + 1.5))
+
+    def test_compose_affine(self):
+        p = Polynomial([0.0, 0.0, 1.0])  # t^2
+        q = p.compose_affine(2.0, 1.0)  # (2t+1)^2 = 4t^2 + 4t + 1
+        assert q.coeffs == pytest.approx((1.0, 4.0, 4.0))
+
+    def test_sliding_window_integral_constant(self):
+        # integral over a window of width 3 of the constant 2 is 6.
+        wf = Polynomial.constant(2.0).sliding_window_integral(3.0)
+        assert wf(10.0) == pytest.approx(6.0)
+        assert wf(0.0) == pytest.approx(6.0)
+
+    def test_sliding_window_integral_linear(self):
+        # f = t; integral_{t-w}^{t} tau dtau = w*t - w^2/2.
+        w = 2.0
+        wf = Polynomial([0.0, 1.0]).sliding_window_integral(w)
+        for t in (0.0, 1.0, 5.0):
+            assert wf(t) == pytest.approx(w * t - w * w / 2)
+
+    def test_sliding_window_matches_numeric_quadrature(self):
+        p = Polynomial([1.0, -0.5, 0.25, 0.1])
+        w = 1.7
+        wf = p.sliding_window_integral(w)
+        t = 3.3
+        assert wf(t) == pytest.approx(p.definite_integral(t - w, t), rel=1e-9)
+
+
+class TestComparison:
+    def test_approx_equal_relative(self):
+        a = Polynomial([1e9, 1.0])
+        b = Polynomial([1e9 + 1e-3, 1.0])
+        assert a.approx_equal(b, tol=1e-9)
+
+    def test_equality_and_hash(self):
+        assert Polynomial([1.0, 2.0]) == Polynomial([1.0, 2.0, 0.0])
+        assert hash(Polynomial([1.0])) == hash(Polynomial([1.0]))
+
+    def test_bound_on_dominates_values(self):
+        p = Polynomial([1.0, -3.0, 2.0])
+        bound = p.bound_on(-2.0, 2.0)
+        for t in [-2 + 0.1 * i for i in range(41)]:
+            assert abs(p(t)) <= bound + 1e-9
+
+    def test_repr_mentions_terms(self):
+        assert "t^2" in repr(Polynomial([0.0, 0.0, 3.0]))

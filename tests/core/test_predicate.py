@@ -1,0 +1,153 @@
+"""Tests for predicate trees and their normalization rewrites."""
+
+import pytest
+
+from repro.core.errors import PredicateError
+from repro.core.expr import Abs, Attr, Const, Pow, Sqrt, Sub
+from repro.core.predicate import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    normalize,
+)
+from repro.core.relation import Rel
+
+
+def cmp(left, rel, right):
+    return Comparison(left, rel, right)
+
+
+X = Attr("x")
+ENV_POS = {"x": 5.0}
+ENV_NEG = {"x": -5.0}
+ENV_ZERO = {"x": 0.0}
+
+
+class TestEvaluation:
+    def test_comparison(self):
+        p = cmp(X, Rel.GT, Const(0.0))
+        assert p.evaluate(ENV_POS)
+        assert not p.evaluate(ENV_NEG)
+
+    def test_and_or_not(self):
+        p = And(cmp(X, Rel.GT, Const(-10.0)), cmp(X, Rel.LT, Const(0.0)))
+        assert p.evaluate(ENV_NEG)
+        assert not p.evaluate(ENV_POS)
+        q = Or(cmp(X, Rel.GT, Const(1.0)), cmp(X, Rel.LT, Const(-1.0)))
+        assert q.evaluate(ENV_POS) and q.evaluate(ENV_NEG)
+        assert not q.evaluate(ENV_ZERO)
+        assert Not(q).evaluate(ENV_ZERO)
+
+    def test_literals(self):
+        assert TRUE.evaluate({}) and not FALSE.evaluate({})
+
+    def test_and_flattens_nested(self):
+        p = And(And(TRUE, TRUE), TRUE)
+        assert len(p.children) == 3
+
+    def test_atoms_iteration(self):
+        p = And(cmp(X, Rel.GT, Const(0.0)), Or(cmp(X, Rel.LT, Const(5.0)), TRUE))
+        assert len(list(p.atoms())) == 2
+
+
+class TestNormalizeBooleans:
+    def test_not_pushed_into_comparison(self):
+        p = normalize(Not(cmp(X, Rel.LT, Const(0.0))))
+        assert isinstance(p, Comparison)
+        assert p.rel is Rel.GE
+
+    def test_double_negation(self):
+        inner = cmp(X, Rel.LT, Const(0.0))
+        assert normalize(Not(Not(inner))) == inner
+
+    def test_de_morgan(self):
+        p = normalize(Not(And(cmp(X, Rel.LT, Const(0.0)), cmp(X, Rel.GT, Const(-5.0)))))
+        assert isinstance(p, Or)
+        assert {c.rel for c in p.children} == {Rel.GE, Rel.LE}
+
+    def test_constant_folding_and(self):
+        assert normalize(And(TRUE, cmp(X, Rel.LT, Const(0.0)), TRUE)) == cmp(
+            X, Rel.LT, Const(0.0)
+        )
+        assert normalize(And(FALSE, cmp(X, Rel.LT, Const(0.0)))) == FALSE
+
+    def test_constant_folding_or(self):
+        assert normalize(Or(TRUE, cmp(X, Rel.LT, Const(0.0)))) == TRUE
+        assert normalize(Or(FALSE, FALSE)) == FALSE
+
+    def test_empty_and_is_true(self):
+        assert normalize(And()) == TRUE
+
+
+class TestSqrtRewrite:
+    def test_lt_squares_constant(self):
+        p = normalize(cmp(Sqrt(X), Rel.LT, Const(3.0)))
+        assert isinstance(p, Comparison)
+        assert p.rel is Rel.LT
+        assert p.right == Const(9.0)
+
+    def test_negative_bound_statically_resolved(self):
+        assert normalize(cmp(Sqrt(X), Rel.LT, Const(-1.0))) == FALSE
+        assert normalize(cmp(Sqrt(X), Rel.GT, Const(-1.0))) == TRUE
+
+    def test_sqrt_on_right_side_is_flipped(self):
+        p = normalize(cmp(Const(3.0), Rel.GT, Sqrt(X)))
+        assert isinstance(p, Comparison)
+        assert p.left == X
+        assert p.rel is Rel.LT
+
+    def test_sqrt_against_non_constant_rejected(self):
+        with pytest.raises(PredicateError):
+            normalize(cmp(Sqrt(X), Rel.LT, Attr("y")))
+
+    def test_semantic_equivalence(self):
+        # For x >= 0, sqrt(x) < 2  <=>  x < 4.
+        orig = cmp(Sqrt(X), Rel.LT, Const(2.0))
+        rewritten = normalize(orig)
+        for x in (0.0, 1.0, 3.9, 4.0, 10.0):
+            env = {"x": x}
+            assert orig.evaluate(env) == rewritten.evaluate(env)
+
+
+class TestAbsRewrite:
+    def test_lt_becomes_band(self):
+        p = normalize(cmp(Abs(X), Rel.LT, Const(2.0)))
+        assert isinstance(p, And)
+        assert len(p.children) == 2
+
+    def test_gt_becomes_disjunction(self):
+        p = normalize(cmp(Abs(X), Rel.GT, Const(2.0)))
+        assert isinstance(p, Or)
+
+    def test_eq_becomes_two_points(self):
+        p = normalize(cmp(Abs(X), Rel.EQ, Const(2.0)))
+        assert isinstance(p, Or)
+        assert all(c.rel is Rel.EQ for c in p.children)
+
+    def test_negative_bound(self):
+        assert normalize(cmp(Abs(X), Rel.LT, Const(-3.0))) == FALSE
+        assert normalize(cmp(Abs(X), Rel.NE, Const(-3.0))) == TRUE
+
+    @pytest.mark.parametrize("rel", [Rel.LT, Rel.LE, Rel.GT, Rel.GE, Rel.EQ, Rel.NE])
+    def test_semantic_equivalence(self, rel):
+        orig = cmp(Abs(X), rel, Const(2.0))
+        rewritten = normalize(orig)
+        for x in (-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0):
+            env = {"x": x}
+            assert orig.evaluate(env) == rewritten.evaluate(env), (rel, x)
+
+    def test_paper_collision_predicate(self):
+        """The intro's collision query: abs(distance(...)) < c, with
+        distance expressed via pow — normalizes to polynomial atoms."""
+        dist_sq = Pow(Sub(Attr("R.x"), Attr("S.x")), 2)
+        pred = cmp(Abs(Sqrt(dist_sq)), Rel.LT, Const(10.0))
+        p = normalize(pred)
+        # sqrt >= 0 so abs band's negative side is vacuous but still
+        # polynomial; all atoms must be sqrt/abs-free.
+        for atom in p.atoms():
+            assert not isinstance(atom.left, (Sqrt, Abs))
+            assert not isinstance(atom.right, (Sqrt, Abs))

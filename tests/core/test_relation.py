@@ -1,0 +1,73 @@
+"""Tests for the relational comparison enum."""
+
+import pytest
+
+from repro.core.relation import Rel
+
+
+class TestHolds:
+    def test_lt(self):
+        assert Rel.LT.holds(-1.0)
+        assert not Rel.LT.holds(0.0)
+        assert not Rel.LT.holds(1.0)
+
+    def test_le(self):
+        assert Rel.LE.holds(-1.0)
+        assert Rel.LE.holds(0.0)
+        assert not Rel.LE.holds(1.0)
+
+    def test_eq(self):
+        assert Rel.EQ.holds(0.0)
+        assert not Rel.EQ.holds(1e-3)
+
+    def test_eq_with_tolerance(self):
+        assert Rel.EQ.holds(1e-3, tol=1e-2)
+        assert not Rel.EQ.holds(1e-1, tol=1e-2)
+
+    def test_ne(self):
+        assert Rel.NE.holds(0.5)
+        assert not Rel.NE.holds(0.0)
+
+    def test_ge_gt(self):
+        assert Rel.GE.holds(0.0)
+        assert Rel.GT.holds(0.1)
+        assert not Rel.GT.holds(0.0)
+
+    def test_tolerance_widens_inequalities(self):
+        # A value of -0.5 with tol 1 satisfies GE (it is "close enough").
+        assert Rel.GE.holds(-0.5, tol=1.0)
+        assert not Rel.LT.holds(-0.5, tol=1.0)
+
+
+class TestStructure:
+    def test_flip_roundtrip(self):
+        for rel in Rel:
+            assert rel.flip().flip() is rel
+
+    def test_flip_is_consistent_with_holds(self):
+        # x R y  <=>  y flip(R) x, i.e. v R 0 <=> -v flip(R) 0.
+        for rel in Rel:
+            for v in (-2.0, 0.0, 3.0):
+                assert rel.holds(v) == rel.flip().holds(-v)
+
+    def test_negate_partitions(self):
+        for rel in Rel:
+            for v in (-1.0, 0.0, 1.0):
+                assert rel.holds(v) != rel.negate().holds(v)
+
+    def test_from_symbol(self):
+        assert Rel.from_symbol("<") is Rel.LT
+        assert Rel.from_symbol("!=") is Rel.NE
+        assert Rel.from_symbol("<>") is Rel.NE
+        assert Rel.from_symbol("==") is Rel.EQ
+
+    def test_from_symbol_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Rel.from_symbol("~")
+
+    def test_includes_equality(self):
+        assert Rel.LE.includes_equality
+        assert Rel.GE.includes_equality
+        assert Rel.EQ.includes_equality
+        assert not Rel.LT.includes_equality
+        assert not Rel.NE.includes_equality

@@ -1,0 +1,138 @@
+"""Tests for the interval index and indexed segment buffer."""
+
+import pytest
+
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment, SegmentBuffer
+from repro.core.segment_index import IndexedSegmentBuffer, IntervalIndex
+
+
+def seg(key, lo, hi, value=0.0):
+    return Segment((key,), lo, hi, {"x": Polynomial([value])})
+
+
+class TestIntervalIndex:
+    def test_rejects_bad_cell_width(self):
+        with pytest.raises(ValueError):
+            IntervalIndex(cell_width=0.0)
+
+    def test_insert_and_query(self):
+        idx = IntervalIndex(cell_width=1.0)
+        a = seg("a", 0.0, 2.5)
+        b = seg("b", 5.0, 6.0)
+        idx.insert(a)
+        idx.insert(b)
+        assert len(idx) == 2
+        hits = list(idx.overlapping(2.0, 5.5))
+        assert {s.seg_id for s in hits} == {a.seg_id, b.seg_id}
+        assert list(idx.overlapping(3.0, 4.0)) == []
+
+    def test_no_duplicates_for_multi_cell_segments(self):
+        idx = IntervalIndex(cell_width=0.5)
+        a = seg("a", 0.0, 5.0)  # spans 10 cells
+        idx.insert(a)
+        assert len(list(idx.overlapping(0.0, 5.0))) == 1
+
+    def test_remove(self):
+        idx = IntervalIndex(cell_width=1.0)
+        a = seg("a", 0.0, 2.0)
+        idx.insert(a)
+        assert idx.remove(a)
+        assert len(idx) == 0
+        assert not idx.remove(a)
+
+    def test_evict_before(self):
+        idx = IntervalIndex(cell_width=1.0)
+        idx.insert(seg("a", 0.0, 1.0))
+        idx.insert(seg("b", 2.0, 3.0))
+        assert idx.evict_before(1.5) == 1
+        assert len(idx) == 1
+
+    def test_boundary_query_half_open(self):
+        idx = IntervalIndex(cell_width=1.0)
+        idx.insert(seg("a", 0.0, 2.0))
+        # Touching at the boundary is not overlap.
+        assert list(idx.overlapping(2.0, 3.0)) == []
+
+    def test_negative_times(self):
+        idx = IntervalIndex(cell_width=1.0)
+        a = seg("a", -3.5, -1.0)
+        idx.insert(a)
+        assert len(list(idx.overlapping(-2.0, 0.0))) == 1
+
+
+class TestIndexedSegmentBuffer:
+    def test_matches_plain_buffer_on_random_workload(self):
+        import random
+
+        rng = random.Random(6)
+        plain = SegmentBuffer()
+        indexed = IndexedSegmentBuffer(cell_width=2.0)
+        for i in range(200):
+            key = f"k{rng.randrange(10)}"
+            lo = rng.uniform(0, 100)
+            s = seg(key, lo, lo + rng.uniform(0.5, 8.0), value=float(i))
+            plain.insert(s)
+            indexed.insert(s)
+        for _ in range(50):
+            lo = rng.uniform(0, 100)
+            hi = lo + rng.uniform(0.5, 15.0)
+            a = {(s.key, s.t_start, s.t_end) for s in plain.overlapping(lo, hi)}
+            b = {(s.key, s.t_start, s.t_end) for s in indexed.overlapping(lo, hi)}
+            assert a == b, (lo, hi)
+
+    def test_update_semantics_preserved(self):
+        buf = IndexedSegmentBuffer(cell_width=1.0)
+        buf.insert(seg("a", 0.0, 10.0, value=1.0))
+        buf.insert(seg("a", 5.0, 15.0, value=2.0))
+        segs = sorted(buf.segments(("a",)), key=lambda s: s.t_start)
+        assert [(s.t_start, s.t_end) for s in segs] == [(0.0, 5.0), (5.0, 15.0)]
+        # The index reflects the trimmed predecessor.
+        hits = list(buf.overlapping(6.0, 7.0))
+        assert len(hits) == 1
+        assert hits[0].model("x") == Polynomial([2.0])
+
+    def test_per_key_query(self):
+        buf = IndexedSegmentBuffer()
+        buf.insert(seg("a", 0.0, 5.0))
+        buf.insert(seg("b", 0.0, 5.0))
+        assert len(list(buf.overlapping(0.0, 5.0, key=("a",)))) == 1
+
+    def test_evict(self):
+        buf = IndexedSegmentBuffer()
+        buf.insert(seg("a", 0.0, 1.0))
+        buf.insert(seg("a", 1.0, 2.0))
+        buf.evict_before(1.5)
+        assert len(buf) == 1
+        assert buf.watermark == 1.5
+
+    def test_clear(self):
+        buf = IndexedSegmentBuffer()
+        buf.insert(seg("a", 0.0, 1.0))
+        buf.clear()
+        assert len(buf) == 0
+        assert list(buf.overlapping(0.0, 1.0)) == []
+
+
+class TestIndexedJoin:
+    def test_join_results_identical_with_and_without_index(self):
+        from repro.core.expr import Attr
+        from repro.core.operators import ContinuousJoin
+        from repro.core.predicate import Comparison
+        from repro.core.relation import Rel
+        import random
+
+        rng = random.Random(8)
+        pred = Comparison(Attr("L.x"), Rel.LT, Attr("R.x"))
+        plain = ContinuousJoin(pred, window=5.0)
+        indexed = ContinuousJoin(pred, window=5.0, index_cell_width=2.0)
+        results_plain, results_indexed = [], []
+        t = 0.0
+        for i in range(120):
+            t += rng.uniform(0.1, 0.5)
+            s = seg(f"k{i % 6}", t, t + rng.uniform(0.5, 3.0), value=rng.uniform(-10, 10))
+            port = i % 2
+            results_plain += plain.process(s, port)
+            results_indexed += indexed.process(s, port)
+        key = lambda o: (o.key, round(o.t_start, 9), round(o.t_end, 9))
+        assert sorted(map(key, results_plain)) == sorted(map(key, results_indexed))

@@ -1,0 +1,87 @@
+"""Tests for the query transform wrapper (TransformedQuery)."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.transform import to_continuous_plan
+from repro.query import parse_query, plan_query
+
+
+def transformed(sql):
+    return to_continuous_plan(plan_query(parse_query(sql)))
+
+
+def seg(lo, hi, value, key=("k",)):
+    return Segment(key, lo, hi, {"x": Polynomial([value])})
+
+
+class TestSamplePeriodInference:
+    def test_explicit_sample_period_wins(self):
+        q = transformed(
+            "select avg(x) as m from s [size 4 advance 2] sample period 0.5"
+        )
+        assert q.sample_period == 0.5
+        assert q.effective_sample_period == 0.5
+
+    def test_inferred_from_aggregate_slide(self):
+        q = transformed("select avg(x) as m from s [size 4 advance 2]")
+        assert q.sample_period is None
+        assert q.inferred_period == 2.0
+        assert q.effective_sample_period == 2.0
+
+    def test_smallest_slide_wins(self):
+        q = transformed(
+            "select a.m - b.m as d from "
+            "(select avg(x) as m from s [size 4 advance 2]) as a join "
+            "(select avg(x) as m from s [size 8 advance 4]) as b "
+            "on (a.m < b.m)"
+        )
+        assert q.inferred_period == 2.0
+
+    def test_selective_query_has_no_inferred_rate(self):
+        q = transformed("select * from s where x > 0")
+        assert q.effective_sample_period is None
+
+
+class TestMaterialize:
+    def test_aggregate_outputs_sampled_on_slide_grid(self):
+        q = transformed("select avg(x) as m from s [size 2 advance 1]")
+        outputs = q.push("s", seg(0, 10, 3.0))
+        rows = q.materialize(outputs)
+        assert rows, "aggregate must produce sampled rows"
+        times = sorted(r["time"] for r in rows)
+        # Samples fall on the slide grid, starting once the window fills.
+        for t in times:
+            assert t == pytest.approx(round(t))
+        for r in rows:
+            assert r["m"] == pytest.approx(3.0)  # the average of a constant 3
+
+    def test_materialize_without_rate_raises(self):
+        q = transformed("select * from s where x > 0")
+        outputs = q.push("s", seg(0, 10, 5.0))
+        with pytest.raises(PlanError):
+            q.materialize(outputs)
+
+    def test_materialize_with_explicit_rate(self):
+        q = transformed("select * from s where x > 0 sample period 2.5")
+        outputs = q.push("s", seg(0, 10, 5.0))
+        rows = q.materialize(outputs)
+        assert [r["time"] for r in rows] == [0.0, 2.5, 5.0, 7.5]
+
+
+class TestPushWiring:
+    def test_unknown_stream_raises(self):
+        q = transformed("select * from s where x > 0")
+        with pytest.raises(PlanError):
+            q.push("other", seg(0, 1, 1.0))
+
+    def test_reset_clears_state(self):
+        q = transformed("select avg(x) as m from s [size 2 advance 1]")
+        q.push("s", seg(0, 10, 3.0))
+        q.reset()
+        # After reset the aggregate starts fresh: same input yields the
+        # same outputs again (state did not accumulate).
+        out = q.push("s", seg(0, 10, 3.0))
+        assert out

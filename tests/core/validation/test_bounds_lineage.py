@@ -1,0 +1,152 @@
+"""Tests for error bounds, allocations and the lineage store."""
+
+import pytest
+
+from repro.core.expr import Attr, Const
+from repro.core.operators import ContinuousFilter
+from repro.core.plan import ContinuousPlan
+from repro.core.polynomial import Polynomial
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.core.segment import Segment
+from repro.core.validation import (
+    AllocatedBound,
+    BoundAllocation,
+    ErrorBound,
+    LineageStore,
+)
+
+
+def seg(lo, hi, key=("k",), **models):
+    return Segment(
+        key=key,
+        t_start=lo,
+        t_end=hi,
+        models={k: Polynomial(v) for k, v in models.items()},
+    )
+
+
+class TestErrorBound:
+    def test_absolute(self):
+        b = ErrorBound(0.5)
+        assert b.absolute_for(100.0) == 0.5
+        assert b.interval_around(10.0) == (9.5, 10.5)
+
+    def test_relative(self):
+        b = ErrorBound(0.01, relative=True)
+        assert b.absolute_for(200.0) == pytest.approx(2.0)
+        assert b.absolute_for(-200.0) == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ErrorBound(-0.1)
+
+    def test_from_spec(self):
+        from repro.query.ast_nodes import ErrorSpec
+
+        b = ErrorBound.from_spec(ErrorSpec(0.01, relative=True))
+        assert b.relative and b.value == 0.01
+
+
+class TestBoundAllocation:
+    def make(self, lo=-1.0, hi=1.0, t0=0.0, t1=10.0):
+        return AllocatedBound(("k",), "x", lo, hi, t0, t1)
+
+    def test_allows(self):
+        b = self.make()
+        assert b.allows(0.5)
+        assert b.allows(-1.0)
+        assert not b.allows(1.5)
+
+    def test_lookup_by_time(self):
+        alloc = BoundAllocation()
+        alloc.add(self.make(t0=0, t1=5))
+        alloc.add(self.make(lo=-2, hi=2, t0=5, t1=10))
+        assert alloc.lookup(("k",), "x", 3.0).hi == 1.0
+        assert alloc.lookup(("k",), "x", 7.0).hi == 2.0
+        assert alloc.lookup(("k",), "x", 20.0) is None
+
+    def test_later_allocation_wins_on_overlap(self):
+        alloc = BoundAllocation()
+        alloc.add(self.make(t0=0, t1=10))
+        alloc.add(self.make(lo=-3, hi=3, t0=0, t1=10))
+        assert alloc.lookup(("k",), "x", 5.0).hi == 3.0
+
+    def test_unknown_target(self):
+        alloc = BoundAllocation()
+        assert alloc.lookup(("nope",), "x", 0.0) is None
+
+    def test_evict(self):
+        alloc = BoundAllocation()
+        alloc.add(self.make(t0=0, t1=5))
+        alloc.add(self.make(t0=5, t1=10))
+        assert alloc.evict_before(6.0) == 1
+        assert len(alloc) == 1
+
+
+class TestLineageStore:
+    def test_observer_records_derivations(self):
+        plan = ContinuousPlan()
+        src = plan.add_source("S")
+        f = plan.add_operator(
+            ContinuousFilter(Comparison(Attr("x"), Rel.GT, Const(0.0))), [src]
+        )
+        plan.set_output(f)
+        store = LineageStore()
+        store.attach(plan)
+        s = seg(0, 10, x=[-5.0, 1.0])
+        store.record_source(s)
+        out = plan.push("S", s)
+        assert len(out) == 1
+        sources = store.source_segments(out[0].seg_id)
+        assert [src.seg_id for src in sources] == [s.seg_id]
+
+    def test_transitive_closure_through_two_operators(self):
+        plan = ContinuousPlan()
+        src = plan.add_source("S")
+        f1 = plan.add_operator(
+            ContinuousFilter(Comparison(Attr("x"), Rel.GT, Const(0.0))), [src]
+        )
+        f2 = plan.add_operator(
+            ContinuousFilter(Comparison(Attr("x"), Rel.GT, Const(1.0))), [f1]
+        )
+        plan.set_output(f2)
+        store = LineageStore()
+        store.attach(plan)
+        s = seg(0, 10, x=[-5.0, 1.0])
+        store.record_source(s)
+        out = plan.push("S", s)
+        sources = store.source_segments(out[0].seg_id)
+        assert [x.seg_id for x in sources] == [s.seg_id]
+
+    def test_join_lineage_has_two_sources(self):
+        from repro.core.operators import ContinuousJoin
+
+        plan = ContinuousPlan()
+        a = plan.add_source("A")
+        b = plan.add_source("B")
+        j = plan.add_operator(
+            ContinuousJoin(Comparison(Attr("L.x"), Rel.LT, Attr("R.y"))),
+            [(a, 0), (b, 1)],
+        )
+        plan.set_output(j)
+        store = LineageStore()
+        store.attach(plan)
+        sa = seg(0, 10, key=("a",), x=[0.0])
+        sb = seg(0, 10, key=("b",), y=[5.0])
+        store.record_source(sa)
+        store.record_source(sb)
+        plan.push("A", sa)
+        out = plan.push("B", sb)
+        sources = store.source_segments(out[0].seg_id)
+        assert {x.seg_id for x in sources} == {sa.seg_id, sb.seg_id}
+
+    def test_unknown_segment_has_no_sources(self):
+        assert LineageStore().source_segments(999999) == []
+
+    def test_evict(self):
+        store = LineageStore()
+        s = seg(0, 5, x=[1.0])
+        store.record_source(s)
+        assert store.evict_before(10.0) == 1
+        assert len(store) == 0

@@ -1,0 +1,248 @@
+"""Tests for split heuristics, query inversion and the validator."""
+
+import pytest
+
+from repro.core.expr import Attr, Const
+from repro.core.polynomial import Polynomial
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.core.segment import Segment
+from repro.core.transform import to_continuous_plan
+from repro.core.validation import (
+    BoundAllocation,
+    ErrorBound,
+    LineageStore,
+    Outcome,
+    QueryInverter,
+    QueryValidator,
+    SplitInput,
+    collect_dependencies,
+    equi_split,
+    get_splitter,
+    gradient_split,
+)
+from repro.query import parse_query, plan_query
+
+
+def seg(lo, hi, key=("k",), constants=None, **models):
+    return Segment(
+        key=key,
+        t_start=lo,
+        t_end=hi,
+        models={k: Polynomial(v) for k, v in models.items()},
+        constants=constants or {},
+    )
+
+
+def split_input(key, attr, coeffs, lo=0.0, hi=10.0):
+    return SplitInput(key, attr, Polynomial(coeffs), lo, hi)
+
+
+class TestSplitHeuristics:
+    def test_equi_split_uniform(self):
+        inputs = [split_input(("a",), "x", [1.0]), split_input(("b",), "x", [2.0])]
+        shares = equi_split(("o",), (-1.0, 1.0), inputs)
+        assert len(shares) == 2
+        for share in shares:
+            assert share.lo == pytest.approx(-0.5)
+            assert share.hi == pytest.approx(0.5)
+
+    def test_equi_split_dilutes_for_dependencies(self):
+        inputs = [split_input(("a",), "x", [1.0])]
+        shares = equi_split(("o",), (-1.0, 1.0), inputs, dependencies=1)
+        assert shares[0].hi == pytest.approx(0.5)
+
+    def test_equi_split_conservative(self):
+        inputs = [split_input((str(i),), "x", [1.0]) for i in range(5)]
+        shares = equi_split(("o",), (-2.0, 2.0), inputs)
+        assert sum(s.hi for s in shares) <= 2.0 + 1e-12
+
+    def test_gradient_split_weights_by_derivative(self):
+        # Input "fast" has slope 3, "slow" slope 1: 3/4 vs 1/4 share.
+        inputs = [
+            split_input(("fast",), "x", [0.0, 3.0]),
+            split_input(("slow",), "x", [0.0, 1.0]),
+        ]
+        shares = {s.key: s for s in gradient_split(("o",), (-4.0, 4.0), inputs)}
+        assert shares[("fast",)].hi == pytest.approx(3.0)
+        assert shares[("slow",)].hi == pytest.approx(1.0)
+
+    def test_gradient_split_conservative(self):
+        inputs = [
+            split_input(("a",), "x", [0.0, 2.0]),
+            split_input(("b",), "x", [0.0, 5.0]),
+        ]
+        shares = gradient_split(("o",), (-1.0, 1.0), inputs)
+        assert sum(s.hi for s in shares) <= 1.0 + 1e-12
+
+    def test_gradient_split_constant_models_fall_back_to_equi(self):
+        inputs = [
+            split_input(("a",), "x", [1.0]),
+            split_input(("b",), "x", [9.0]),
+        ]
+        shares = gradient_split(("o",), (-1.0, 1.0), inputs)
+        assert all(s.hi == pytest.approx(0.5) for s in shares)
+
+    def test_empty_inputs(self):
+        assert equi_split(("o",), (-1, 1), []) == []
+        assert gradient_split(("o",), (-1, 1), []) == []
+
+    def test_get_splitter(self):
+        assert get_splitter("equi") is equi_split
+        assert get_splitter("gradient") is gradient_split
+        assert get_splitter(equi_split) is equi_split
+        with pytest.raises(ValueError):
+            get_splitter("nope")
+
+
+class TestCollectDependencies:
+    def test_inference_attrs(self):
+        # S.d constrains via the predicate but is not projected —
+        # the paper's inference example.
+        planned = plan_query(
+            parse_query(
+                "select a, b as x from R join S on (R.a = S.a) where R.a < S.d"
+            )
+        )
+        deps = collect_dependencies(planned.root)
+        assert "d" in deps.inferences
+
+    def test_translations(self):
+        planned = plan_query(parse_query("select b as x from R"))
+        deps = collect_dependencies(planned.root)
+        assert deps.translations["x"] == frozenset({"b"})
+
+
+class TestQueryInverter:
+    def build(self, sql="select * from s where x > 0"):
+        planned = plan_query(parse_query(sql))
+        query = to_continuous_plan(planned)
+        lineage = LineageStore()
+        lineage.attach(query.plan)
+        inverter = QueryInverter(lineage)
+        return query, lineage, inverter
+
+    def test_invert_filter_output(self):
+        query, lineage, inverter = self.build()
+        s = seg(0, 10, x=[5.0])
+        lineage.record_source(s)
+        outputs = query.push("s", s)
+        allocation = BoundAllocation()
+        bounds = inverter.invert_segment(
+            outputs[0], ErrorBound(1.0), allocation
+        )
+        assert len(bounds) == 1
+        assert bounds[0].key == ("k",)
+        assert bounds[0].attr == "x"
+        assert bounds[0].lo == pytest.approx(-1.0)
+        assert allocation.lookup(("k",), "x", 5.0) is not None
+
+    def test_relative_bound_anchored_at_output_value(self):
+        query, lineage, inverter = self.build()
+        s = seg(0, 10, x=[200.0])
+        lineage.record_source(s)
+        outputs = query.push("s", s)
+        allocation = BoundAllocation()
+        bounds = inverter.invert_segment(
+            outputs[0], ErrorBound(0.01, relative=True), allocation
+        )
+        assert bounds[0].hi == pytest.approx(2.0)
+
+    def test_join_output_splits_between_sources(self):
+        planned = plan_query(
+            parse_query("select * from a join b on (a.x < b.y)")
+        )
+        query = to_continuous_plan(planned)
+        lineage = LineageStore()
+        lineage.attach(query.plan)
+        inverter = QueryInverter(lineage)
+        sa = seg(0, 10, key=("ka",), x=[0.0])
+        sb = seg(0, 10, key=("kb",), y=[5.0])
+        lineage.record_source(sa)
+        lineage.record_source(sb)
+        query.push("a", sa)
+        outputs = query.push("b", sb)
+        allocation = BoundAllocation()
+        bounds = inverter.invert_segment(outputs[0], ErrorBound(1.0), allocation)
+        keys = {b.key for b in bounds}
+        assert keys == {("ka",), ("kb",)}
+        # Equi-split over two targets: half each.
+        assert all(b.hi == pytest.approx(0.5) for b in bounds)
+
+    def test_missing_lineage_raises(self):
+        from repro.core.errors import BoundInversionError
+
+        _, _, inverter = self.build()
+        orphan = seg(0, 1, x=[0.0])
+        with pytest.raises(BoundInversionError):
+            inverter.invert_segment(orphan, ErrorBound(1.0), BoundAllocation())
+
+
+class TestQueryValidator:
+    def build(self, sql="select * from s where x > 0", bound=1.0, **kw):
+        planned = plan_query(parse_query(sql))
+        query = to_continuous_plan(planned)
+        return QueryValidator(query, ErrorBound(bound), **kw)
+
+    def test_accurate_tuple_dropped(self):
+        v = self.build()
+        s = seg(0, 10, x=[5.0])
+        outputs = v.ingest("s", s)
+        assert outputs
+        out = v.validate(("k",), "x", 3.0, 5.3)  # deviation 0.3 < 0.5
+        assert out is Outcome.ACCURATE
+        assert v.stats.dropped == 1
+
+    def test_violation_detected(self):
+        v = self.build()
+        v.ingest("s", seg(0, 10, x=[5.0]))
+        out = v.validate(("k",), "x", 3.0, 9.0)
+        assert out is Outcome.VIOLATION
+        assert v.stats.violations == 1
+
+    def test_single_target_receives_full_bound(self):
+        v = self.build()
+        v.ingest("s", seg(0, 10, x=[5.0]))
+        # Single source, single attr: the whole ±1.0 budget is its share.
+        assert v.validate(("k",), "x", 1.0, 5.9) is Outcome.ACCURATE
+        assert v.validate(("k",), "x", 1.0, 6.2) is Outcome.VIOLATION
+
+    def test_slack_validation_after_null(self):
+        # x = 5 never passes x > 10: slack is 5.
+        v = self.build("select * from s where x > 10")
+        outputs = v.ingest("s", seg(0, 10, x=[5.0]))
+        assert outputs == []
+        # Deviation 2 < slack 5: the result cannot flip; drop.
+        assert v.validate(("k",), "x", 3.0, 7.0) is Outcome.WITHIN_SLACK
+        # Deviation 6 > slack: could now produce a result.
+        assert v.validate(("k",), "x", 3.0, 11.0) is Outcome.VIOLATION
+
+    def test_unknown_without_model(self):
+        v = self.build()
+        assert v.validate(("nope",), "x", 0.0, 1.0) is Outcome.UNKNOWN
+
+    def test_unknown_outside_model_range(self):
+        v = self.build()
+        v.ingest("s", seg(0, 10, x=[5.0]))
+        assert v.validate(("k",), "x", 50.0, 5.0) is Outcome.UNKNOWN
+
+    def test_stats_accumulate(self):
+        v = self.build()
+        v.ingest("s", seg(0, 10, x=[5.0]))
+        v.validate(("k",), "x", 1.0, 5.1)
+        v.validate(("k",), "x", 2.0, 9.0)
+        assert v.stats.tuples_checked == 2
+        assert v.stats.accuracy_checks == 2
+        assert v.stats.solver_runs == 1
+        assert 0 < v.stats.drop_rate < 1
+
+    def test_gradient_splitter_selectable(self):
+        v = self.build(splitter="gradient")
+        v.ingest("s", seg(0, 10, x=[5.0, 1.0]))
+        assert v.stats.inversions >= 1
+
+    def test_evict_before(self):
+        v = self.build()
+        v.ingest("s", seg(0, 10, x=[5.0]))
+        v.evict_before(100.0)
+        assert v.validate(("k",), "x", 5.0, 5.0) is Outcome.UNKNOWN

@@ -1,0 +1,105 @@
+"""Tests for the one-sided bound extension (Section IV-C's suggestion)."""
+
+import math
+
+import pytest
+
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.transform import to_continuous_plan
+from repro.core.validation import (
+    ErrorBound,
+    Outcome,
+    QueryValidator,
+    SplitInput,
+    equi_split,
+    get_splitter,
+    gradient_split,
+    one_sided_split,
+)
+from repro.query import parse_query, plan_query
+
+
+def split_input(key, attr, coeffs):
+    return SplitInput(key, attr, Polynomial(coeffs), 0.0, 10.0)
+
+
+class TestOneSidedSplitter:
+    def test_upper_opens_lower_side(self):
+        split = one_sided_split("upper")
+        shares = split(("o",), (-1.0, 1.0), [split_input(("a",), "x", [1.0])])
+        assert shares[0].lo == float("-inf")
+        assert shares[0].hi == pytest.approx(1.0)
+
+    def test_lower_opens_upper_side(self):
+        split = one_sided_split("lower")
+        shares = split(("o",), (-1.0, 1.0), [split_input(("a",), "x", [1.0])])
+        assert shares[0].lo == pytest.approx(-1.0)
+        assert shares[0].hi == float("inf")
+
+    def test_composes_with_gradient_base(self):
+        split = one_sided_split("upper", base=gradient_split)
+        inputs = [
+            split_input(("fast",), "x", [0.0, 3.0]),
+            split_input(("slow",), "x", [0.0, 1.0]),
+        ]
+        shares = {s.key: s for s in split(("o",), (-4.0, 4.0), inputs)}
+        assert shares[("fast",)].hi == pytest.approx(3.0)
+        assert shares[("fast",)].lo == float("-inf")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            one_sided_split("sideways")
+
+    def test_registered_by_name(self):
+        assert callable(get_splitter("one-sided-upper"))
+        assert callable(get_splitter("one-sided-lower"))
+
+
+class TestOneSidedValidation:
+    def build(self, splitter):
+        planned = plan_query(parse_query("select * from s where x > 0"))
+        query = to_continuous_plan(planned)
+        return QueryValidator(query, ErrorBound(1.0), splitter=splitter)
+
+    def seg(self, value):
+        return Segment(("k",), 0.0, 10.0, {"x": Polynomial([value])})
+
+    def test_harmless_direction_never_violates(self):
+        """With x > 0 satisfied, downward deviations can flip the
+        result; upward ones cannot.  One-sided-lower keeps the lower
+        limit and tolerates arbitrarily large upward deviations."""
+        v = self.build("one-sided-lower")
+        v.ingest("s", self.seg(5.0))
+        # Enormous upward deviation: still fine.
+        assert v.validate(("k",), "x", 1.0, 500.0) is Outcome.ACCURATE
+        # Downward deviation beyond the kept bound: violation.
+        assert v.validate(("k",), "x", 1.0, 3.0) is Outcome.VIOLATION
+
+    def test_two_sided_violates_on_both(self):
+        v = self.build("equi")
+        v.ingest("s", self.seg(5.0))
+        assert v.validate(("k",), "x", 1.0, 500.0) is Outcome.VIOLATION
+        assert v.validate(("k",), "x", 1.0, 3.0) is Outcome.VIOLATION
+
+    def test_longevity_improvement(self):
+        """The paper's claim: one-sided bounds last longer.  On a drifting
+        stream that only moves the harmless way, the one-sided validator
+        never re-solves; the two-sided one does."""
+        import numpy as np
+
+        drifts = 5.0 + np.linspace(0.0, 10.0, 50)  # upward drift
+        two_sided = self.build("equi")
+        one_sided = self.build("one-sided-lower")
+        for v in (two_sided, one_sided):
+            v.ingest("s", self.seg(5.0))
+        ts_viol = sum(
+            two_sided.validate(("k",), "x", 1.0, float(x)) is Outcome.VIOLATION
+            for x in drifts
+        )
+        os_viol = sum(
+            one_sided.validate(("k",), "x", 1.0, float(x)) is Outcome.VIOLATION
+            for x in drifts
+        )
+        assert os_viol == 0
+        assert ts_viol > 0

@@ -1,0 +1,175 @@
+"""Tests for the discrete baseline operators."""
+
+import pytest
+
+from repro.core.expr import Attr, Const, Sub
+from repro.core.operators.map_op import Projection
+from repro.core.predicate import And, Comparison
+from repro.core.relation import Rel
+from repro.engine import (
+    DiscreteFilter,
+    DiscreteMap,
+    DiscreteNestedLoopJoin,
+    DiscreteWindowAggregate,
+    StreamTuple,
+)
+
+
+def tup(time, **attrs):
+    return StreamTuple({"time": time, **attrs})
+
+
+def gt(attr, c):
+    return Comparison(Attr(attr), Rel.GT, Const(c))
+
+
+class TestDiscreteFilter:
+    def test_pass_and_drop(self):
+        f = DiscreteFilter(gt("x", 0.0))
+        assert f.process(tup(0, x=1.0)) == [tup(0, x=1.0)]
+        assert f.process(tup(0, x=-1.0)) == []
+        assert f.tuples_processed == 2
+
+    def test_aliased(self):
+        f = DiscreteFilter(gt("S.x", 0.0), alias="S")
+        assert len(f.process(tup(0, x=1.0))) == 1
+
+    def test_string_equality(self):
+        p = Comparison(Attr("sym"), Rel.EQ, Attr("wanted"))
+        f = DiscreteFilter(p)
+        assert len(f.process(tup(0, sym="A", wanted="A"))) == 1
+
+
+class TestDiscreteMap:
+    def test_projection_arithmetic(self):
+        m = DiscreteMap([Projection("d", Sub(Attr("a"), Attr("b")))])
+        out = m.process(tup(1.0, a=5.0, b=2.0))
+        assert out[0]["d"] == 3.0
+        assert out[0].time == 1.0
+
+    def test_non_numeric_passthrough_attr(self):
+        m = DiscreteMap([Projection("s", Attr("sym"))])
+        out = m.process(tup(0, sym="IBM", x=1.0))
+        assert out[0]["s"] == "IBM"
+
+    def test_explicit_passthrough_fields(self):
+        m = DiscreteMap([Projection("y", Attr("x"))], passthrough=("sym",))
+        out = m.process(tup(0, sym="IBM", x=1.0))
+        assert out[0]["sym"] == "IBM"
+
+
+class TestNestedLoopJoin:
+    def join(self, window=1.0):
+        pred = Comparison(Attr("L.x"), Rel.LT, Attr("R.y"))
+        return DiscreteNestedLoopJoin(pred, window=window)
+
+    def test_basic_match(self):
+        j = self.join()
+        j.process(tup(0.0, x=1.0), port=0)
+        out = j.process(tup(0.5, y=5.0), port=1)
+        assert len(out) == 1
+        assert out[0]["L.x"] == 1.0
+        assert out[0]["R.y"] == 5.0
+
+    def test_no_match_outside_window(self):
+        j = self.join(window=1.0)
+        j.process(tup(0.0, x=1.0), port=0)
+        assert j.process(tup(5.0, y=5.0), port=1) == []
+
+    def test_predicate_filters_pairs(self):
+        j = self.join()
+        j.process(tup(0.0, x=10.0), port=0)
+        assert j.process(tup(0.1, y=5.0), port=1) == []
+
+    def test_quadratic_comparison_count(self):
+        # With everything inside one window, comparisons grow as n^2 / 2.
+        j = self.join(window=100.0)
+        n = 20
+        for i in range(n):
+            j.process(tup(i * 0.01, x=1.0), port=0)
+            j.process(tup(i * 0.01, y=0.0), port=1)
+        assert j.comparisons >= n * (n - 1)
+
+    def test_eviction_bounds_state(self):
+        j = self.join(window=1.0)
+        for i in range(100):
+            j.process(tup(float(i), x=1.0), port=0)
+        assert j.state_size <= 3
+
+    def test_merge_timestamps_max(self):
+        j = self.join()
+        j.process(tup(0.0, x=1.0), port=0)
+        out = j.process(tup(0.7, y=5.0), port=1)
+        assert out[0].time == 0.7
+
+
+class TestWindowAggregate:
+    def test_sum_single_window(self):
+        agg = DiscreteWindowAggregate("x", "sum", window=10.0, slide=10.0)
+        for i in range(5):
+            agg.process(tup(float(i), x=1.0))
+        out = agg.flush()
+        assert out and out[0]["sum_x"] == 5.0
+
+    def test_min_max(self):
+        agg = DiscreteWindowAggregate("x", "min", window=10.0, slide=10.0)
+        for v in (3.0, 1.0, 2.0):
+            agg.process(tup(v, x=v))
+        assert agg.flush()[0]["min_x"] == 1.0
+
+    def test_avg(self):
+        agg = DiscreteWindowAggregate("x", "avg", window=10.0, slide=10.0)
+        for v in (2.0, 4.0):
+            agg.process(tup(v, x=v))
+        assert agg.flush()[0]["avg_x"] == 3.0
+
+    def test_count(self):
+        agg = DiscreteWindowAggregate("x", "count", window=10.0, slide=10.0)
+        for i in range(7):
+            agg.process(tup(float(i), x=0.0))
+        assert agg.flush()[0]["count_x"] == 7.0
+
+    def test_sliding_windows_emit_on_close(self):
+        agg = DiscreteWindowAggregate("x", "sum", window=4.0, slide=2.0)
+        outputs = []
+        for t in [0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5]:
+            outputs += agg.process(tup(t, x=1.0))
+        closes = [o.time for o in outputs]
+        assert closes == sorted(closes)
+        assert 2.0 in closes and 4.0 in closes and 6.0 in closes
+        # Window closing at 4 covers [0, 4): four tuples.
+        w4 = next(o for o in outputs if o.time == 4.0)
+        assert w4["sum_x"] == 4.0
+
+    def test_per_tuple_cost_linear_in_open_windows(self):
+        # window/slide = 10 open windows -> ~10 increments per tuple.
+        agg = DiscreteWindowAggregate("x", "sum", window=10.0, slide=1.0)
+        for t in range(20, 40):
+            agg.process(tup(float(t) + 0.5, x=1.0))
+        per_tuple = agg.state_increments / agg.tuples_processed
+        assert 8.0 <= per_tuple <= 11.0
+
+    def test_group_by(self):
+        agg = DiscreteWindowAggregate(
+            "x", "sum", window=10.0, slide=10.0, group_fields=("sym",)
+        )
+        agg.process(tup(1.0, sym="A", x=1.0))
+        agg.process(tup(2.0, sym="B", x=5.0))
+        agg.process(tup(3.0, sym="A", x=2.0))
+        out = {o["sym"]: o["sum_x"] for o in agg.flush()}
+        assert out == {"A": 3.0, "B": 5.0}
+
+    def test_rejects_bad_func(self):
+        with pytest.raises(ValueError):
+            DiscreteWindowAggregate("x", "median", window=1.0, slide=1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            DiscreteWindowAggregate("x", "sum", window=0.0, slide=1.0)
+
+    def test_empty_windows_not_emitted(self):
+        agg = DiscreteWindowAggregate("x", "sum", window=1.0, slide=1.0)
+        agg.process(tup(0.5, x=1.0))
+        out = agg.process(tup(10.5, x=1.0))
+        # Only the window containing the first tuple emits.
+        assert all(o["sum_x"] for o in out)

@@ -1,0 +1,75 @@
+"""Tests for the discrete hash join."""
+
+import pytest
+
+from repro.core.expr import Attr
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.engine import DiscreteHashJoin, DiscreteNestedLoopJoin, StreamTuple
+
+
+def tup(time, **attrs):
+    return StreamTuple({"time": time, **attrs})
+
+
+class TestHashJoin:
+    def test_equi_key_match(self):
+        j = DiscreteHashJoin("sym", "sym", window=1.0)
+        j.process(tup(0.0, sym="A", x=1.0), port=0)
+        out = j.process(tup(0.5, sym="A", y=2.0), port=1)
+        assert len(out) == 1
+        assert out[0]["L.x"] == 1.0
+        assert out[0]["R.y"] == 2.0
+
+    def test_different_keys_never_pair(self):
+        j = DiscreteHashJoin("sym", "sym", window=1.0)
+        j.process(tup(0.0, sym="A", x=1.0), port=0)
+        assert j.process(tup(0.0, sym="B", y=2.0), port=1) == []
+        # And the probe count stays zero: no bucket was touched.
+        assert j.probes == 0
+
+    def test_window_band(self):
+        j = DiscreteHashJoin("sym", "sym", window=1.0)
+        j.process(tup(0.0, sym="A", x=1.0), port=0)
+        assert j.process(tup(5.0, sym="A", y=2.0), port=1) == []
+
+    def test_residual_predicate(self):
+        residual = Comparison(Attr("L.x"), Rel.LT, Attr("R.y"))
+        j = DiscreteHashJoin("sym", "sym", residual=residual, window=1.0)
+        j.process(tup(0.0, sym="A", x=5.0), port=0)
+        assert j.process(tup(0.1, sym="A", y=1.0), port=1) == []
+        out = j.process(tup(0.2, sym="A", y=9.0), port=1)
+        assert len(out) == 1
+
+    def test_eviction_bounds_state(self):
+        j = DiscreteHashJoin("sym", "sym", window=1.0)
+        for i in range(50):
+            j.process(tup(float(i), sym="A", x=1.0), port=0)
+        assert j.state_size <= 3
+
+    def test_invalid_port(self):
+        j = DiscreteHashJoin("sym", "sym")
+        with pytest.raises(ValueError):
+            j.process(tup(0.0, sym="A"), port=3)
+
+    def test_agrees_with_nested_loop_on_equi_join(self):
+        """Hash join produces exactly the nested-loop join's results
+        when the nested-loop predicate is the same equi comparison."""
+        import random
+
+        rng = random.Random(9)
+        pred = Comparison(Attr("L.sym"), Rel.EQ, Attr("R.sym"))
+        nl = DiscreteNestedLoopJoin(pred, window=2.0)
+        hj = DiscreteHashJoin("sym", "sym", window=2.0)
+        out_nl, out_hj = [], []
+        t = 0.0
+        for i in range(200):
+            t += rng.uniform(0.01, 0.2)
+            item = tup(t, sym=f"s{rng.randrange(4)}", v=float(i))
+            port = i % 2
+            out_nl += nl.process(item, port)
+            out_hj += hj.process(item, port)
+        key = lambda o: (o.time, o.get("L.v"), o.get("R.v"))
+        assert sorted(map(key, out_nl)) == sorted(map(key, out_hj))
+        # ...while probing far fewer candidate pairs.
+        assert hj.probes < nl.comparisons

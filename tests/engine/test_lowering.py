@@ -1,0 +1,105 @@
+"""Tests for the discrete lowering pass (logical plan -> tuple plan)."""
+
+import pytest
+
+from repro.bench.queries import following_planned, macd_planned
+from repro.core.errors import PlanError
+from repro.engine import (
+    DiscreteFilter,
+    DiscreteMap,
+    DiscreteNestedLoopJoin,
+    DiscreteWindowAggregate,
+    StreamTuple,
+)
+from repro.engine.lowering import to_discrete_plan
+from repro.query import parse_query, plan_query
+
+
+def lowered(sql):
+    return to_discrete_plan(plan_query(parse_query(sql)))
+
+
+class TestLoweringShapes:
+    def test_filter_plan(self):
+        q = lowered("select * from s where x > 0")
+        ops = q.plan.operators()
+        assert len(ops) == 1
+        assert isinstance(ops[0], DiscreteFilter)
+
+    def test_macd_operator_set(self):
+        q = to_discrete_plan(macd_planned(short=4.0, long=12.0, slide=2.0))
+        ops = q.plan.operators()
+        kinds = sorted(type(op).__name__ for op in ops)
+        assert kinds.count("DiscreteWindowAggregate") == 2
+        assert kinds.count("DiscreteNestedLoopJoin") == 1
+        assert kinds.count("DiscreteFilter") == 1  # the WHERE clause
+        aggs = [op for op in ops if isinstance(op, DiscreteWindowAggregate)]
+        assert sorted(a.window for a in aggs) == [4.0, 12.0]
+        assert all(a.group_fields == ("symbol",) for a in aggs)
+
+    def test_following_operator_set(self):
+        q = to_discrete_plan(
+            following_planned(join_window=2.0, avg_window=30.0, slide=5.0)
+        )
+        ops = q.plan.operators()
+        joins = [op for op in ops if isinstance(op, DiscreteNestedLoopJoin)]
+        aggs = [op for op in ops if isinstance(op, DiscreteWindowAggregate)]
+        assert len(joins) == 1 and joins[0].window == 2.0
+        assert len(aggs) == 1
+        assert set(aggs[0].group_fields) == {"id1", "id2"}
+
+    def test_qualified_aggregate_attr_stripped(self):
+        q = lowered(
+            "select avg(S.price) as m from trades [size 4 advance 2] as S"
+        )
+        agg = next(
+            op for op in q.plan.operators()
+            if isinstance(op, DiscreteWindowAggregate)
+        )
+        assert agg.attr == "price"
+
+
+class TestLoweredExecution:
+    def test_push_unknown_stream(self):
+        q = lowered("select * from s where x > 0")
+        with pytest.raises(PlanError):
+            q.push("other", StreamTuple({"time": 0.0, "x": 1.0}))
+
+    def test_self_join_fans_out(self):
+        q = lowered("select * from s a join s b on (a.x < b.x)")
+        # One tuple reaches both scans; it pairs with itself across the
+        # two join ports (a.x < b.x is false for equal values, so no
+        # output, but both sources must have consumed it).
+        q.push("s", StreamTuple({"time": 0.0, "x": 1.0}))
+        stats = q.plan.stats()
+        source_counts = [
+            v for k, v in stats.items() if k.split(":")[1].startswith("source")
+        ]
+        assert all(c == (1, 1) for c in source_counts)
+        assert len(source_counts) == 2
+
+    def test_flush_drains_aggregates(self):
+        q = lowered("select avg(x) as m from s [size 4 advance 2]")
+        for i in range(6):
+            q.push("s", StreamTuple({"time": float(i), "x": 2.0}))
+        flushed = q.flush()
+        assert flushed
+        assert all(row["m"] == pytest.approx(2.0) for row in flushed)
+
+    def test_reset_restarts(self):
+        q = lowered("select avg(x) as m from s [size 4 advance 2]")
+        q.push("s", StreamTuple({"time": 0.0, "x": 2.0}))
+        q.reset()
+        assert q.flush() == []
+
+    def test_macd_end_to_end_tuple_counts(self):
+        from repro.workloads import NyseConfig, NyseTradeGenerator
+
+        q = to_discrete_plan(macd_planned(short=2.0, long=4.0, slide=1.0))
+        gen = NyseTradeGenerator(NyseConfig(num_symbols=2, rate=50.0, seed=27))
+        outputs = []
+        for tup in gen.tuples(1000):
+            outputs.extend(q.push("trades", tup))
+        outputs.extend(q.flush())
+        # Every output satisfies the WHERE clause.
+        assert all(row["s.ap"] > row["l.ap"] for row in outputs)

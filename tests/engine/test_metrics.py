@@ -1,0 +1,98 @@
+"""Tests for the measurement primitives (stopwatch, run metrics, runner)."""
+
+import time
+
+import pytest
+
+from repro.engine.metrics import (
+    QueueingModel,
+    RunMetrics,
+    Stopwatch,
+    measure_run,
+    measure_service_time,
+)
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert 0.005 < sw.elapsed < 0.5
+
+    def test_accumulates_across_uses(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.005)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.005)
+        assert sw.elapsed > first
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        m = RunMetrics(items_in=100, items_out=50, elapsed_seconds=2.0)
+        assert m.throughput == 50.0
+        assert m.service_time == 0.02
+
+    def test_zero_elapsed(self):
+        m = RunMetrics(items_in=10, items_out=10, elapsed_seconds=0.0)
+        assert m.throughput == float("inf")
+
+    def test_zero_items(self):
+        m = RunMetrics(items_in=0, items_out=0, elapsed_seconds=1.0)
+        assert m.service_time == 0.0
+
+
+class TestMeasureHelpers:
+    def test_measure_run_uses_items_attribute(self):
+        def feed():
+            return 7
+
+        feed.items = 100
+        m = measure_run(feed)
+        assert m.items_in == 100
+        assert m.items_out == 7
+
+    def test_measure_run_defaults_items_to_outputs(self):
+        m = measure_run(lambda: 5)
+        assert m.items_in == 5
+
+    def test_measure_service_time_counts_list_outputs(self):
+        def process(item):
+            return [item, item] if item % 2 == 0 else []
+
+        m = measure_service_time(process, list(range(10)))
+        assert m.items_in == 10
+        assert m.items_out == 10  # five even items, two outputs each
+
+
+class TestQueueingModelEdges:
+    def test_exactly_at_capacity(self):
+        m = QueueingModel(service_time=0.001, queue_capacity=1000)
+        r = m.offered(1000.0)
+        # At the knife edge the queue stays bounded near zero growth.
+        assert r.achieved_throughput == pytest.approx(1000.0, rel=0.05)
+
+    def test_thrash_factor_deepens_collapse(self):
+        gentle = QueueingModel(0.001, queue_capacity=500, thrash_factor=0.1)
+        harsh = QueueingModel(0.001, queue_capacity=500, thrash_factor=5.0)
+        assert (
+            harsh.offered(3000.0).achieved_throughput
+            < gentle.offered(3000.0).achieved_throughput
+        )
+
+    def test_queue_growth_reported(self):
+        m = QueueingModel(0.001, queue_capacity=100)
+        r = m.offered(5000.0, duration=10.0)
+        assert r.final_queue_length > 100
+        assert r.saturated
+
+    def test_sweep_shapes(self):
+        m = QueueingModel(0.001, queue_capacity=1000)
+        results = m.sweep([100, 500, 900, 2000, 4000])
+        achieved = [r.achieved_throughput for r in results]
+        # Rises with offered rate until capacity, then collapses.
+        assert achieved[1] > achieved[0]
+        assert max(achieved) <= 1000 * 1.01
+        assert achieved[-1] < achieved[-2]

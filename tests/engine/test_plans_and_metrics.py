@@ -1,0 +1,171 @@
+"""Tests for the plan executors (both engines) and the queueing model."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.expr import Attr, Const
+from repro.core.operators import ContinuousFilter
+from repro.core.plan import ContinuousPlan
+from repro.core.polynomial import Polynomial
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.core.segment import Segment
+from repro.engine import (
+    DiscreteFilter,
+    DiscretePlan,
+    QueueingModel,
+    StreamTuple,
+    measure_service_time,
+)
+
+
+def seg(lo, hi, **models):
+    return Segment(
+        key=("k",),
+        t_start=lo,
+        t_end=hi,
+        models={k: Polynomial(v) for k, v in models.items()},
+    )
+
+
+def gt(attr, c):
+    return Comparison(Attr(attr), Rel.GT, Const(c))
+
+
+class TestContinuousPlan:
+    def build(self):
+        plan = ContinuousPlan("p")
+        src = plan.add_source("S")
+        f1 = plan.add_operator(ContinuousFilter(gt("x", 0.0)), [src])
+        f2 = plan.add_operator(ContinuousFilter(gt("x", 5.0)), [f1])
+        plan.set_output(f2)
+        return plan
+
+    def test_push_cascades(self):
+        plan = self.build()
+        out = plan.push("S", seg(0, 10, x=[7.0]))
+        assert len(out) == 1
+
+    def test_push_filtered_mid_plan(self):
+        plan = self.build()
+        assert plan.push("S", seg(0, 10, x=[3.0])) == []
+
+    def test_unknown_source_raises(self):
+        plan = self.build()
+        with pytest.raises(PlanError):
+            plan.push("X", seg(0, 1, x=[1.0]))
+
+    def test_output_required(self):
+        plan = ContinuousPlan()
+        src = plan.add_source("S")
+        with pytest.raises(PlanError):
+            plan.push("S", seg(0, 1, x=[1.0]))
+
+    def test_arity_checked(self):
+        plan = ContinuousPlan()
+        src = plan.add_source("S")
+        from repro.core.operators import ContinuousJoin
+
+        with pytest.raises(PlanError):
+            plan.add_operator(ContinuousJoin(gt("x", 0.0)), [src])
+
+    def test_duplicate_source_rejected(self):
+        plan = ContinuousPlan()
+        plan.add_source("S")
+        with pytest.raises(PlanError):
+            plan.add_source("S")
+
+    def test_stats_counters(self):
+        plan = self.build()
+        plan.push("S", seg(0, 10, x=[7.0]))
+        stats = plan.stats()
+        assert any(v == (1, 1) for v in stats.values())
+
+    def test_observer_called(self):
+        plan = self.build()
+        calls = []
+        plan.add_observer(lambda node, seg_in, outs: calls.append(node.label))
+        plan.push("S", seg(0, 10, x=[7.0]))
+        assert len(calls) == 2  # both filters observed
+
+    def test_reset_clears_counters(self):
+        plan = self.build()
+        plan.push("S", seg(0, 10, x=[7.0]))
+        plan.reset()
+        assert all(v == (0, 0) for v in plan.stats().values())
+
+    def test_join_plan_two_sources(self):
+        from repro.core.operators import ContinuousJoin
+
+        plan = ContinuousPlan()
+        a = plan.add_source("A")
+        b = plan.add_source("B")
+        join = plan.add_operator(
+            ContinuousJoin(Comparison(Attr("L.x"), Rel.LT, Attr("R.y"))),
+            [(a, 0), (b, 1)],
+        )
+        plan.set_output(join)
+        plan.push("A", seg(0, 10, x=[0.0]))
+        out = plan.push("B", seg(0, 10, y=[5.0]))
+        assert len(out) == 1
+
+
+class TestDiscretePlan:
+    def test_pipeline(self):
+        plan = DiscretePlan()
+        src = plan.add_source("S")
+        f = plan.add_operator(DiscreteFilter(gt("x", 0.0)), [src])
+        plan.set_output(f)
+        assert plan.push("S", StreamTuple({"time": 0.0, "x": 1.0}))
+        assert plan.push("S", StreamTuple({"time": 0.0, "x": -1.0})) == []
+
+    def test_stats(self):
+        plan = DiscretePlan()
+        src = plan.add_source("S")
+        f = plan.add_operator(DiscreteFilter(gt("x", 0.0)), [src])
+        plan.set_output(f)
+        plan.push("S", StreamTuple({"time": 0.0, "x": 1.0}))
+        assert any(v == (1, 1) for v in plan.stats().values())
+
+
+class TestQueueingModel:
+    def test_capacity(self):
+        m = QueueingModel(service_time=0.001)
+        assert m.capacity == pytest.approx(1000.0)
+
+    def test_under_capacity_keeps_up(self):
+        m = QueueingModel(service_time=0.001)
+        r = m.offered(500.0)
+        assert r.achieved_throughput == pytest.approx(500.0, rel=0.05)
+        assert not r.saturated
+        assert r.final_queue_length < 10.0
+
+    def test_over_capacity_tails_off(self):
+        m = QueueingModel(service_time=0.001, queue_capacity=1000)
+        r = m.offered(5000.0)
+        assert r.achieved_throughput < 1000.0
+        assert r.saturated
+
+    def test_monotone_latency_in_offered_rate(self):
+        m = QueueingModel(service_time=0.001, queue_capacity=1000)
+        sweep = m.sweep([200.0, 800.0, 1200.0, 3000.0])
+        latencies = [r.mean_latency for r in sweep]
+        assert latencies == sorted(latencies)
+
+    def test_throughput_never_exceeds_capacity(self):
+        m = QueueingModel(service_time=0.002)
+        for r in m.sweep([100.0, 400.0, 600.0, 2000.0]):
+            assert r.achieved_throughput <= m.capacity * 1.01
+
+    def test_rejects_bad_service_time(self):
+        with pytest.raises(ValueError):
+            QueueingModel(service_time=0.0)
+
+    def test_measure_service_time(self):
+        f = DiscreteFilter(gt("x", 0.0))
+        workload = [StreamTuple({"time": float(i), "x": 1.0}) for i in range(100)]
+        metrics = measure_service_time(f.process, workload)
+        assert metrics.items_in == 100
+        assert metrics.items_out == 100
+        assert metrics.elapsed_seconds > 0
+        assert metrics.throughput > 0

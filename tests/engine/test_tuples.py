@@ -1,0 +1,52 @@
+"""Tests for tuples and schemas."""
+
+import pytest
+
+from repro.engine import Schema, StreamDef, StreamTuple
+
+
+class TestStreamTuple:
+    def test_time_property(self):
+        t = StreamTuple({"time": 3.5, "x": 1.0})
+        assert t.time == 3.5
+
+    def test_key_extraction(self):
+        t = StreamTuple({"time": 0.0, "id": "v1", "region": 2})
+        assert t.key(("id", "region")) == ("v1", 2)
+        assert t.key(()) == ()
+
+    def test_env_unaliased(self):
+        t = StreamTuple({"time": 0.0, "x": 1.0})
+        assert t.env() == {"time": 0.0, "x": 1.0}
+
+    def test_env_aliased_exposes_both(self):
+        t = StreamTuple({"time": 0.0, "x": 1.0})
+        env = t.env("S")
+        assert env["S.x"] == 1.0
+        assert env["x"] == 1.0
+
+
+class TestSchema:
+    def test_value_fields(self):
+        s = Schema(("time", "id", "x", "y"), key_fields=("id",))
+        assert s.value_fields == ("x", "y")
+
+    def test_rejects_missing_key_field(self):
+        with pytest.raises(ValueError):
+            Schema(("time", "x"), key_fields=("id",))
+
+    def test_rejects_missing_time_field(self):
+        with pytest.raises(ValueError):
+            Schema(("x",))
+
+    def test_make_tuple_validates(self):
+        s = Schema(("time", "x"))
+        t = s.make_tuple({"time": 1.0, "x": 2.0})
+        assert t.time == 1.0
+        with pytest.raises(ValueError):
+            s.make_tuple({"time": 1.0})
+
+    def test_stream_def(self):
+        s = Schema(("time", "x"))
+        d = StreamDef("objects", s)
+        assert d.name == "objects"

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as executable documentation; these tests keep them
+from rotting.  Each is executed in-process (``runpy``) with stdout
+captured, and its headline output is sanity-checked.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "continuous path" in out
+        assert "discrete path" in out
+        assert "the two paths agree" in out
+
+    def test_collision_detection(self, capsys):
+        out = run_example("collision_detection.py", capsys)
+        assert "alpha <-> bravo" in out
+        assert "charlie" not in out.split("predicted close encounters")[1]
+
+    def test_macd_trading(self, capsys):
+        out = run_example("macd_trading.py", capsys)
+        assert "discrete engine:" in out
+        assert "pulse historical mode:" in out
+        assert "validated execution:" in out
+
+    def test_vessel_following(self, capsys):
+        out = run_example("vessel_following.py", capsys)
+        assert "discrete: 2/2" in out
+        assert "pulse: 2/2" in out
+
+    def test_whatif_historical(self, capsys):
+        out = run_example("whatif_historical.py", capsys)
+        assert "model fitted once" in out
+        assert "speedup" in out
+
+    def test_periodic_sensor(self, capsys):
+        out = run_example("periodic_sensor.py", capsys)
+        assert "predicted overheating windows" in out
+
+    def test_every_example_is_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "collision_detection.py",
+            "macd_trading.py",
+            "vessel_following.py",
+            "whatif_historical.py",
+            "periodic_sensor.py",
+        }
+        assert scripts == covered, "new examples need a smoke test"

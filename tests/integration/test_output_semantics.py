@@ -1,0 +1,137 @@
+"""Integration: Section IV-A's output-semantics observations, quantified.
+
+Pulse vs tuple processing on the same workload, measured with
+:mod:`repro.bench.accuracy`: near-perfect agreement with exact models,
+bounded asymmetries (false positives from superset semantics, false
+negatives from precision drops) when the models approximate.
+"""
+
+import pytest
+
+from repro.bench.accuracy import AgreementReport, compare_outputs
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.fitting import build_segments
+from repro.query import parse_query, plan_query
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+SQL = "select * from objects where x > 0"
+
+
+def run_both(noise: float, tolerance: float, n=2000, seed=33):
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=3, rate=300.0, tuples_per_segment=100,
+            noise=noise, seed=seed,
+        )
+    )
+    tuples = list(gen.tuples(n))
+    planned = plan_query(parse_query(SQL))
+
+    discrete = to_discrete_plan(planned)
+    rows = []
+    for tup in tuples:
+        rows.extend(discrete.push("objects", tup))
+
+    segments = build_segments(
+        tuples, attrs=("x",), tolerance=tolerance,
+        key_fields=("id",), constants=("id",),
+    )
+    continuous = to_continuous_plan(planned)
+    segs = []
+    for s in segments:
+        segs.extend(continuous.push("objects", s))
+    return rows, segs
+
+
+def report_for(rows, segs) -> AgreementReport:
+    return compare_outputs(
+        rows,
+        segs,
+        row_key=lambda r: (r["id"],),
+        segment_key=lambda s: (s.constants["id"],),
+        time_slack=1e-6,
+    )
+
+
+class TestExactModels:
+    def test_near_perfect_agreement(self):
+        rows, segs = run_both(noise=0.0, tolerance=1e-6)
+        report = report_for(rows, segs)
+        assert report.discrete_rows > 0
+        assert report.false_negative_rate < 0.01
+        assert report.false_positive_rate < 0.05
+        assert report.agreement > 0.97
+
+
+class TestApproximateModels:
+    def test_disagreement_grows_with_model_error(self):
+        rows_a, segs_a = run_both(noise=0.5, tolerance=2.0)
+        rows_b, segs_b = run_both(noise=0.5, tolerance=20.0)
+        tight = report_for(rows_a, segs_a)
+        loose = report_for(rows_b, segs_b)
+        # Looser models (bigger fitting tolerance) disagree more.
+        assert loose.agreement <= tight.agreement + 0.02
+        assert tight.agreement > 0.9
+
+    def test_false_negative_from_precision_drop(self):
+        """Observation 2: a tuple just over the threshold whose model sits
+        just under it (within the precision bound) yields a discrete row
+        with no continuous counterpart."""
+        from repro.core.polynomial import Polynomial
+        from repro.core.segment import Segment
+        from repro.engine.tuples import StreamTuple
+
+        rows = [StreamTuple({"time": 5.0, "id": "a", "x": 0.3})]  # passes
+        # The fitted model says x = -0.3 everywhere: no continuous output.
+        segs = []  # filter over the model emits nothing
+        report = report_for(rows, segs)
+        assert report.false_negatives == 1
+        assert report.false_positive_rate == 0.0
+
+    def test_false_positive_from_unwitnessed_crossing(self):
+        """Observation 1: the model crosses the threshold between two
+        samples; Pulse emits the crossing window although no discrete
+        tuple falls inside it (superset semantics)."""
+        from repro.core.polynomial import Polynomial
+        from repro.core.segment import Segment
+        from repro.engine.tuples import StreamTuple
+
+        # Discrete samples at t=0 and t=1 are both negative: no rows.
+        rows: list[StreamTuple] = []
+        # The model x = -1 + 2.2(t - 0.25) pokes above 0 on (0.7, 1.0)...
+        segs = [
+            Segment(
+                ("a",), 0.7, 0.95, {"x": Polynomial([-2.54, 2.2])},
+                constants={"id": "a"},
+            )
+        ]
+        report = compare_outputs(
+            rows, segs,
+            row_key=lambda r: (r["id"],),
+            segment_key=lambda s: (s.constants["id"],),
+            probe_period=0.1,
+        )
+        assert report.false_positives > 0
+        assert report.false_negative_rate == 0.0
+
+
+class TestReportArithmetic:
+    def test_empty_runs(self):
+        report = compare_outputs(
+            [], [], row_key=lambda r: (), segment_key=lambda s: ()
+        )
+        assert report.agreement == 1.0
+        assert report.false_negative_rate == 0.0
+        assert report.false_positive_rate == 0.0
+
+    def test_rates(self):
+        report = AgreementReport(
+            discrete_rows=10, matched_rows=8,
+            probe_instants=20, confirmed_instants=15,
+        )
+        assert report.false_negatives == 2
+        assert report.false_negative_rate == pytest.approx(0.2)
+        assert report.false_positives == 5
+        assert report.false_positive_rate == pytest.approx(0.25)
+        assert report.agreement == pytest.approx(23 / 30)

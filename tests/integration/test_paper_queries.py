@@ -1,0 +1,141 @@
+"""Integration: the paper's dataset queries end-to-end on both paths."""
+
+import math
+
+import pytest
+
+from repro.bench.queries import collision_planned, following_planned
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.fitting import build_segments
+from repro.workloads import AisConfig, AisVesselGenerator
+
+
+@pytest.fixture(scope="module")
+def ais_workload():
+    gen = AisVesselGenerator(
+        AisConfig(num_vessels=6, follower_pairs=2, rate=40.0,
+                  follow_distance=400.0, course_period=30.0, seed=17)
+    )
+    tuples = list(gen.tuples(4000))  # 100 seconds
+    return gen, tuples
+
+
+class TestFollowingQuery:
+    @pytest.fixture(scope="class")
+    def runs(self, ais_workload):
+        gen, tuples = ais_workload
+        planned = following_planned(join_window=2.0, avg_window=20.0, slide=5.0)
+
+        discrete = to_discrete_plan(planned)
+        rows = []
+        for tup in tuples:
+            rows.extend(discrete.push("vessels", tup))
+        rows.extend(discrete.flush())
+
+        segments = build_segments(
+            tuples, attrs=("x", "y"), tolerance=1.0,
+            key_fields=("id",), constants=("id",),
+        )
+        continuous = to_continuous_plan(planned)
+        segs_out = []
+        for seg in segments:
+            segs_out.extend(continuous.push("vessels", seg))
+        return gen, rows, segs_out
+
+    def test_discrete_finds_injected_pairs(self, runs):
+        gen, rows, _ = runs
+        found = {tuple(sorted((r["id1"], r["id2"]))) for r in rows}
+        for pair in gen.follower_pairs:
+            assert tuple(sorted(pair)) in found
+
+    def test_continuous_finds_injected_pairs(self, runs):
+        gen, _, segs_out = runs
+        found = {
+            tuple(sorted((s.constants["id1"], s.constants["id2"])))
+            for s in segs_out
+        }
+        for pair in gen.follower_pairs:
+            assert tuple(sorted(pair)) in found
+
+    def test_no_false_pairs_beyond_symmetry(self, runs):
+        gen, rows, segs_out = runs
+        injected = {tuple(sorted(p)) for p in gen.follower_pairs}
+        disc_found = {tuple(sorted((r["id1"], r["id2"]))) for r in rows}
+        cont_found = {
+            tuple(sorted((s.constants["id1"], s.constants["id2"])))
+            for s in segs_out
+        }
+        assert disc_found == injected
+        assert cont_found == injected
+
+    def test_continuous_avg_dist_below_threshold(self, runs):
+        _, _, segs_out = runs
+        for seg in segs_out:
+            mid = 0.5 * (seg.t_start + seg.t_end)
+            assert seg.value_at("avg_dist", mid) < 1000.0 + 1e-6
+
+    def test_sqrt_projection_was_approximated(self, ais_workload):
+        """The distance projection leaves the polynomial class; the
+        continuous map must have re-approximated it per segment."""
+        from repro.core.operators.map_op import ContinuousMap
+
+        gen, tuples = ais_workload
+        planned = following_planned(join_window=2.0, avg_window=20.0, slide=5.0)
+        continuous = to_continuous_plan(planned)
+        segments = build_segments(
+            tuples[:1500], attrs=("x", "y"), tolerance=1.0,
+            key_fields=("id",), constants=("id",),
+        )
+        for seg in segments:
+            continuous.push("vessels", seg)
+        maps = [
+            op for op in continuous.plan.operators()
+            if isinstance(op, ContinuousMap)
+        ]
+        assert any(m.approximations > 0 for m in maps)
+
+
+class TestCollisionQueryPredictive:
+    def test_collision_predicted_before_it_happens(self):
+        """Predictive processing: trajectories known at t=0, collision
+        window reported immediately even though it lies in the future."""
+        from repro.core import Polynomial, Segment
+
+        planned = collision_planned(radius=50.0)
+        query = to_continuous_plan(planned)
+        head_on = [
+            Segment(("a",), 0.0, 100.0,
+                    {"x": Polynomial([0.0, 10.0]), "y": Polynomial([0.0])},
+                    constants={"id": "a"}),
+            Segment(("b",), 0.0, 100.0,
+                    {"x": Polynomial([1000.0, -10.0]), "y": Polynomial([0.0])},
+                    constants={"id": "b"}),
+        ]
+        outputs = []
+        for seg in head_on:
+            outputs.extend(query.push("objects", seg))
+        assert outputs
+        # Closing speed 20 m/s from 1000 m: |gap| < 50 within
+        # t in (47.5, 52.5).
+        hit = outputs[0]
+        assert hit.t_start == pytest.approx(47.5, abs=0.01)
+        assert hit.t_end == pytest.approx(52.5, abs=0.01)
+
+    def test_parallel_courses_never_alert(self):
+        from repro.core import Polynomial, Segment
+
+        planned = collision_planned(radius=50.0)
+        query = to_continuous_plan(planned)
+        parallel = [
+            Segment(("a",), 0.0, 100.0,
+                    {"x": Polynomial([0.0, 10.0]), "y": Polynomial([0.0])},
+                    constants={"id": "a"}),
+            Segment(("b",), 0.0, 100.0,
+                    {"x": Polynomial([0.0, 10.0]), "y": Polynomial([500.0])},
+                    constants={"id": "b"}),
+        ]
+        outputs = []
+        for seg in parallel:
+            outputs.extend(query.push("objects", seg))
+        assert outputs == []

@@ -1,0 +1,107 @@
+"""Property-based tests for the time-interval algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import Interval, TimeSet
+
+bound = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(bound)
+    width = draw(st.floats(min_value=0.01, max_value=50.0))
+    return Interval(lo, lo + width)
+
+
+@st.composite
+def timesets(draw):
+    ivs = draw(st.lists(intervals(), max_size=4))
+    pts = draw(st.lists(bound, max_size=3))
+    return TimeSet(intervals=ivs, points=pts)
+
+
+DOMAIN = Interval(-200.0, 200.0)
+
+
+@given(timesets())
+def test_normalization_idempotent(ts):
+    again = TimeSet(intervals=ts.intervals, points=ts.points)
+    assert again == ts
+
+
+@given(timesets())
+def test_intervals_disjoint_and_sorted(ts):
+    for a, b in zip(ts.intervals[:-1], ts.intervals[1:]):
+        assert a.hi < b.lo + 1e-12
+    for p, q in zip(ts.points[:-1], ts.points[1:]):
+        assert p < q
+
+
+@given(timesets())
+def test_points_outside_intervals(ts):
+    for p in ts.points:
+        assert not any(iv.lo <= p <= iv.hi for iv in ts.intervals)
+
+
+@given(timesets(), timesets())
+def test_union_commutes(a, b):
+    assert (a | b).approx_equal(b | a)
+
+
+@given(timesets(), timesets())
+def test_intersection_commutes(a, b):
+    assert (a & b).approx_equal(b & a)
+
+
+@given(timesets(), timesets())
+def test_intersection_subset_of_union(a, b):
+    inter = a & b
+    union = a | b
+    assert inter.measure <= union.measure + 1e-9
+
+
+@given(timesets(), timesets(), bound)
+def test_union_membership(a, b, t):
+    if a.contains(t) or b.contains(t):
+        assert (a | b).contains(t, tol=1e-9)
+
+
+@given(timesets(), timesets(), bound)
+def test_intersection_membership(a, b, t):
+    # Membership in both implies membership in the intersection, up to
+    # the EPS used when absorbing points into intervals.
+    if (a & b).contains(t):
+        assert a.contains(t, tol=1e-6) and b.contains(t, tol=1e-6)
+
+
+@given(timesets())
+def test_complement_partitions_measure(ts):
+    clipped = ts.clip(DOMAIN.lo, DOMAIN.hi)
+    comp = ts.complement(DOMAIN)
+    total = clipped.measure + comp.measure
+    assert abs(total - DOMAIN.length) < 1e-6
+
+
+@given(timesets())
+def test_double_complement_restores_measure(ts):
+    clipped = ts.clip(DOMAIN.lo, DOMAIN.hi)
+    double = ts.complement(DOMAIN).complement(DOMAIN)
+    assert abs(double.measure - clipped.measure) < 1e-6
+
+
+@given(timesets(), bound)
+def test_shift_preserves_measure(ts, delta):
+    assert abs(ts.shift(delta).measure - ts.measure) < 1e-9
+
+
+@given(timesets())
+def test_measure_nonnegative(ts):
+    assert ts.measure >= 0.0
+
+
+@given(timesets(), timesets())
+def test_infimum_of_union(a, b):
+    if not a.is_empty and not b.is_empty:
+        u = a | b
+        assert u.infimum <= min(a.infimum, b.infimum) + 1e-9

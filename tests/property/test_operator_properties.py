@@ -1,0 +1,149 @@
+"""Property-based tests for segments, envelopes and window functions."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.operators import (
+    ContinuousExtremumAggregate,
+    ContinuousSumAggregate,
+)
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment, apply_update_semantics
+
+coeff = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+linear = st.tuples(coeff, coeff).map(lambda c: Polynomial(list(c)))
+
+
+@st.composite
+def segments(draw, key=("k",)):
+    lo = draw(st.floats(min_value=0.0, max_value=50.0))
+    width = draw(st.floats(min_value=0.5, max_value=20.0))
+    model = draw(linear)
+    return Segment(key, lo, lo + width, {"x": model})
+
+
+# ----------------------------------------------------------------------
+# Update semantics (Section II-B).
+# ----------------------------------------------------------------------
+@given(st.lists(segments(), min_size=1, max_size=6))
+def test_update_semantics_produces_disjoint_pieces(segs):
+    state: list[Segment] = []
+    for seg in segs:
+        state = apply_update_semantics(state, seg)
+    ordered = sorted(state, key=lambda s: s.t_start)
+    for a, b in zip(ordered[:-1], ordered[1:]):
+        assert a.t_end <= b.t_start + 1e-9
+
+
+@given(st.lists(segments(), min_size=1, max_size=6))
+def test_update_semantics_latest_wins(segs):
+    """At any instant, the state holds the newest segment covering it."""
+    state: list[Segment] = []
+    for seg in segs:
+        state = apply_update_semantics(state, seg)
+    last = segs[-1]
+    probe = 0.5 * (last.t_start + last.t_end)
+    holder = [s for s in state if s.contains_time(probe)]
+    assert len(holder) == 1
+    assert holder[0].model("x") == last.model("x")
+
+
+# ----------------------------------------------------------------------
+# Min envelope invariant (Section III-B).
+# ----------------------------------------------------------------------
+@given(st.lists(segments(), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_envelope_is_pointwise_minimum(segs):
+    # Distinct keys so every segment contributes (same-key overlap is
+    # handled by update semantics upstream of the aggregate).
+    agg = ContinuousExtremumAggregate("x", func="min")
+    keyed = [
+        Segment((f"k{i}",), s.t_start, s.t_end, dict(s.models))
+        for i, s in enumerate(segs)
+    ]
+    for s in keyed:
+        agg.process(s)
+    lo = min(s.t_start for s in keyed)
+    hi = max(s.t_end for s in keyed)
+    for i in range(40):
+        t = lo + (hi - lo) * (i + 0.5) / 40
+        live = [s.model("x")(t) for s in keyed if s.contains_time(t)]
+        if live and agg.envelope.defined_at(t):
+            assert agg.envelope(t) <= min(live) + 1e-5
+
+
+@given(st.lists(segments(), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_envelope_never_below_all_inputs(segs):
+    agg = ContinuousExtremumAggregate("x", func="min")
+    keyed = [
+        Segment((f"k{i}",), s.t_start, s.t_end, dict(s.models))
+        for i, s in enumerate(segs)
+    ]
+    for s in keyed:
+        agg.process(s)
+    lo = min(s.t_start for s in keyed)
+    hi = max(s.t_end for s in keyed)
+    for i in range(40):
+        t = lo + (hi - lo) * (i + 0.5) / 40
+        live = [s.model("x")(t) for s in keyed if s.contains_time(t)]
+        if live and agg.envelope.defined_at(t):
+            assert agg.envelope(t) >= min(live) - 1e-5
+
+
+# ----------------------------------------------------------------------
+# Sum window-function identity (Section III-B, Equation 2).
+# ----------------------------------------------------------------------
+@given(
+    st.lists(linear, min_size=1, max_size=5),
+    st.floats(min_value=0.5, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_window_function_equals_quadrature(models, window):
+    """Emitted window functions integrate the signal exactly."""
+    agg = ContinuousSumAggregate("x", window=window, retention=math.inf)
+    piece_width = 2.0
+    outputs = []
+    for i, model in enumerate(models):
+        seg = Segment(
+            ("k",), i * piece_width, (i + 1) * piece_width, {"x": model}
+        )
+        outputs.extend(agg.process(seg))
+    total_span = len(models) * piece_width
+    assume(total_span > window)
+    for out in outputs:
+        wf = out.model(agg.output_attr)
+        c = 0.5 * (out.t_start + out.t_end)
+        direct = _exact_integral(models, piece_width, c - window, c)
+        scale = max(abs(direct), 1.0)
+        assert abs(wf(c) - direct) < 1e-7 * scale
+
+
+def _exact_integral(models, width, lo, hi):
+    """Exact piecewise integral of the test signal over [lo, hi]."""
+    total = 0.0
+    for idx, model in enumerate(models):
+        a = max(lo, idx * width)
+        b = min(hi, (idx + 1) * width)
+        if a < b:
+            total += model.definite_integral(a, b)
+    return total
+
+
+@given(
+    st.lists(linear, min_size=2, max_size=5),
+    st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_window_function_emission_is_contiguous(models, window):
+    agg = ContinuousSumAggregate("x", window=window)
+    outputs = []
+    for i, model in enumerate(models):
+        seg = Segment(("k",), i * 2.0, (i + 1) * 2.0, {"x": model})
+        outputs.extend(agg.process(seg))
+    spans = sorted((o.t_start, o.t_end) for o in outputs)
+    for (a0, a1), (b0, b1) in zip(spans[:-1], spans[1:]):
+        assert abs(a1 - b0) < 1e-9

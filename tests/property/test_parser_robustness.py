@@ -1,0 +1,116 @@
+"""Property-based robustness tests for the query language front end.
+
+The contract: whatever bytes arrive, the lexer/parser either produce an
+AST or raise :class:`QuerySyntaxError` — never an arbitrary exception.
+Additionally, queries generated *from* the grammar always parse.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import QuerySyntaxError
+from repro.query import parse_query
+from repro.query.ast_nodes import SelectStmt
+from repro.query.lexer import tokenize
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=300)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        stmt = parse_query(text)
+    except QuerySyntaxError:
+        return
+    assert isinstance(stmt, SelectStmt)
+
+
+@given(st.text(alphabet=string.printable, max_size=200))
+@settings(max_examples=300)
+def test_printable_garbage_never_crashes(text):
+    try:
+        parse_query(text)
+    except QuerySyntaxError:
+        pass
+
+
+@given(st.text(alphabet=string.printable, max_size=100))
+def test_lexer_total(text):
+    try:
+        tokens = tokenize(text)
+    except QuerySyntaxError:
+        return
+    assert tokens[-1].kind == "EOF"
+
+
+# ----------------------------------------------------------------------
+# Grammar-directed generation: well-formed queries always parse.
+# ----------------------------------------------------------------------
+_ident = st.sampled_from(["s", "trades", "objects", "a1", "x", "price"])
+_number = st.floats(min_value=0.0, max_value=1e6, allow_nan=False).map(
+    lambda v: f"{v:g}"
+)
+_attr = st.one_of(_ident, st.tuples(_ident, _ident).map(lambda p: f"{p[0]}.{p[1]}"))
+_relop = st.sampled_from(["<", "<=", "=", "<>", ">=", ">"])
+
+
+@st.composite
+def _expr(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(_attr, _number))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(st.one_of(_attr, _number))
+    if kind == 1:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({draw(_expr(depth - 1))} {op} {draw(_expr(depth - 1))})"
+    if kind == 2:
+        return f"sqrt({draw(_expr(depth - 1))})"
+    if kind == 3:
+        return f"abs({draw(_expr(depth - 1))})"
+    return f"pow({draw(_expr(depth - 1))}, {draw(st.integers(0, 4))})"
+
+
+@st.composite
+def _predicate(draw, depth=2):
+    atom = f"{draw(_expr(1))} {draw(_relop)} {draw(_expr(1))}"
+    if depth == 0:
+        return atom
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return atom
+    if kind == 1:
+        return f"({draw(_predicate(depth - 1))} and {draw(_predicate(depth - 1))})"
+    if kind == 2:
+        return f"({draw(_predicate(depth - 1))} or {draw(_predicate(depth - 1))})"
+    return f"not {draw(_predicate(depth - 1))}"
+
+
+@st.composite
+def _query(draw):
+    cols = draw(
+        st.one_of(
+            st.just("*"),
+            st.lists(_attr, min_size=1, max_size=3).map(", ".join),
+        )
+    )
+    source = draw(_ident)
+    parts = [f"select {cols} from {source}"]
+    if draw(st.booleans()):
+        size = draw(st.integers(2, 100))
+        parts[0] = (
+            f"select {cols} from {source} "
+            f"[size {size} advance {draw(st.integers(1, size))}]"
+        )
+    if draw(st.booleans()):
+        parts.append(f"where {draw(_predicate())}")
+    if draw(st.booleans()):
+        parts.append(f"error within {draw(st.integers(1, 20))}%")
+    return " ".join(parts)
+
+
+@given(_query())
+@settings(max_examples=200)
+def test_grammar_generated_queries_parse(sql):
+    stmt = parse_query(sql)
+    assert isinstance(stmt, SelectStmt)

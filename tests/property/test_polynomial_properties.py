@@ -1,0 +1,92 @@
+"""Property-based tests for the polynomial kernel."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import Polynomial
+
+coeff = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+polys = st.lists(coeff, min_size=1, max_size=6).map(Polynomial)
+times = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+shifts = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+def close(a: float, b: float, scale: float = 1.0) -> bool:
+    tol = 1e-6 * max(1.0, abs(a), abs(b), scale)
+    return abs(a - b) <= tol
+
+
+@given(polys, polys, times)
+def test_addition_is_pointwise(p, q, t):
+    assert close((p + q)(t), p(t) + q(t))
+
+
+@given(polys, polys, times)
+def test_multiplication_is_pointwise(p, q, t):
+    expected = p(t) * q(t)
+    assert close((p * q)(t), expected, scale=abs(expected))
+
+
+@given(polys, times)
+def test_negation_and_subtraction(p, t):
+    assert close((-p)(t), -p(t))
+    assert (p - p).is_zero
+
+
+@given(polys, polys)
+def test_addition_commutes(p, q):
+    assert (p + q).approx_equal(q + p)
+
+
+@given(polys, polys, polys)
+def test_multiplication_distributes(p, q, r):
+    left = p * (q + r)
+    right = p * q + p * r
+    assert left.approx_equal(right, tol=1e-6)
+
+
+@given(polys, shifts, times)
+def test_shift_identity(p, delta, t):
+    q = p.shift(delta)
+    expected = p(t + delta)
+    assert close(q(t), expected, scale=p.bound_on(t - abs(delta), t + abs(delta)))
+
+
+@given(polys, shifts, shifts)
+def test_shift_composes(p, a, b):
+    assert p.shift(a).shift(b).approx_equal(p.shift(a + b), tol=1e-5)
+
+
+@given(polys)
+def test_derivative_of_antiderivative(p):
+    assert p.antiderivative().derivative().approx_equal(p, tol=1e-9)
+
+
+@given(polys, times, times)
+def test_definite_integral_additivity(p, a, b):
+    mid = 0.5 * (a + b)
+    whole = p.definite_integral(a, b)
+    parts = p.definite_integral(a, mid) + p.definite_integral(mid, b)
+    assert close(whole, parts, scale=p.bound_on(min(a, b), max(a, b)))
+
+
+@given(polys, st.floats(min_value=0.01, max_value=10.0), times)
+def test_sliding_window_integral_matches_definite(p, w, t):
+    wf = p.sliding_window_integral(w)
+    expected = p.definite_integral(t - w, t)
+    assert close(wf(t), expected, scale=p.bound_on(t - w, t) * w + 1.0)
+
+
+@given(polys)
+def test_degree_after_trim(p):
+    if not p.is_zero:
+        assert p.coeffs[-1] != 0.0 or p.degree == 0
+
+
+@given(polys, st.integers(min_value=0, max_value=3), times)
+def test_power_is_repeated_multiplication(p, n, t):
+    expected = p(t) ** n
+    assert close((p**n)(t), expected, scale=abs(expected))

@@ -1,0 +1,61 @@
+"""Property-based tests for the fluid queueing model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.metrics import QueueingModel
+
+service_times = st.floats(min_value=1e-6, max_value=1e-2, allow_nan=False)
+rates = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+capacities = st.floats(min_value=10.0, max_value=1e5, allow_nan=False)
+
+
+@given(service_times, rates, capacities)
+@settings(max_examples=80, deadline=None)
+def test_conservation(service_time, rate, queue_capacity):
+    """Processed work never exceeds arrivals, and the queue accounts for
+    the difference exactly (fluid conservation)."""
+    model = QueueingModel(service_time, queue_capacity=queue_capacity)
+    result = model.offered(rate, duration=10.0)
+    arrived = rate * 10.0
+    processed = result.achieved_throughput * 10.0
+    assert processed <= arrived * (1 + 1e-9)
+    assert abs((arrived - processed) - result.final_queue_length) < arrived * 1e-6
+
+
+@given(service_times, rates)
+@settings(max_examples=80, deadline=None)
+def test_throughput_never_exceeds_capacity(service_time, rate):
+    model = QueueingModel(service_time)
+    result = model.offered(rate, duration=10.0)
+    assert result.achieved_throughput <= model.capacity * (1 + 1e-6)
+
+
+@given(service_times, capacities)
+@settings(max_examples=50, deadline=None)
+def test_latency_monotone_in_rate(service_time, queue_capacity):
+    model = QueueingModel(service_time, queue_capacity=queue_capacity)
+    sweep = model.sweep(
+        [model.capacity * f for f in (0.25, 0.5, 1.0, 2.0, 4.0)],
+        duration=10.0,
+    )
+    latencies = [r.mean_latency for r in sweep]
+    for a, b in zip(latencies[:-1], latencies[1:]):
+        assert b >= a * (1 - 1e-6)
+
+
+@given(service_times, capacities)
+@settings(max_examples=50, deadline=None)
+def test_under_capacity_no_saturation(service_time, queue_capacity):
+    model = QueueingModel(service_time, queue_capacity=queue_capacity)
+    result = model.offered(model.capacity * 0.5, duration=10.0)
+    assert not result.saturated
+    assert result.achieved_throughput >= model.capacity * 0.45
+
+
+@given(service_times)
+@settings(max_examples=50, deadline=None)
+def test_over_capacity_saturates(service_time):
+    model = QueueingModel(service_time, queue_capacity=100.0)
+    result = model.offered(model.capacity * 3.0, duration=10.0)
+    assert result.saturated
+    assert result.final_queue_length > 100.0

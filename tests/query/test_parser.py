@@ -1,0 +1,271 @@
+"""Tests for the query lexer and parser, including the paper's queries."""
+
+import pytest
+
+from repro.core.errors import QuerySyntaxError
+from repro.core.expr import Attr, Const, Sqrt, Sub
+from repro.core.predicate import And, Comparison
+from repro.core.relation import Rel
+from repro.query.ast_nodes import (
+    AggregateCall,
+    JoinClause,
+    StreamRef,
+    SubQuery,
+)
+from repro.query.lexer import tokenize
+from repro.query.parser import parse_expression, parse_predicate, parse_query
+
+MACD_QUERY = """
+select symbol, S.ap - L.ap as diff from
+    (select symbol, avg(price) as ap from
+        stream trades [size 10 advance 2]) as S
+join
+    (select symbol, avg(price) as ap from
+        stream trades [size 60 advance 2]) as L
+on (S.symbol = L.symbol)
+where S.ap > L.ap
+error within 1%
+"""
+
+FOLLOWING_QUERY = """
+select id1, id2, avg(dist) as avg_dist from
+    (select S1.id as id1, S2.id as id2,
+            sqrt(pow(S1.x - S2.x, 2) + pow(S1.y - S2.y, 2)) as dist
+     from vessels [size 10 advance 1] as S1
+     join vessels as S2 [size 10 advance 1]
+     on (S1.id <> S2.id)) [size 600 advance 10] as Candidates
+group by id1, id2 having avg(dist) < 1000
+error within 0.05%
+"""
+
+COLLISION_QUERY = """
+select from objects R
+join objects S on (R.id <> S.id)
+where abs(distance(R.x, R.y, S.x, S.y)) < 100
+"""
+
+MODEL_QUERY = """
+SELECT * from A MODEL A.x = A.x + A.v * t
+JOIN B MODEL B.y = B.v * t + B.a * t^2
+ON (A.x < B.y)
+"""
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("SELECT Select select")
+        assert all(t.is_keyword("select") for t in toks[:-1])
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 0.05 1e3 2.5e-2")
+        values = [float(t.text) for t in toks[:-1]]
+        assert values == [1.0, 2.5, 0.05, 1000.0, 0.025]
+
+    def test_qualified_name_not_decimal(self):
+        toks = tokenize("S1.id")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == ["IDENT", "PUNCT", "IDENT"]
+
+    def test_operators(self):
+        toks = tokenize("<= >= <> != < >")
+        assert [t.text for t in toks[:-1]] == ["<=", ">=", "<>", "!=", "<", ">"]
+
+    def test_string_literal(self):
+        toks = tokenize("'IBM'")
+        assert toks[0].kind == "STRING" and toks[0].text == "IBM"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'IBM")
+
+    def test_comment_skipped(self):
+        toks = tokenize("select -- comment\nfrom")
+        assert [t.text for t in toks[:-1]] == ["select", "from"]
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("select @")
+
+    def test_error_position(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            tokenize("select\n  @")
+        assert exc.value.line == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("a + b * c")
+        env = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert e.evaluate(env) == 7.0
+
+    def test_parens(self):
+        e = parse_expression("(a + b) * c")
+        assert e.evaluate({"a": 1.0, "b": 2.0, "c": 3.0}) == 9.0
+
+    def test_unary_minus(self):
+        assert parse_expression("-a + 5").evaluate({"a": 2.0}) == 3.0
+
+    def test_power(self):
+        assert parse_expression("a^2").evaluate({"a": 3.0}) == 9.0
+
+    def test_power_requires_integer(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("a^2.5")
+
+    def test_qualified_attr(self):
+        e = parse_expression("S.price")
+        assert e == Attr("s.price")
+
+    def test_functions(self):
+        assert parse_expression("sqrt(x)").evaluate({"x": 9.0}) == 3.0
+        assert parse_expression("abs(x)").evaluate({"x": -2.0}) == 2.0
+        assert parse_expression("pow(x, 3)").evaluate({"x": 2.0}) == 8.0
+
+    def test_distance_builtin(self):
+        e = parse_expression("distance(x1, y1, x2, y2)")
+        env = {"x1": 0.0, "y1": 0.0, "x2": 3.0, "y2": 4.0}
+        assert e.evaluate(env) == pytest.approx(5.0)
+
+    def test_pow_requires_literal_exponent(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("pow(x, y)")
+
+    def test_unknown_function(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_expression("frobnicate(x)")
+
+    def test_aggregate_call_node(self):
+        e = parse_expression("avg(price)")
+        assert isinstance(e, AggregateCall)
+        assert e.func == "avg"
+
+
+class TestPredicates:
+    def test_simple_comparison(self):
+        p = parse_predicate("x < 5")
+        assert isinstance(p, Comparison)
+        assert p.rel is Rel.LT
+
+    def test_and_or_precedence(self):
+        p = parse_predicate("a < 1 or b < 2 and c < 3")
+        # AND binds tighter: Or(a<1, And(b<2, c<3)).
+        from repro.core.predicate import Or
+
+        assert isinstance(p, Or)
+
+    def test_parenthesized_predicate(self):
+        p = parse_predicate("(a < 1 or b < 2) and c < 3")
+        assert isinstance(p, And)
+
+    def test_parenthesized_arithmetic_lhs(self):
+        p = parse_predicate("(a + b) * c < 10")
+        assert isinstance(p, Comparison)
+        assert p.evaluate({"a": 1.0, "b": 1.0, "c": 2.0})
+
+    def test_not(self):
+        p = parse_predicate("not x < 5")
+        assert not p.evaluate({"x": 1.0})
+
+    def test_missing_relop(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_predicate("x + 5")
+
+
+class TestSelectStatements:
+    def test_simple_select(self):
+        q = parse_query("select x, y from objects")
+        assert len(q.items) == 2
+        assert isinstance(q.source, StreamRef)
+        assert q.source.name == "objects"
+
+    def test_select_star(self):
+        q = parse_query("select * from objects")
+        assert q.items[0].is_star
+
+    def test_bare_select_from(self):
+        q = parse_query("select from objects")
+        assert q.items[0].is_star
+
+    def test_alias_and_window(self):
+        q = parse_query("select x from s [size 10 advance 2] as S1")
+        assert q.source.alias == "s1"
+        assert q.source.window.size == 10
+        assert q.source.window.advance == 2
+
+    def test_window_after_alias(self):
+        q = parse_query("select x from s as S1 [size 10 advance 2]")
+        assert q.source.alias == "s1"
+        assert q.source.window.size == 10
+
+    def test_where_group_having(self):
+        q = parse_query(
+            "select sym, avg(x) as m from s group by sym having avg(x) < 10"
+        )
+        assert q.group_by == ("sym",)
+        assert q.having is not None
+
+    def test_error_spec_percent(self):
+        q = parse_query("select x from s error within 1%")
+        assert q.error_spec.relative
+        assert q.error_spec.bound == pytest.approx(0.01)
+
+    def test_error_spec_absolute(self):
+        q = parse_query("select x from s error within 0.5 absolute")
+        assert not q.error_spec.relative
+        assert q.error_spec.bound == 0.5
+
+    def test_sample_spec(self):
+        q = parse_query("select x from s sample period 0.1")
+        assert q.sample_spec.period == pytest.approx(0.1)
+
+    def test_macd_query(self):
+        q = parse_query(MACD_QUERY)
+        assert isinstance(q.source, JoinClause)
+        left, right = q.source.left, q.source.right
+        assert isinstance(left, SubQuery) and left.alias == "s"
+        assert isinstance(right, SubQuery) and right.alias == "l"
+        assert left.query.source.window.size == 10
+        assert right.query.source.window.size == 60
+        assert q.error_spec.bound == pytest.approx(0.01)
+        # diff column is S.ap - L.ap.
+        diff = q.items[1]
+        assert diff.alias == "diff"
+        assert isinstance(diff.expr, Sub)
+
+    def test_following_query(self):
+        q = parse_query(FOLLOWING_QUERY)
+        assert isinstance(q.source, SubQuery)
+        assert q.source.alias == "candidates"
+        assert q.source.window.size == 600
+        inner = q.source.query
+        assert isinstance(inner.source, JoinClause)
+        dist = inner.items[2]
+        assert dist.alias == "dist"
+        assert isinstance(dist.expr, Sqrt)
+        assert q.group_by == ("id1", "id2")
+        assert q.error_spec.bound == pytest.approx(0.0005)
+
+    def test_collision_query(self):
+        q = parse_query(COLLISION_QUERY)
+        assert isinstance(q.source, JoinClause)
+        assert q.source.left.alias == "r"
+        assert q.where is not None
+
+    def test_model_clause_query(self):
+        q = parse_query(MODEL_QUERY)
+        join = q.source
+        assert isinstance(join, JoinClause)
+        a, b = join.left, join.right
+        assert len(a.models) == 1
+        assert a.models[0].attr == "a.x"
+        # Model expression references coefficients and t.
+        assert "t" in a.models[0].expr.attributes()
+        assert b.models[0].attr == "b.y"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select x from s garbage garbage")
+
+    def test_missing_from(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("select x")

@@ -1,0 +1,195 @@
+"""Tests for the planner: AST -> logical plan."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.query import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalScan,
+    explain,
+    parse_query,
+    plan_query,
+)
+
+
+def plan(sql):
+    return plan_query(parse_query(sql))
+
+
+class TestBasicPlans:
+    def test_scan_project(self):
+        p = plan("select x, y from objects")
+        assert isinstance(p.root, LogicalProject)
+        assert isinstance(p.root.child, LogicalScan)
+        assert [pr.name for pr in p.root.projections] == ["x", "y"]
+
+    def test_select_star_no_project(self):
+        p = plan("select * from objects")
+        assert isinstance(p.root, LogicalScan)
+
+    def test_where_filter(self):
+        p = plan("select * from objects where x > 5")
+        assert isinstance(p.root, LogicalFilter)
+
+    def test_join(self):
+        p = plan(
+            "select * from objects R join objects S on (R.id <> S.id)"
+        )
+        assert isinstance(p.root, LogicalJoin)
+        assert p.root.left_alias == "r"
+        assert p.root.right_alias == "s"
+
+    def test_self_join_gets_distinct_sources(self):
+        p = plan("select * from objects R join objects S on (R.id <> S.id)")
+        assert p.stream_sources["objects"] == ["objects#1", "objects#2"]
+
+    def test_join_window_from_scan_windows(self):
+        p = plan(
+            "select * from s [size 10 advance 1] as a "
+            "join s [size 10 advance 1] as b on (a.id <> b.id)"
+        )
+        assert p.root.window == 10.0
+
+    def test_join_window_default(self):
+        p = plan("select * from a join b on (a.x < b.y)")
+        from repro.query.planner import DEFAULT_JOIN_WINDOW
+
+        assert p.root.window == DEFAULT_JOIN_WINDOW
+
+    def test_error_and_sample_specs_carried(self):
+        p = plan("select * from s error within 2% sample period 0.5")
+        assert p.error_spec.bound == pytest.approx(0.02)
+        assert p.sample_spec.period == 0.5
+
+
+class TestAggregatePlans:
+    def test_aggregate_requires_window(self):
+        with pytest.raises(PlanError):
+            plan("select avg(x) as m from s")
+
+    def test_windowed_aggregate(self):
+        p = plan("select avg(x) as m from s [size 10 advance 2]")
+        project = p.root
+        agg = project.child
+        assert isinstance(agg, LogicalAggregate)
+        assert agg.func == "avg"
+        assert agg.attr == "x"
+        assert agg.window == 10.0
+        assert agg.slide == 2.0
+        assert agg.output_attr == "m"
+
+    def test_implicit_group_by_select_attrs(self):
+        p = plan("select symbol, avg(price) as ap from s [size 10 advance 2]")
+        agg = p.root.child
+        assert agg.group_fields == ("symbol",)
+
+    def test_explicit_group_by(self):
+        p = plan(
+            "select avg(x) as m from s [size 10 advance 2] group by id"
+        )
+        agg = p.root.child
+        assert agg.group_fields == ("id",)
+
+    def test_having_becomes_post_filter(self):
+        p = plan(
+            "select id, avg(x) as m from s [size 10 advance 2] "
+            "group by id having avg(x) < 5"
+        )
+        # Project(Filter(Aggregate(...))).
+        assert isinstance(p.root, LogicalProject)
+        having = p.root.child
+        assert isinstance(having, LogicalFilter)
+        assert isinstance(having.child, LogicalAggregate)
+        # HAVING's avg(x) was rewritten to the aggregate output attr.
+        atom = next(iter(having.predicate.atoms()))
+        from repro.core.expr import Attr
+
+        assert atom.left == Attr("m")
+
+    def test_having_without_aggregate_rejected(self):
+        with pytest.raises(PlanError):
+            plan("select x from s having x < 5")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(PlanError):
+            plan("select x from s [size 10 advance 2] where avg(x) < 5")
+
+    def test_where_applies_before_aggregation(self):
+        p = plan(
+            "select avg(x) as m from s [size 10 advance 2] where x > 0"
+        )
+        agg = p.root.child
+        assert isinstance(agg, LogicalAggregate)
+        assert isinstance(agg.child, LogicalFilter)
+
+    def test_aggregate_over_expression_inserts_project(self):
+        p = plan("select avg(x + y) as m from s [size 10 advance 2]")
+        agg = p.root.child
+        assert isinstance(agg, LogicalAggregate)
+        assert isinstance(agg.child, LogicalProject)
+        assert agg.attr.startswith("__agg_arg")
+
+
+class TestPaperQueryPlans:
+    MACD = """
+    select symbol, S.ap - L.ap as diff from
+        (select symbol, avg(price) as ap from
+            trades [size 10 advance 2]) as S
+    join
+        (select symbol, avg(price) as ap from
+            trades [size 60 advance 2]) as L
+    on (S.symbol = L.symbol)
+    where S.ap > L.ap
+    error within 1%
+    """
+
+    FOLLOWING = """
+    select id1, id2, avg(dist) as avg_dist from
+        (select S1.id as id1, S2.id as id2,
+                sqrt(pow(S1.x - S2.x, 2) + pow(S1.y - S2.y, 2)) as dist
+         from vessels [size 10 advance 1] as S1
+         join vessels as S2 [size 10 advance 1]
+         on (S1.id <> S2.id)) [size 600 advance 10] as Candidates
+    group by id1, id2 having avg(dist) < 1000
+    error within 0.05%
+    """
+
+    def test_macd_plan_shape(self):
+        p = plan(self.MACD)
+        # Project(Filter(Join(Project(Agg(Scan)), Project(Agg(Scan))))).
+        assert isinstance(p.root, LogicalProject)
+        filt = p.root.child
+        assert isinstance(filt, LogicalFilter)
+        join = filt.child
+        assert isinstance(join, LogicalJoin)
+        for side in (join.left, join.right):
+            assert isinstance(side, LogicalProject)
+            assert isinstance(side.child, LogicalAggregate)
+        aggs = [join.left.child, join.right.child]
+        assert sorted(a.window for a in aggs) == [10.0, 60.0]
+        assert all(a.group_fields == ("symbol",) for a in aggs)
+        assert p.stream_sources["trades"] == ["trades#1", "trades#2"]
+
+    def test_following_plan_shape(self):
+        p = plan(self.FOLLOWING)
+        assert isinstance(p.root, LogicalProject)
+        having = p.root.child
+        assert isinstance(having, LogicalFilter)
+        agg = having.child
+        assert isinstance(agg, LogicalAggregate)
+        assert agg.window == 600.0
+        assert agg.slide == 10.0
+        assert agg.attr == "dist"
+        assert set(agg.group_fields) == {"id1", "id2"}
+        inner_project = agg.child
+        assert isinstance(inner_project, LogicalProject)
+        join = inner_project.child
+        assert isinstance(join, LogicalJoin)
+        assert join.window == 10.0
+
+    def test_explain_renders(self):
+        text = explain(plan(self.MACD).root)
+        assert "Join" in text and "Aggregate" in text and "Scan" in text

@@ -1,0 +1,157 @@
+"""Tests for the synthetic workload generators and trace replay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    AisConfig,
+    AisVesselGenerator,
+    MovingObjectConfig,
+    MovingObjectGenerator,
+    NyseConfig,
+    NyseTradeGenerator,
+    read_trace,
+    take,
+    write_trace,
+)
+
+
+class TestMovingObjects:
+    def test_schema_fields(self):
+        gen = MovingObjectGenerator()
+        tup = next(gen.tuples(1))
+        assert set(tup) == {"time", "id", "x", "y", "vx", "vy"}
+
+    def test_timestamps_monotone_at_rate(self):
+        cfg = MovingObjectConfig(rate=100.0)
+        gen = MovingObjectGenerator(cfg)
+        times = [t.time for t in gen.tuples(50)]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(0.01)
+
+    def test_deterministic_with_seed(self):
+        a = list(MovingObjectGenerator(MovingObjectConfig(seed=1)).tuples(20))
+        b = list(MovingObjectGenerator(MovingObjectConfig(seed=1)).tuples(20))
+        assert a == b
+
+    def test_velocity_constant_within_epoch(self):
+        cfg = MovingObjectConfig(num_objects=1, tuples_per_segment=10, noise=0.0)
+        gen = MovingObjectGenerator(cfg)
+        tuples = list(gen.tuples(10))
+        assert len({t["vx"] for t in tuples[:9]}) == 1
+
+    def test_position_consistent_with_velocity(self):
+        cfg = MovingObjectConfig(
+            num_objects=1, rate=100.0, tuples_per_segment=1000, noise=0.0
+        )
+        gen = MovingObjectGenerator(cfg)
+        tuples = list(gen.tuples(5))
+        dt = 1.0 / 100.0
+        for a, b in zip(tuples[:-1], tuples[1:]):
+            assert b["x"] - a["x"] == pytest.approx(a["vx"] * dt, rel=1e-6)
+
+    def test_ground_truth_segments_tile_time(self):
+        cfg = MovingObjectConfig(num_objects=2, rate=100.0, tuples_per_segment=10)
+        gen = MovingObjectGenerator(cfg)
+        segs = list(gen.segments(6))
+        per_obj = {}
+        for s in segs:
+            per_obj.setdefault(s.key, []).append(s)
+        for series in per_obj.values():
+            for a, b in zip(series[:-1], series[1:]):
+                assert a.t_end == pytest.approx(b.t_start)
+                # Position continuity at the boundary.
+                assert a.value_at("x", a.t_end) == pytest.approx(
+                    b.value_at("x", b.t_start), rel=1e-9
+                )
+
+
+class TestNyse:
+    def test_schema(self):
+        tup = next(NyseTradeGenerator().tuples(1))
+        assert set(tup) == {"time", "symbol", "price", "qty"}
+
+    def test_symbols_cycle(self):
+        gen = NyseTradeGenerator(NyseConfig(num_symbols=3))
+        symbols = [t["symbol"] for t in gen.tuples(6)]
+        assert symbols[:3] == symbols[3:]
+
+    def test_prices_positive_and_tick_quantized(self):
+        cfg = NyseConfig(tick=0.01)
+        for tup in NyseTradeGenerator(cfg).tuples(500):
+            assert tup["price"] > 0
+            cents = tup["price"] / 0.01
+            assert abs(cents - round(cents)) < 1e-6
+
+    def test_deterministic(self):
+        a = [t["price"] for t in NyseTradeGenerator(NyseConfig(seed=2)).tuples(50)]
+        b = [t["price"] for t in NyseTradeGenerator(NyseConfig(seed=2)).tuples(50)]
+        assert a == b
+
+    def test_volatility_scales_dispersion(self):
+        def dispersion(vol):
+            gen = NyseTradeGenerator(NyseConfig(num_symbols=1, volatility=vol, seed=4))
+            prices = np.array([t["price"] for t in gen.tuples(2000)])
+            return np.std(np.diff(np.log(prices)))
+
+        assert dispersion(1e-3) > dispersion(1e-5)
+
+
+class TestAis:
+    def test_schema(self):
+        tup = next(AisVesselGenerator().tuples(1))
+        assert set(tup) == {"time", "id", "x", "vx", "y", "vy"}
+
+    def test_follower_stays_close_to_leader(self):
+        cfg = AisConfig(
+            num_vessels=4, follower_pairs=1, rate=100.0, follow_distance=300.0
+        )
+        gen = AisVesselGenerator(cfg)
+        leader_id, follower_id = gen.follower_pairs[0]
+        last = {}
+        max_dist = 0.0
+        for tup in gen.tuples(4000):
+            last[tup["id"]] = (tup["x"], tup["y"])
+            if leader_id in last and follower_id in last:
+                lx, ly = last[leader_id]
+                fx, fy = last[follower_id]
+                max_dist = max(max_dist, math.hypot(lx - fx, ly - fy))
+        assert max_dist < 1000.0
+
+    def test_non_followers_disperse(self):
+        cfg = AisConfig(num_vessels=4, follower_pairs=0, rate=100.0, seed=9)
+        gen = AisVesselGenerator(cfg)
+        first = {}
+        last = {}
+        for tup in gen.tuples(4000):
+            first.setdefault(tup["id"], (tup["x"], tup["y"]))
+            last[tup["id"]] = (tup["x"], tup["y"])
+        moved = [
+            math.hypot(last[k][0] - first[k][0], last[k][1] - first[k][1])
+            for k in first
+        ]
+        assert max(moved) > 10.0
+
+    def test_rejects_too_many_pairs(self):
+        with pytest.raises(ValueError):
+            AisConfig(num_vessels=3, follower_pairs=2)
+
+
+class TestReplay:
+    def test_roundtrip(self, tmp_path):
+        gen = NyseTradeGenerator(NyseConfig(num_symbols=2))
+        tuples = take(gen.tuples(20), 20)
+        path = tmp_path / "trace.csv"
+        count = write_trace(path, tuples, ("time", "symbol", "price", "qty"))
+        assert count == 20
+        replayed = list(read_trace(path))
+        assert len(replayed) == 20
+        assert replayed[0]["symbol"] == tuples[0]["symbol"]
+        assert replayed[0]["price"] == pytest.approx(tuples[0]["price"])
+        assert isinstance(replayed[0]["price"], float)
+
+    def test_take(self):
+        assert take(iter(range(100)), 5) == [0, 1, 2, 3, 4]
+        assert take(iter(range(3)), 10) == [0, 1, 2]
