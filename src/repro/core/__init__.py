@@ -5,7 +5,13 @@ per-operator simultaneous equation systems, the query transform, and
 validated execution with inverted error bounds.
 """
 
-from .equation_system import DifferenceRow, EquationSystem
+from .batch_solver import (
+    SolverConfig,
+    set_solver_mode,
+    solver_config,
+    solver_mode,
+)
+from .equation_system import DifferenceRow, EquationSystem, solve_systems_batch
 from .errors import PulseError
 from .expr import Abs, Add, Attr, Const, Div, Expr, Mul, Neg, Pow, Sqrt, Sub
 from .intervals import Interval, TimeSet
@@ -16,6 +22,7 @@ from .polynomial import Polynomial
 from .predicate import And, BoolExpr, Comparison, Not, Or, normalize
 from .relation import Rel
 from .segment import Segment, SegmentBuffer
+from .solve_cache import SolveCache, global_solve_cache, reset_global_solve_cache
 from .transform import TransformedQuery, to_continuous_plan
 
 __all__ = [
@@ -24,6 +31,8 @@ __all__ = [
     "HistoricalProcessor", "Interval", "Mul", "Neg", "Not", "Or", "Piece",
     "PiecewiseFunction", "Polynomial", "Pow", "PredictiveProcessor",
     "PredictiveStats", "PulseError", "Rel", "Segment", "SegmentBuffer",
-    "Sqrt", "Sub", "TimeSet", "TransformedQuery", "lower_envelope",
-    "normalize", "to_continuous_plan", "upper_envelope",
+    "SolveCache", "SolverConfig", "Sqrt", "Sub", "TimeSet",
+    "TransformedQuery", "global_solve_cache", "lower_envelope", "normalize",
+    "reset_global_solve_cache", "set_solver_mode", "solve_systems_batch",
+    "solver_config", "solver_mode", "to_continuous_plan", "upper_envelope",
 ]

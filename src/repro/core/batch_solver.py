@@ -1,0 +1,498 @@
+"""Batched companion-matrix solver kernel (the solver hot path, batched).
+
+Root finding is Pulse's hot path: every selective operator reduces to
+solving difference rows ``d_i(t) R_i 0`` (Section III-A), and a single
+join probe can instantiate dozens of byte-similar systems at once.  The
+scalar path in :mod:`repro.core.roots` pays one ``np.roots`` LAPACK
+round-trip plus a Python-level Newton polish *per row*.  This module
+solves many rows in one sweep:
+
+* rows are **degree-bucketed** and their companion matrices stacked into
+  one 3-D array, so all eigenvalues of a bucket come from a single
+  ``np.linalg.eigvals`` gufunc call;
+* the Newton polish runs **vectorized across every candidate root** of
+  every row simultaneously, with masks mirroring the scalar iteration's
+  control flow step for step;
+* sign tests evaluate all subinterval midpoints of all rows through one
+  padded coefficient-matrix sweep (``D`` rows gathered per midpoint)
+  instead of per-row Horner loops.
+
+The kernel is built for *parity*: every arithmetic step reproduces the
+scalar path's operation sequence exactly (padded Horner is bit-identical
+to unpadded Horner for finite arguments, and the stacked eigensolver
+applies the same LAPACK kernel per matrix), so batched and scalar solves
+return identical :class:`TimeSet` objects.  ``tests/property/
+test_batch_solver_parity.py`` enforces this, and :func:`set_solver_mode`
+forces the scalar path for A/B experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .intervals import EPS, Interval, TimeSet
+from .polynomial import Polynomial
+from .relation import Rel
+from .roots import (
+    IMAG_TOL,
+    RESIDUAL_TOL,
+    ROOT_MERGE_TOL,
+    _deflate,
+    _quadratic_roots,
+    solve_relation,
+)
+
+#: Newton tolerance, matching :func:`repro.core.roots.newton`'s default.
+_NEWTON_TOL = 1e-12
+_NEWTON_MAX_ITER = 50
+
+#: One solve task: ``poly(t) rel 0`` over the half-open domain ``[lo, hi)``.
+SolveTask = tuple[Polynomial, Rel, float, float]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass
+class SolverConfig:
+    """Global solver knobs (the ``modes``-level A/B switch).
+
+    Attributes
+    ----------
+    kernel:
+        ``"batch"`` routes multi-row solves through the batched
+        companion-matrix kernel; ``"scalar"`` forces the original
+        row-at-a-time path (A/B parity testing).
+    cache_enabled:
+        Whether multi-use solve results are memoized in the global
+        :class:`~repro.core.solve_cache.SolveCache`.
+    cache_size:
+        Bound on cached entries (LRU eviction beyond it).
+    cache_mantissa_bits:
+        Low mantissa bits zeroed when quantizing cache-key floats.  The
+        default ``0`` caches only byte-identical systems; raising it
+        makes near-identical systems (within ``~2**bits`` ulps) share an
+        entry at the cost of exactness.
+    """
+
+    kernel: str = "batch"
+    cache_enabled: bool = True
+    cache_size: int = 4096
+    cache_mantissa_bits: int = 0
+
+
+SOLVER_CONFIG = SolverConfig()
+
+
+def solver_config() -> SolverConfig:
+    """The process-wide solver configuration (mutable)."""
+    return SOLVER_CONFIG
+
+
+def batch_kernel_enabled() -> bool:
+    return SOLVER_CONFIG.kernel == "batch"
+
+
+def set_solver_mode(mode: str) -> None:
+    """Select the solving path: ``"batch"`` or ``"scalar"``.
+
+    ``"scalar"`` also disables the solve cache so the path is exactly
+    the seed implementation — the A/B baseline.  ``"batch"`` restores
+    both the kernel and the cache.
+    """
+    if mode not in ("batch", "scalar"):
+        raise ValueError(f"solver mode must be 'batch' or 'scalar', got {mode!r}")
+    SOLVER_CONFIG.kernel = mode
+    SOLVER_CONFIG.cache_enabled = mode == "batch"
+
+
+@contextmanager
+def solver_mode(mode: str) -> Iterator[SolverConfig]:
+    """Temporarily force a solver mode (restores all knobs on exit)."""
+    saved = (
+        SOLVER_CONFIG.kernel,
+        SOLVER_CONFIG.cache_enabled,
+        SOLVER_CONFIG.cache_size,
+        SOLVER_CONFIG.cache_mantissa_bits,
+    )
+    try:
+        set_solver_mode(mode)
+        yield SOLVER_CONFIG
+    finally:
+        (
+            SOLVER_CONFIG.kernel,
+            SOLVER_CONFIG.cache_enabled,
+            SOLVER_CONFIG.cache_size,
+            SOLVER_CONFIG.cache_mantissa_bits,
+        ) = saved
+
+
+# ----------------------------------------------------------------------
+# padded-matrix polynomial evaluation
+# ----------------------------------------------------------------------
+def pad_coefficient_matrix(
+    coeff_rows: Sequence[Sequence[float]], width: int | None = None
+) -> np.ndarray:
+    """Stack ascending coefficient rows into one zero-padded matrix.
+
+    This is the batched ``D`` of Equation (1): row ``i`` holds the
+    coefficients of ``d_i`` padded to the common width, so one sweep
+    evaluates every row at once.
+    """
+    if width is None:
+        width = max((len(c) for c in coeff_rows), default=1)
+    matrix = np.zeros((len(coeff_rows), width))
+    for i, coeffs in enumerate(coeff_rows):
+        matrix[i, : len(coeffs)] = coeffs
+    return matrix
+
+
+def horner_rows(matrix: np.ndarray, ts: np.ndarray) -> np.ndarray:
+    """Evaluate ``matrix[i]``'s polynomial at ``ts[i]`` for every ``i``.
+
+    A column sweep of fused multiply-adds: starting from the (padded)
+    leading column, ``r = r * t + c``.  For finite ``ts`` this is
+    bit-identical to scalar Horner on the unpadded coefficients — the
+    zero-pad prefix contributes exact zeros — which is what makes the
+    batched sign tests reproduce the scalar solver's decisions.
+    """
+    result = matrix[:, -1].copy()
+    for col in range(matrix.shape[1] - 2, -1, -1):
+        result = result * ts + matrix[:, col]
+    return result
+
+
+def derivative_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise derivative coefficients of a padded ascending matrix."""
+    if matrix.shape[1] <= 1:
+        return np.zeros((matrix.shape[0], 1))
+    return matrix[:, 1:] * np.arange(1, matrix.shape[1], dtype=float)
+
+
+def vandermonde_values(matrix: np.ndarray, ts: np.ndarray) -> np.ndarray:
+    """``D @ [1, t, t^2, ...]`` for every sample: shape (rows, len(ts)).
+
+    The slack path's batched evaluation — one matrix product instead of
+    per-row Horner loops over the sample grid.
+    """
+    powers = np.vander(np.asarray(ts, dtype=float), matrix.shape[1], increasing=True)
+    return matrix @ powers.T
+
+
+# ----------------------------------------------------------------------
+# batched Newton polish
+# ----------------------------------------------------------------------
+def _newton_polish_batch(
+    coeffs: np.ndarray, x0: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Newton–Raphson mirroring :func:`repro.core.roots.newton`.
+
+    ``coeffs`` holds one padded ascending coefficient row per candidate;
+    ``x0`` the starting points.  Returns ``(x, ok)`` where ``ok[i]`` is
+    False exactly when the scalar iteration would have returned ``None``
+    (zero/non-finite derivative, divergence, or a weak final residual).
+    """
+    n = x0.shape[0]
+    deriv = derivative_matrix(coeffs)
+    x = x0.astype(float).copy()
+    result = x.copy()
+    ok = np.zeros(n, dtype=bool)
+    active = np.ones(n, dtype=bool)
+    with np.errstate(all="ignore"):
+        for _ in range(_NEWTON_MAX_ITER):
+            if not active.any():
+                break
+            fx = horner_rows(coeffs, x)
+            conv = active & (np.abs(fx) < _NEWTON_TOL)
+            result[conv] = x[conv]
+            ok |= conv
+            active &= ~conv
+            d = horner_rows(deriv, x)
+            dead = active & ((d == 0.0) | ~np.isfinite(d))
+            active &= ~dead
+            step = fx / d
+            x_next = x - step
+            x = np.where(active, x_next, x)
+            diverged = active & ~np.isfinite(x)
+            active &= ~diverged
+            conv = active & (np.abs(step) < _NEWTON_TOL * np.maximum(1.0, np.abs(x)))
+            result[conv] = x[conv]
+            ok |= conv
+            active &= ~conv
+        if active.any():
+            fx = horner_rows(coeffs, x)
+            final = active & (np.abs(fx) < math.sqrt(_NEWTON_TOL))
+            result[final] = x[final]
+            ok |= final
+    return result, ok
+
+
+# ----------------------------------------------------------------------
+# batched companion-matrix root finding
+# ----------------------------------------------------------------------
+def _stacked_companion_eigvals(rows: list[list[float]]) -> np.ndarray:
+    """Eigenvalues of the companion matrices of descending-coeff rows.
+
+    All rows share one length ``N >= 2``; the returned array has shape
+    ``(len(rows), N - 1)``.  The matrix layout matches ``np.roots``
+    (ones on the first subdiagonal, ``-p[1:]/p[0]`` in the first row) so
+    the eigenvalues agree bit for bit with the scalar path.
+    """
+    p = np.asarray(rows, dtype=float)
+    m, length = p.shape
+    size = length - 1
+    matrices = np.zeros((m, size, size))
+    if size > 1:
+        idx = np.arange(size - 1)
+        matrices[:, idx + 1, idx] = 1.0
+    matrices[:, 0, :] = -p[:, 1:] / p[:, :1]
+    return np.linalg.eigvals(matrices)
+
+
+def real_roots_batch(
+    items: Sequence[tuple[Polynomial, float, float]]
+) -> list[list[float]]:
+    """Batched :func:`repro.core.roots.real_roots` over many polynomials.
+
+    Each item is ``(poly, lo, hi)``; zero polynomials are the caller's
+    responsibility (as in the scalar path).  Degree <= 2 rows use the
+    closed forms; higher degrees share stacked companion-matrix
+    eigensolves (bucketed by effective degree) and one vectorized Newton
+    polish across every candidate root of every row.
+    """
+    n = len(items)
+    deflated: list[tuple[float, ...]] = [()] * n
+    candidates: list[list[float]] = [[] for _ in range(n)]
+    # inner companion length -> list of (item index, descending inner coeffs)
+    buckets: dict[int, list[tuple[int, list[float]]]] = defaultdict(list)
+    needs_polish: set[int] = set()
+
+    for j, (poly, lo, hi) in enumerate(items):
+        c = _deflate(poly.coeffs, lo, hi)
+        deflated[j] = c
+        if len(c) == 2:
+            candidates[j] = [-c[0] / c[1]]
+        elif len(c) == 3:
+            candidates[j] = _quadratic_roots(c[0], c[1], c[2])
+        elif len(c) > 3:
+            needs_polish.add(j)
+            desc = list(reversed(c))
+            # np.roots semantics: exact trailing zeros factor out as
+            # roots at t = 0 (the scalar path polishes them too).
+            while desc[-1] == 0.0 and len(desc) > 1:
+                desc.pop()
+                candidates[j].append(0.0)
+            if len(desc) >= 2:
+                buckets[len(desc)].append((j, desc))
+
+    for _, jobs in sorted(buckets.items()):
+        eigen = _stacked_companion_eigvals([coeffs for _, coeffs in jobs])
+        for (j, _), row in zip(jobs, eigen):
+            keep = np.abs(row.imag) <= IMAG_TOL * np.maximum(1.0, np.abs(row.real))
+            candidates[j].extend(float(v) for v in row.real[keep])
+
+    # One Newton polish across every candidate of every degree->=3 item.
+    polish_items = [j for j in sorted(needs_polish) if candidates[j]]
+    if polish_items:
+        owner = np.concatenate(
+            [np.full(len(candidates[j]), j, dtype=int) for j in polish_items]
+        )
+        x0 = np.concatenate(
+            [np.asarray(candidates[j], dtype=float) for j in polish_items]
+        )
+        width = max(len(deflated[j]) for j in polish_items)
+        coeff_rows = pad_coefficient_matrix(
+            [deflated[j] for j in polish_items], width
+        )
+        index_of = {j: k for k, j in enumerate(polish_items)}
+        gathered = coeff_rows[[index_of[j] for j in owner]]
+        polished, ok = _newton_polish_batch(gathered, x0)
+        final = np.where(ok, polished, x0)
+        with np.errstate(all="ignore"):
+            residual = np.abs(horner_rows(gathered, final))
+        for j in polish_items:
+            mask = owner == j
+            scale = max(abs(v) for v in deflated[j])
+            bound = RESIDUAL_TOL * max(1.0, scale)
+            candidates[j] = [
+                float(v) for v, r in zip(final[mask], residual[mask]) if r <= bound
+            ]
+
+    # Scalar post-processing: finite filter, sort, dedupe, domain pad —
+    # verbatim from real_roots so the output multiset is identical.
+    out: list[list[float]] = []
+    for j, (_, lo, hi) in enumerate(items):
+        roots = [r for r in candidates[j] if math.isfinite(r)]
+        roots.sort()
+        merged: list[float] = []
+        for r in roots:
+            if not merged or r - merged[-1] > ROOT_MERGE_TOL * max(1.0, abs(r)):
+                merged.append(r)
+        span = max((abs(r) for r in merged), default=1.0)
+        pad = EPS * max(1.0, span)
+        out.append([r for r in merged if lo - pad <= r <= hi + pad])
+    return out
+
+
+# ----------------------------------------------------------------------
+# batched relation solving
+# ----------------------------------------------------------------------
+def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
+    """Batched :func:`repro.core.roots.solve_relation` over many rows.
+
+    Returns one :class:`TimeSet` per task, identical to what the scalar
+    path produces for the same ``(poly, rel, lo, hi)``.
+    """
+    n = len(tasks)
+    results: list[TimeSet | None] = [None] * n
+    pending: list[int] = []
+    for i, (poly, rel, lo, hi) in enumerate(tasks):
+        if lo >= hi:
+            results[i] = TimeSet.empty()
+        elif poly.is_zero:
+            results[i] = (
+                TimeSet.interval(lo, hi)
+                if rel.includes_equality
+                else TimeSet.empty()
+            )
+        elif poly.is_constant:
+            results[i] = (
+                TimeSet.interval(lo, hi)
+                if rel.holds(poly.coeffs[0])
+                else TimeSet.empty()
+            )
+        else:
+            pending.append(i)
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    roots_per = real_roots_batch(
+        [(tasks[i][0], tasks[i][2], tasks[i][3]) for i in pending]
+    )
+
+    # Collect every sign-test midpoint across all pending rows, then
+    # evaluate them in one gathered coefficient-matrix sweep.
+    sign_jobs: list[tuple[int, list[float], list[tuple[float, float, float]]]] = []
+    eval_rows: list[int] = []  # index into `pending` per midpoint
+    eval_ts: list[float] = []
+    for slot, i in enumerate(pending):
+        poly, rel, lo, hi = tasks[i]
+        roots = roots_per[slot]
+        if rel is Rel.EQ:
+            points = [r for r in roots if lo - EPS <= r < hi]
+            results[i] = TimeSet.from_points(points)
+            continue
+        interior = [r for r in roots if lo < r < hi]
+        boundaries = [lo, *interior, hi]
+        spans: list[tuple[float, float, float]] = []
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            if b - a <= EPS:
+                continue
+            mid = 0.5 * (a + b)
+            spans.append((a, b, mid))
+            eval_rows.append(slot)
+            eval_ts.append(mid)
+        sign_jobs.append((i, interior, spans))
+
+    midpoint_values: dict[tuple[int, float], float] = {}
+    if eval_ts:
+        ts = np.asarray(eval_ts, dtype=float)
+        finite = np.isfinite(ts)
+        coeff_matrix = pad_coefficient_matrix(
+            [tasks[pending[s]][0].coeffs for s in sorted(set(eval_rows))]
+        )
+        order = {s: k for k, s in enumerate(sorted(set(eval_rows)))}
+        gathered = coeff_matrix[[order[s] for s in eval_rows]]
+        with np.errstate(all="ignore"):
+            values = horner_rows(gathered, ts)
+        for k, (slot, t) in enumerate(zip(eval_rows, eval_ts)):
+            if finite[k]:
+                midpoint_values[(slot, t)] = float(values[k])
+            else:
+                # Padded Horner is only Horner-exact for finite t;
+                # infinite-domain midpoints fall back to the scalar
+                # evaluation the sequential path would have used.
+                midpoint_values[(slot, t)] = tasks[pending[slot]][0](t)
+
+    slot_of = {i: slot for slot, i in enumerate(pending)}
+    for i, interior, spans in sign_jobs:
+        poly, rel, lo, hi = tasks[i]
+        intervals = [
+            Interval(a, b)
+            for a, b, mid in spans
+            if rel.holds(midpoint_values[(slot_of[i], mid)])
+        ]
+        points: list[float] = []
+        if rel.includes_equality and rel is not Rel.EQ:
+            solution = TimeSet(intervals=intervals)
+            for r in interior:
+                if not solution.contains(r, tol=EPS):
+                    points.append(r)
+        results[i] = TimeSet(intervals=intervals, points=points)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# cached entry points
+# ----------------------------------------------------------------------
+def solve_tasks(tasks: Sequence[SolveTask]) -> list[TimeSet]:
+    """Solve many difference rows, consulting the cache and the kernel.
+
+    This is the single funnel every row solve goes through: cache lookup
+    first (when enabled), then either the batched kernel or the scalar
+    path for the misses, then cache fill.
+    """
+    cfg = SOLVER_CONFIG
+    cache = None
+    if cfg.cache_enabled:
+        from .solve_cache import global_solve_cache
+
+        cache = global_solve_cache()
+    results: list[TimeSet | None] = [None] * len(tasks)
+    miss_indices: list[int] = []
+    keys: list[object] = []
+    aliases: list[tuple[int, int]] = []  # (result index, miss slot)
+    if cache is not None:
+        slot_of_key: dict[object, int] = {}
+        for i, task in enumerate(tasks):
+            key = cache.key(*task)
+            if key in slot_of_key:
+                # Duplicate of an in-flight miss: served from this very
+                # batch's fill, so it counts as a hit.
+                cache._counter("hits").bump()
+                aliases.append((i, slot_of_key[key]))
+                continue
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+            else:
+                slot_of_key[key] = len(miss_indices)
+                miss_indices.append(i)
+                keys.append(key)
+    else:
+        miss_indices = list(range(len(tasks)))
+
+    if miss_indices:
+        pending = [tasks[i] for i in miss_indices]
+        if batch_kernel_enabled():
+            solved = solve_relation_batch(pending)
+        else:
+            solved = [solve_relation(p, rel, lo, hi) for p, rel, lo, hi in pending]
+        for slot, i in enumerate(miss_indices):
+            results[i] = solved[slot]
+            if cache is not None:
+                cache.put(keys[slot], solved[slot])
+    for i, slot in aliases:
+        results[i] = results[miss_indices[slot]]
+    return results  # type: ignore[return-value]
+
+
+def solve_one(poly: Polynomial, rel: Rel, lo: float, hi: float) -> TimeSet:
+    """Solve a single row through the cache/kernel funnel."""
+    return solve_tasks([(poly, rel, lo, hi)])[0]

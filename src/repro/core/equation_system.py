@@ -29,13 +29,32 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .batch_solver import (
+    SolveTask,
+    batch_kernel_enabled,
+    solve_one,
+    solve_tasks,
+    vandermonde_values,
+)
 from .errors import SolverError
 from .expr import ModelResolver
 from .intervals import Interval, TimeSet
 from .polynomial import Polynomial
 from .predicate import And, BoolExpr, Comparison, Literal, Not, Or, normalize
 from .relation import Rel
-from .roots import real_roots, solve_relation
+from .roots import real_roots
+
+
+def row_solve_counter():
+    """The global row-solve counter (``equation_system.row_solves``).
+
+    Lives in the :mod:`repro.engine.metrics` registry so benchmarks and
+    the solve cache share one resettable stats surface; fetched lazily
+    to keep ``repro.core`` importable on its own.
+    """
+    from ..engine.metrics import get_counter
+
+    return get_counter("equation_system.row_solves")
 
 
 @dataclass(frozen=True)
@@ -46,7 +65,8 @@ class DifferenceRow:
     rel: Rel
 
     def solve(self, lo: float, hi: float) -> TimeSet:
-        return solve_relation(self.poly, self.rel, lo, hi)
+        row_solve_counter().bump()
+        return solve_one(self.poly, self.rel, lo, hi)
 
     def holds_at(self, t: float, tol: float = 0.0) -> bool:
         return self.rel.holds(self.poly(t), tol)
@@ -92,10 +112,11 @@ class EquationSystem:
     Build one per (pair of) aligned segment(s) with
     :meth:`from_predicate`; the rows' polynomials already have the models
     substituted (steps 2–3 of the transform).
-    """
 
-    #: Number of row solves performed across all instances (benchmark hook).
-    solve_counter = 0
+    Row solves are counted in the ``equation_system.row_solves`` counter
+    of :mod:`repro.engine.metrics` (the old mutable ``solve_counter``
+    class attribute, made resettable and shared with the cache stats).
+    """
 
     def __init__(
         self,
@@ -202,20 +223,58 @@ class EquationSystem:
     def solve(self, lo: float, hi: float) -> TimeSet:
         """Solve the system over the half-open domain ``[lo, hi)``.
 
-        Uses the equality fast path for all-equality conjunctions and the
-        general row-by-row algorithm otherwise.
+        Uses the equality fast path for all-equality conjunctions; all
+        other multi-row systems go through the batched kernel (every row
+        solved in one companion-matrix sweep) unless the scalar path is
+        forced via :func:`repro.core.batch_solver.set_solver_mode`.
         """
         if lo >= hi:
             return TimeSet.empty()
         if self.all_equalities and self.is_conjunctive and len(self.rows) > 1:
             return self._solve_equality_system(lo, hi)
+        if batch_kernel_enabled() and len(self.rows) > 1:
+            return self.evaluate_structure(self.solve_rows(lo, hi), lo, hi)
         return self._solve_node(self._structure, lo, hi)
+
+    def solve_rows(self, lo: float, hi: float) -> list[TimeSet]:
+        """Solve every row over ``[lo, hi)`` in one cached batch."""
+        row_solve_counter().bump(len(self.rows))
+        return solve_tasks([(r.poly, r.rel, lo, hi) for r in self.rows])
+
+    def evaluate_structure(
+        self, row_sets: Sequence[TimeSet], lo: float, hi: float
+    ) -> TimeSet:
+        """Combine pre-solved per-row TimeSets through the boolean tree."""
+
+        def walk(node: _Node) -> TimeSet:
+            if isinstance(node, _LiteralNode):
+                return (
+                    TimeSet.interval(lo, hi) if node.value else TimeSet.empty()
+                )
+            if isinstance(node, _AtomNode):
+                return row_sets[node.row]
+            if isinstance(node, _AndNode):
+                result = TimeSet.interval(lo, hi)
+                for child in node.children:
+                    result = result & walk(child)
+                    if result.is_empty:
+                        return result
+                return result
+            if isinstance(node, _OrNode):
+                result = TimeSet.empty()
+                for child in node.children:
+                    result = result | walk(child)
+                return result
+            if isinstance(node, _NotNode):
+                return walk(node.child).complement(Interval(lo, hi))
+            raise SolverError(f"unknown node {node!r}")
+
+        return walk(self._structure)
 
     def _solve_node(self, node: _Node, lo: float, hi: float) -> TimeSet:
         if isinstance(node, _LiteralNode):
             return TimeSet.interval(lo, hi) if node.value else TimeSet.empty()
         if isinstance(node, _AtomNode):
-            EquationSystem.solve_counter += 1
             return self.rows[node.row].solve(lo, hi)
         if isinstance(node, _AndNode):
             result = TimeSet.interval(lo, hi)
@@ -245,7 +304,7 @@ class EquationSystem:
         Candidates from the selected row are verified against every
         original row.
         """
-        EquationSystem.solve_counter += 1
+        row_solve_counter().bump()
         matrix = self.coefficient_matrix()
         if self.equality_strategy == "svd":
             candidate_poly = self._svd_candidate(matrix)
@@ -332,9 +391,17 @@ class EquationSystem:
         if hi <= lo:
             return self._inf_norm(lo)
         ts = np.linspace(lo, hi, samples)
-        values = np.max(
-            np.abs(np.vstack([row.poly(ts) for row in self.rows])), axis=0
-        )
+        if batch_kernel_enabled():
+            # One D @ [1, t, t^2, ...] matrix product over the whole
+            # sample grid instead of per-row Horner loops.
+            values = np.max(
+                np.abs(vandermonde_values(self.coefficient_matrix(), ts)),
+                axis=0,
+            )
+        else:
+            values = np.max(
+                np.abs(np.vstack([row.poly(ts) for row in self.rows])), axis=0
+            )
         best = int(np.argmin(values))
         a = ts[max(best - 1, 0)]
         b = ts[min(best + 1, samples - 1)]
@@ -346,6 +413,47 @@ class EquationSystem:
 
     def __repr__(self) -> str:
         return f"EquationSystem({len(self.rows)} rows)"
+
+
+def solve_systems_batch(
+    jobs: Sequence[tuple["EquationSystem", float, float]]
+) -> list[TimeSet]:
+    """Solve many systems' rows through one batched kernel sweep.
+
+    ``jobs`` holds ``(system, lo, hi)`` triples — e.g. every candidate
+    pair produced by one join probe.  All rows of all general systems
+    are pooled into a single :func:`solve_tasks` call (one cache pass,
+    one degree-bucketed eigensolve); equality fast-path systems keep
+    their own pre-analysis, and everything falls back to the scalar
+    per-system path when the batch kernel is disabled.
+    """
+    results: list[TimeSet | None] = [None] * len(jobs)
+    spans: list[tuple[int, int, int]] = []  # (job index, start, stop)
+    tasks: list[SolveTask] = []
+    use_batch = batch_kernel_enabled()
+    for ji, (system, lo, hi) in enumerate(jobs):
+        if (
+            not use_batch
+            or lo >= hi
+            or not system.rows
+            or (
+                system.all_equalities
+                and system.is_conjunctive
+                and len(system.rows) > 1
+            )
+        ):
+            results[ji] = system.solve(lo, hi)
+            continue
+        start = len(tasks)
+        tasks.extend((r.poly, r.rel, lo, hi) for r in system.rows)
+        row_solve_counter().bump(len(system.rows))
+        spans.append((ji, start, len(tasks)))
+    if tasks:
+        solved = solve_tasks(tasks)
+        for ji, start, stop in spans:
+            system, lo, hi = jobs[ji]
+            results[ji] = system.evaluate_structure(solved[start:stop], lo, hi)
+    return results  # type: ignore[return-value]
 
 
 #: Sentinel distinguishing "inconsistent system" from "no candidate row".

@@ -16,7 +16,7 @@ window are evicted.
 
 from __future__ import annotations
 
-from ..equation_system import EquationSystem
+from ..equation_system import EquationSystem, solve_systems_batch
 from ..predicate import BoolExpr, Literal
 from ..segment import Segment, SegmentBuffer
 from .base import (
@@ -101,14 +101,56 @@ class ContinuousJoin(ContinuousOperator):
         self._start_water[own] = max(self._start_water[own], segment.t_start)
         self._evict()
 
-        outputs: list[Segment] = []
+        # Batch across every candidate pair this probe produced: the
+        # pairs' difference rows share one kernel sweep and one cache
+        # pass instead of a solver round-trip per partner.
+        pairs: list[tuple[Segment, Segment]] = []
         for partner in list(
             self._buffers[other].overlapping(segment.t_start, segment.t_end)
         ):
-            left_seg, right_seg = (
+            pairs.append(
                 (segment, partner) if port == 0 else (partner, segment)
             )
-            outputs.extend(self._join_pair(left_seg, right_seg))
+        return self._join_pairs(pairs)
+
+    def _join_pairs(
+        self, pairs: list[tuple[Segment, Segment]]
+    ) -> list[Segment]:
+        """Join many aligned pairs, solving their systems in one batch."""
+        jobs: list[tuple[EquationSystem, float, float]] = []
+        outputs: list[Segment] = []
+        emit_plan: list[tuple[str, object]] = []
+        for left, right in pairs:
+            overlap = left.overlap_range(right)
+            if overlap is None:
+                continue
+            lo, hi = overlap
+            binding = AttributeBinding(
+                {self.left_alias: left, self.right_alias: right}
+            )
+            residual = partial_evaluate(self.predicate, binding)
+            if isinstance(residual, Literal):
+                if not residual.value:
+                    self.pairs_rejected_discrete += 1
+                    continue
+                emit_plan.append(("whole", (left, right, lo, hi)))
+                continue
+            system = EquationSystem.from_predicate(residual, binding.resolver())
+            self.systems_solved += 1
+            jobs.append((system, lo, hi))
+            emit_plan.append(("solved", (left, right, len(jobs) - 1)))
+        solutions = solve_systems_batch(jobs) if jobs else []
+        for kind, payload in emit_plan:
+            if kind == "whole":
+                left, right, lo, hi = payload  # type: ignore[misc]
+                outputs.append(self._emit(left, right, lo, hi))
+                continue
+            left, right, job = payload  # type: ignore[misc]
+            solution = solutions[job]
+            for iv in solution.intervals:
+                outputs.append(self._emit(left, right, iv.lo, iv.hi))
+            for p in solution.points:
+                outputs.append(self._emit_point(left, right, p))
         return outputs
 
     def _evict(self) -> None:

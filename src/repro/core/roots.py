@@ -256,11 +256,9 @@ def solve_relation(
     if rel is Rel.EQ:
         points = [r for r in roots if lo - EPS <= r < hi]
         return TimeSet.from_points(points)
-    if rel is Rel.NE:
-        # Everywhere except the roots: roots have measure zero so the
-        # interval representation of NE is the full domain minus nothing
-        # measurable; represent as the subintervals between roots.
-        return _sign_intervals(poly, rel, lo, hi, interior)
+    # NE and the inequalities share the sign-test machinery: NE's
+    # solution is the full domain minus the measure-zero roots, i.e.
+    # exactly the subintervals between roots that the sign tests keep.
     return _sign_intervals(poly, rel, lo, hi, interior)
 
 

@@ -1,0 +1,169 @@
+"""Bounded LRU memoization of difference-row solves.
+
+Joins re-solve byte-identical systems whenever only one side of an
+alignment changes — the same repeated-subcomputation waste DBSP-style
+incremental view maintenance eliminates by memoizing operator deltas.
+:class:`SolveCache` memoizes ``solve_relation`` results keyed on the
+(quantized) coefficient tuple, the relation, and the solving domain;
+values are immutable :class:`~repro.core.intervals.TimeSet` objects, so
+sharing them between callers is safe.
+
+Hit/miss/eviction counts are exported through the
+:mod:`repro.engine.metrics` counter registry under ``solve_cache.hits``,
+``solve_cache.misses`` and ``solve_cache.evictions`` so benchmarks read
+one stats surface for all solver instrumentation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from collections import OrderedDict
+from typing import Hashable
+
+from .intervals import TimeSet
+from .polynomial import Polynomial
+from .relation import Rel
+
+CacheKey = Hashable
+
+
+def quantize(value: float, mantissa_bits: int = 0) -> float:
+    """Zero the low ``mantissa_bits`` of a float's mantissa.
+
+    With ``mantissa_bits == 0`` this only canonicalizes ``-0.0`` to
+    ``0.0`` (so byte-identical systems that differ in signed zeros still
+    collide).  Higher values bucket floats within ``2**bits`` ulps so
+    near-identical systems share a cache entry.
+    """
+    if value == 0.0:
+        return 0.0
+    if not math.isfinite(value) or mantissa_bits <= 0:
+        return value
+    (bits,) = struct.unpack("<q", struct.pack("<d", value))
+    bits &= ~((1 << mantissa_bits) - 1)
+    (out,) = struct.unpack("<d", struct.pack("<q", bits))
+    return out
+
+
+class SolveCache:
+    """Bounded LRU cache of row-solve results.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry bound; the least recently used entry is evicted beyond it.
+    mantissa_bits:
+        Key quantization granularity (see :func:`quantize`).
+    """
+
+    def __init__(self, maxsize: int = 4096, mantissa_bits: int = 0):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self.mantissa_bits = mantissa_bits
+        self._entries: OrderedDict[CacheKey, TimeSet] = OrderedDict()
+        self._counters = None
+
+    # ------------------------------------------------------------------
+    def _counter(self, which: str):
+        if self._counters is None:
+            # Deferred so importing repro.core alone never drags the
+            # engine package in at module-import time.
+            from ..engine.metrics import get_counter
+
+            self._counters = {
+                "hits": get_counter("solve_cache.hits"),
+                "misses": get_counter("solve_cache.misses"),
+                "evictions": get_counter("solve_cache.evictions"),
+            }
+        return self._counters[which]
+
+    # ------------------------------------------------------------------
+    def key(self, poly: Polynomial, rel: Rel, lo: float, hi: float) -> CacheKey:
+        """Cache key for one row solve over ``[lo, hi)``."""
+        bits = self.mantissa_bits
+        return (
+            tuple(quantize(c, bits) for c in poly.coeffs),
+            rel,
+            quantize(lo, bits),
+            quantize(hi, bits),
+        )
+
+    def get(self, key: CacheKey) -> TimeSet | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._counter("misses").bump()
+            return None
+        self._entries.move_to_end(key)
+        self._counter("hits").bump()
+        return entry
+
+    def put(self, key: CacheKey, value: TimeSet) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._counter("evictions").bump()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._counter("hits").value
+
+    @property
+    def misses(self) -> int:
+        return self._counter("misses").value
+
+    @property
+    def evictions(self) -> int:
+        return self._counter("evictions").value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_GLOBAL_CACHE: SolveCache | None = None
+
+
+def global_solve_cache() -> SolveCache:
+    """The process-wide solve cache, sized from :data:`SOLVER_CONFIG`."""
+    global _GLOBAL_CACHE
+    from .batch_solver import SOLVER_CONFIG
+
+    if (
+        _GLOBAL_CACHE is None
+        or _GLOBAL_CACHE.maxsize != SOLVER_CONFIG.cache_size
+        or _GLOBAL_CACHE.mantissa_bits != SOLVER_CONFIG.cache_mantissa_bits
+    ):
+        _GLOBAL_CACHE = SolveCache(
+            maxsize=SOLVER_CONFIG.cache_size,
+            mantissa_bits=SOLVER_CONFIG.cache_mantissa_bits,
+        )
+    return _GLOBAL_CACHE
+
+
+def reset_global_solve_cache() -> None:
+    """Drop the global cache (entries and identity; counters persist)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = None

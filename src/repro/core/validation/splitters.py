@@ -25,6 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
+from ..batch_solver import (
+    batch_kernel_enabled,
+    derivative_matrix,
+    horner_rows,
+    pad_coefficient_matrix,
+)
 from ..polynomial import Polynomial
 from ..segment import Key
 
@@ -90,6 +98,25 @@ def equi_split(
     ]
 
 
+def mean_abs_gradients(inputs: Sequence[SplitInput]) -> list[float]:
+    """Per-input derivative magnitudes, batched through one matrix sweep.
+
+    The batched form stacks every input model's derivative coefficients
+    into one padded matrix and evaluates all segment midpoints in a
+    single column sweep — the same kernel the solver's sign tests use —
+    instead of a Python Horner loop per input.  Falls back to the
+    per-input path when the batch kernel is disabled or there is only
+    one input.
+    """
+    if len(inputs) < 2 or not batch_kernel_enabled():
+        return [i.mean_abs_gradient() for i in inputs]
+    matrix = derivative_matrix(
+        pad_coefficient_matrix([i.poly.coeffs for i in inputs])
+    )
+    mids = np.array([0.5 * (i.t_start + i.t_end) for i in inputs])
+    return [float(g) for g in np.abs(horner_rows(matrix, mids))]
+
+
 def gradient_split(
     output_key: Key,
     bound: tuple[float, float],
@@ -106,7 +133,7 @@ def gradient_split(
     """
     if not inputs:
         return []
-    gradients = [i.mean_abs_gradient() for i in inputs]
+    gradients = mean_abs_gradients(inputs)
     total = sum(gradients)
     if total <= 1e-15:
         return equi_split(output_key, bound, inputs, dependencies)

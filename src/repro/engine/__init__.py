@@ -6,7 +6,17 @@ push-based plan executor, and the throughput/latency/queueing
 instrumentation used by the benchmarks.
 """
 
-from .metrics import QueueingModel, RunMetrics, Stopwatch, measure_service_time
+from .metrics import (
+    Counter,
+    CounterRegistry,
+    QueueingModel,
+    RunMetrics,
+    Stopwatch,
+    counter_snapshot,
+    get_counter,
+    measure_service_time,
+    reset_counters,
+)
 from .operators import (
     DiscreteFilter,
     DiscreteHashJoin,
@@ -19,6 +29,8 @@ from .plan import DiscretePlan
 from .tuples import Schema, StreamDef, StreamTuple
 
 __all__ = [
+    "Counter",
+    "CounterRegistry",
     "DiscreteFilter",
     "DiscreteHashJoin",
     "DiscreteMap",
@@ -32,5 +44,8 @@ __all__ = [
     "Stopwatch",
     "StreamDef",
     "StreamTuple",
+    "counter_snapshot",
+    "get_counter",
     "measure_service_time",
+    "reset_counters",
 ]

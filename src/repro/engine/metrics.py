@@ -23,7 +23,76 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
+
+
+@dataclass
+class Counter:
+    """A named, resettable event counter."""
+
+    name: str
+    value: int = 0
+
+    def bump(self, by: int = 1) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class CounterRegistry:
+    """Process-wide named counters — the shared solver stats surface.
+
+    Both the equation-system solver (``equation_system.row_solves``) and
+    the solve cache (``solve_cache.hits`` / ``.misses`` / ``.evictions``)
+    register here, so benchmarks and ablations read and reset one place
+    instead of poking mutable class attributes.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def value(self, name: str) -> int:
+        return self.counter(name).value
+
+    def snapshot(self, prefix: str = "") -> dict[str, int]:
+        """Current values, optionally restricted to a name prefix."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def reset(self, *names: str) -> None:
+        """Reset the named counters, or every counter when none given."""
+        targets = names or tuple(self._counters)
+        for name in targets:
+            if name in self._counters:
+                self._counters[name].reset()
+
+
+#: The default registry used by the solver, cache, and benchmarks.
+GLOBAL_COUNTERS = CounterRegistry()
+
+
+def get_counter(name: str) -> Counter:
+    """Get or create a counter in the global registry."""
+    return GLOBAL_COUNTERS.counter(name)
+
+
+def counter_snapshot(prefix: str = "") -> Mapping[str, int]:
+    return GLOBAL_COUNTERS.snapshot(prefix)
+
+
+def reset_counters(*names: str) -> None:
+    GLOBAL_COUNTERS.reset(*names)
 
 
 class Stopwatch:

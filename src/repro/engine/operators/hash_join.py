@@ -19,6 +19,7 @@ from collections import deque
 from ...core.predicate import BoolExpr
 from ..tuples import StreamTuple
 from .base import DiscreteOperator
+from .join_op import band_candidates
 
 
 class DiscreteHashJoin(DiscreteOperator):
@@ -90,10 +91,8 @@ class DiscreteHashJoin(DiscreteOperator):
             else (self.right_alias, self.left_alias)
         )
         outputs: list[StreamTuple] = []
-        for partner in other:
-            self.probes += 1
-            if abs(partner.time - tup.time) > self.window:
-                continue
+        self.probes += len(other)
+        for partner in band_candidates(other, tup.time, self.window):
             if self.residual is not None:
                 env = tup.env(aliases[0])
                 env.update(partner.env(aliases[1]))

@@ -12,9 +12,31 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from ...core.predicate import BoolExpr
 from ..tuples import StreamTuple
 from .base import DiscreteOperator
+
+#: Buffers at least this long use the vectorized band check.
+VECTORIZE_THRESHOLD = 16
+
+
+def band_candidates(
+    partners: deque | list, center: float, window: float
+) -> list:
+    """Partners whose timestamps lie within ``window`` of ``center``.
+
+    Long probe buffers run the band check as one vectorized comparison
+    over the stacked timestamps (the same batching the continuous join
+    gets from the solver kernel); short ones stay scalar to avoid the
+    array setup cost.
+    """
+    if len(partners) < VECTORIZE_THRESHOLD:
+        return [p for p in partners if abs(p.time - center) <= window]
+    times = np.fromiter((p.time for p in partners), float, len(partners))
+    mask = np.abs(times - center) <= window
+    return [p for p, hit in zip(partners, mask) if hit]
 
 
 class DiscreteNestedLoopJoin(DiscreteOperator):
@@ -74,10 +96,10 @@ class DiscreteNestedLoopJoin(DiscreteOperator):
             else (self.right_alias, self.left_alias)
         )
         outputs: list[StreamTuple] = []
-        for partner in other:
-            self.comparisons += 1
-            if abs(partner.time - tup.time) > self.window:
-                continue
+        # Every buffered partner is a comparison (the band check), as in
+        # the scalar loop; survivors get the predicate evaluation.
+        self.comparisons += len(other)
+        for partner in band_candidates(other, tup.time, self.window):
             env = tup.env(aliases[0])
             env.update(partner.env(aliases[1]))
             if self.predicate.evaluate(env):

@@ -31,14 +31,13 @@ class _Registration:
     queues: dict[str, deque] = field(default_factory=dict)
     outputs: list = field(default_factory=list)
     items_processed: int = 0
+    #: Total queued items across this query's streams, maintained at
+    #: enqueue/drain time so the scheduler loop never re-sums queues.
+    pending: int = 0
 
     def __post_init__(self) -> None:
         for stream in self.streams:
             self.queues[stream] = deque()
-
-    @property
-    def pending(self) -> int:
-        return sum(len(q) for q in self.queues.values())
 
 
 class QueryRuntime:
@@ -67,6 +66,7 @@ class QueryRuntime:
         self.queue_capacity = queue_capacity
         self._queries: dict[str, _Registration] = {}
         self._round_robin: deque[str] = deque()
+        self._total_pending = 0
         self.items_enqueued = 0
         self.items_dropped = 0
 
@@ -89,6 +89,7 @@ class QueryRuntime:
         if reg is None:
             raise PlanError(f"query {name!r} is not registered")
         self._round_robin.remove(name)
+        self._total_pending -= reg.pending
 
     @property
     def query_names(self) -> list[str]:
@@ -119,6 +120,8 @@ class QueryRuntime:
             if is_continuous != want_segment:
                 continue
             reg.queues[stream].append(item)
+            reg.pending += 1
+            self._total_pending += 1
             routed = True
         if routed:
             self.items_enqueued += 1
@@ -141,6 +144,8 @@ class QueryRuntime:
                 if not queue:
                     continue
                 item = queue.popleft()
+                reg.pending -= 1
+                self._total_pending -= 1
                 reg.outputs.extend(reg.query.push(stream, item))
                 reg.items_processed += 1
                 processed += 1
@@ -162,7 +167,7 @@ class QueryRuntime:
     # ------------------------------------------------------------------
     @property
     def total_pending(self) -> int:
-        return sum(reg.pending for reg in self._queries.values())
+        return self._total_pending
 
     def queue_depths(self) -> Mapping[str, int]:
         return {name: reg.pending for name, reg in self._queries.items()}

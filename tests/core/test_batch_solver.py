@@ -1,0 +1,194 @@
+"""Unit tests for the batched companion-matrix solver kernel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.batch_solver import (
+    batch_kernel_enabled,
+    derivative_matrix,
+    horner_rows,
+    pad_coefficient_matrix,
+    real_roots_batch,
+    set_solver_mode,
+    solve_one,
+    solve_relation_batch,
+    solver_config,
+    solver_mode,
+    vandermonde_values,
+)
+from repro.core.equation_system import EquationSystem, solve_systems_batch
+from repro.core.expr import Attr, Const
+from repro.core.polynomial import Polynomial
+from repro.core.predicate import Comparison
+from repro.core.relation import Rel
+from repro.core.roots import _deflate, real_roots
+from repro.core.solve_cache import reset_global_solve_cache
+from repro.engine.metrics import get_counter, reset_counters
+
+
+class TestPaddedEvaluation:
+    def test_pad_shapes_and_zero_fill(self):
+        m = pad_coefficient_matrix([(1.0, 2.0), (3.0,), (4.0, 5.0, 6.0)])
+        assert m.shape == (3, 3)
+        assert m[0].tolist() == [1.0, 2.0, 0.0]
+        assert m[1].tolist() == [3.0, 0.0, 0.0]
+
+    def test_horner_rows_bit_identical_to_scalar(self):
+        # horner_rows evaluates row i at ts[i] — one point per row.
+        polys = [
+            Polynomial([1.0, -2.0, 0.25]),
+            Polynomial([-3.0, 1e-3]),
+            Polynomial([7.0, 0.0, 0.0, -1.0]),
+            Polynomial([0.5, 0.5]),
+        ]
+        ts = np.array([-2.5, 0.0, 0.3, 1e6])
+        m = pad_coefficient_matrix([p.coeffs for p in polys])
+        values = horner_rows(m, ts)
+        for i, (p, t) in enumerate(zip(polys, ts)):
+            assert values[i] == p(t)  # exact, not approx
+
+    def test_derivative_matrix_matches_polynomial_derivative(self):
+        p = Polynomial([5.0, -1.0, 2.0, 0.5])
+        m = derivative_matrix(pad_coefficient_matrix([p.coeffs]))
+        d = p.derivative()
+        for t in (-1.0, 0.0, 2.0):
+            assert horner_rows(m, np.array([t]))[0] == pytest.approx(d(t))
+
+    def test_vandermonde_grid_matches_scalar_evaluation(self):
+        # vandermonde_values is the full rows x sample-grid product.
+        polys = [Polynomial([1.0, 2.0, 3.0]), Polynomial([0.0, -1.0])]
+        ts = np.array([0.0, 0.5, 2.0])
+        m = pad_coefficient_matrix([p.coeffs for p in polys])
+        grid = vandermonde_values(m, ts)
+        assert grid.shape == (2, 3)
+        for i, p in enumerate(polys):
+            for j, t in enumerate(ts):
+                assert grid[i, j] == pytest.approx(p(t))
+
+
+class TestDeflate:
+    def test_denormal_leading_coefficient_dropped(self):
+        c = _deflate((1.0, -2.0, 1e-300))
+        assert c == (1.0, -2.0)
+
+    def test_finite_domain_trims_negligible_leading_term(self):
+        # 1 - 2 t^2 + 1e-191 t^3: over [-10, 10] the cubic term cannot
+        # move any root, but it wrecks companion conditioning.
+        c = _deflate((1.0, 0.0, -2.0, 1e-191), -10.0, 10.0)
+        assert c == (1.0, 0.0, -2.0)
+
+    def test_infinite_domain_keeps_small_leading_term(self):
+        # Over an unbounded domain the tiny cubic term owns a genuine
+        # root near 2e190 — value-based trimming must not drop it.
+        c = _deflate((1.0, 0.0, -2.0, 1e-191))
+        assert len(c) == 4
+
+    def test_never_trims_to_empty(self):
+        assert _deflate((1e-320,)) == (1e-320,)
+        assert _deflate((0.0, 1e-320), -1.0, 1.0) == (0.0,)
+
+    def test_roots_respect_finite_domain_trim(self):
+        p = Polynomial([1.0, 0.0, -2.0, 1e-191])
+        roots = real_roots(p, -10.0, 10.0)
+        assert len(roots) == 2
+        for r in roots:
+            assert abs(p(r)) < 1e-9
+
+    def test_batch_matches_scalar_on_trim_edges(self):
+        items = [
+            (Polynomial([1.0, 0.0, -2.0, 1e-191]), -10.0, 10.0),
+            (Polynomial([1.0, -2.0, 1e-300]), -10.0, 10.0),
+            (Polynomial([0.0, 0.0, 1.0, 0.0, 1.0]), -5.0, 5.0),
+        ]
+        batched = real_roots_batch(items)
+        for (p, lo, hi), roots in zip(items, batched):
+            assert roots == real_roots(p, lo, hi)
+
+
+class TestTrailingZeroRoots:
+    def test_exact_zero_roots_from_trailing_zeros(self):
+        # t^2 (t - 3): np.roots-style trailing-zero stripping appends
+        # exact 0.0 candidates.
+        p = Polynomial([0.0, 0.0, -3.0, 1.0])
+        [roots] = real_roots_batch([(p, -10.0, 10.0)])
+        assert roots == real_roots(p, -10.0, 10.0)
+        assert 0.0 in roots and any(abs(r - 3.0) < 1e-9 for r in roots)
+
+
+class TestSolverModeSwitch:
+    def test_default_is_batch(self):
+        assert solver_config().kernel in ("batch", "scalar")
+
+    def test_scalar_mode_disables_kernel_and_cache(self):
+        with solver_mode("scalar") as cfg:
+            assert not batch_kernel_enabled()
+            assert not cfg.cache_enabled
+        with solver_mode("batch") as cfg:
+            assert batch_kernel_enabled()
+            assert cfg.cache_enabled
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_solver_mode("quantum")
+
+    def test_context_restores_previous_mode(self):
+        before = solver_config().kernel
+        with solver_mode("scalar"):
+            pass
+        assert solver_config().kernel == before
+
+
+class TestRowSolveCounter:
+    def test_counter_bumps_per_row(self):
+        reset_counters("equation_system.row_solves")
+        counter = get_counter("equation_system.row_solves")
+        reset_global_solve_cache()
+        models = {"p": Polynomial([-1.0, 1.0])}
+        system = EquationSystem.from_predicate(
+            Comparison(Attr("p"), Rel.LT, Const(0.0)), models.__getitem__
+        )
+        system.solve(0.0, 10.0)
+        assert counter.value == 1
+        system.solve(0.0, 10.0)
+        assert counter.value == 2
+        reset_counters("equation_system.row_solves")
+        assert counter.value == 0
+
+
+class TestInfiniteDomainMidpoints:
+    def test_unbounded_sign_tests_match_scalar(self):
+        # Midpoints at +/-inf must take the scalar evaluation fallback.
+        from repro.core.roots import solve_relation
+
+        tasks = [
+            (Polynomial([-4.0, 0.0, 1.0]), Rel.GT, -math.inf, math.inf),
+            (Polynomial([1.0, 1.0]), Rel.LE, -math.inf, 0.0),
+            (Polynomial([1.0, 0.0, 1.0]), Rel.GE, 0.0, math.inf),
+        ]
+        assert solve_relation_batch(tasks) == [
+            solve_relation(*task) for task in tasks
+        ]
+
+
+class TestSolveSystemsBatch:
+    def test_batched_system_jobs_match_individual_solves(self):
+        models = {
+            "a": Polynomial([-2.0, 1.0]),
+            "b": Polynomial([4.0, -1.0]),
+        }
+        lt = Comparison(Attr("a"), Rel.LT, Const(0.0))
+        gt = Comparison(Attr("b"), Rel.GT, Const(0.0))
+        sys_a = EquationSystem.from_predicate(lt, models.__getitem__)
+        sys_b = EquationSystem.from_predicate(gt, models.__getitem__)
+        jobs = [(sys_a, 0.0, 10.0), (sys_b, 0.0, 10.0), (sys_a, -5.0, 5.0)]
+        batched = solve_systems_batch(jobs)
+        assert batched == [s.solve(lo, hi) for s, lo, hi in jobs]
+
+    def test_empty_job_list(self):
+        assert solve_systems_batch([]) == []
+
+    def test_solve_one_matches_system_row(self):
+        p = Polynomial([-2.0, 1.0])
+        assert solve_one(p, Rel.LT, 0.0, 10.0) == solve_one(p, Rel.LT, 0.0, 10.0)

@@ -203,6 +203,84 @@ class TestEqualitySystem:
         assert not EquationSystem.from_predicate(lt, models.__getitem__).all_equalities
 
 
+class TestSvdStrategy:
+    """SVD-specific pre-analysis details (Section III-A equi-join path)."""
+
+    def _system(self, models, *attrs):
+        pred = None
+        for attr in attrs:
+            cmp = Comparison(Attr(attr), Rel.EQ, Const(0.0))
+            pred = cmp if pred is None else And(pred, cmp)
+        return EquationSystem.from_predicate(
+            pred, models.__getitem__, equality_strategy="svd"
+        )
+
+    def test_pure_constant_row_is_inconsistent(self):
+        # A row "5 = 0" has a right-singular basis supported only on the
+        # constant column: the SVD pre-analysis must report inconsistency
+        # without any root finding.
+        models = {"c": Polynomial([5.0]), "p": Polynomial([-2.0, 1.0])}
+        sys = self._system(models, "c", "p")
+        assert sys.solve(-10.0, 10.0).is_empty
+
+    def test_scale_invariance(self):
+        # The same system at wildly different coefficient scales: the
+        # candidate is rescaled by the matrix norm, so huge coefficients
+        # must not break rank detection or root accuracy.
+        for scale in (1e-6, 1.0, 1e6):
+            models = {
+                "p1": Polynomial([-2.0 * scale, scale]),
+                "p2": Polynomial([-4.0 * scale, 0.0, scale]),
+            }
+            sol = self._system(models, "p1", "p2").solve(0.0, 10.0)
+            assert sol.points == (pytest.approx(2.0),), scale
+
+    def test_candidates_verified_against_all_rows(self):
+        # p2's roots are ±2 but p1 only vanishes at 2: the shared
+        # solution must reject -2 even when the minimal-degree candidate
+        # row contains it.
+        models = {
+            "p1": Polynomial([-2.0, 1.0]),
+            "p2": Polynomial([-4.0, 0.0, 1.0]),
+        }
+        sol = self._system(models, "p1", "p2").solve(-10.0, 10.0)
+        assert sol.points == (pytest.approx(2.0),)
+
+    def test_rank_deficient_duplicates_keep_all_roots(self):
+        # Three copies of (t^2 - 4): rank 1, both roots survive.
+        p = Polynomial([-4.0, 0.0, 1.0])
+        models = {"a": p, "b": p, "c": p}
+        sol = self._system(models, "a", "b", "c").solve(-10.0, 10.0)
+        assert len(sol.points) == 2
+        assert sol.points[0] == pytest.approx(-2.0)
+        assert sol.points[1] == pytest.approx(2.0)
+
+    def test_agrees_with_gaussian_on_random_consistent_systems(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            root = float(rng.uniform(-3.0, 3.0))
+            # Two rows sharing `root`: (t - root) * q(t) for random q.
+            q1 = float(rng.uniform(0.5, 2.0))
+            base = Polynomial([-root, 1.0])
+            models = {
+                "p1": base * q1,
+                "p2": base * Polynomial([float(rng.uniform(-2, 2)), 1.0]),
+            }
+            pred = And(
+                Comparison(Attr("p1"), Rel.EQ, Const(0.0)),
+                Comparison(Attr("p2"), Rel.EQ, Const(0.0)),
+            )
+            svd = EquationSystem.from_predicate(
+                pred, models.__getitem__, equality_strategy="svd"
+            ).solve(-10.0, 10.0)
+            gauss = EquationSystem.from_predicate(
+                pred, models.__getitem__, equality_strategy="gaussian"
+            ).solve(-10.0, 10.0)
+            assert len(svd.points) == len(gauss.points)
+            for a, b in zip(svd.points, gauss.points):
+                assert a == pytest.approx(b, abs=1e-7)
+
+
 class TestSlack:
     def test_slack_zero_when_solution_touched(self):
         # Row value hits zero inside the range.

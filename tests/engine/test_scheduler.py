@@ -149,3 +149,53 @@ class TestBackPressure:
         assert len(disc_out) == 4
         for row in disc_out:
             assert cont_out[0].contains_time(row.time)
+
+
+class TestPendingCounter:
+    """The maintained pending counters (no per-step queue re-summing)."""
+
+    def _depth_sum(self, rt):
+        return sum(
+            len(q) for reg in rt._queries.values() for q in reg.queues.values()
+        )
+
+    def test_counters_track_queue_depths(self):
+        rt = QueryRuntime(batch_size=1)
+        rt.register("a", to_continuous_plan(planned(0)))
+        rt.register("b", to_continuous_plan(planned(5)))
+        for i in range(6):
+            rt.enqueue("s", seg(i, i + 1, 10.0))
+        # Fan-out: each arrival lands on both registrations.
+        assert rt.total_pending == 12
+        assert rt.queue_depths() == {"a": 6, "b": 6}
+        assert rt.total_pending == self._depth_sum(rt)
+        while rt.total_pending:
+            rt.step()
+            assert rt.total_pending == self._depth_sum(rt)
+            assert rt.queue_depths() == {
+                name: reg.pending for name, reg in rt._queries.items()
+            }
+        assert rt.total_pending == 0
+
+    def test_unregister_releases_pending(self):
+        rt = QueryRuntime(queue_capacity=4)
+        rt.register("a", to_continuous_plan(planned(0)))
+        for i in range(4):
+            rt.enqueue("s", seg(i, i + 1, 1.0))
+        assert not rt.enqueue("s", seg(9, 10, 1.0))  # at capacity
+        rt.unregister("a")
+        assert rt.total_pending == 0
+        # Capacity is available again for a fresh registration.
+        rt.register("b", to_continuous_plan(planned(0)))
+        assert rt.enqueue("s", seg(0, 1, 1.0))
+
+    def test_partial_drain_keeps_counters_consistent(self):
+        rt = QueryRuntime(batch_size=2)
+        rt.register("a", to_continuous_plan(planned(0)))
+        for i in range(5):
+            rt.enqueue("s", seg(i, i + 1, 1.0))
+        processed = rt.step()
+        assert processed == 2
+        assert rt.total_pending == 3 == self._depth_sum(rt)
+        rt.run_until_idle()
+        assert rt.total_pending == 0 == self._depth_sum(rt)

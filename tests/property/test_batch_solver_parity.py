@@ -1,0 +1,139 @@
+"""Batched-kernel / scalar-path parity (the acceptance property).
+
+The batched solver must be *bit-identical* to the scalar per-row path:
+identical ``TimeSet`` objects, not merely approximately equal.  These
+properties enforce that, feeding mixed-degree polynomials, all six
+relations, finite and infinite domains through both paths.
+"""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.batch_solver import (
+    real_roots_batch,
+    solve_relation_batch,
+    solve_tasks,
+    solver_mode,
+)
+from repro.core.expr import Attr, Const
+from repro.core.equation_system import EquationSystem
+from repro.core.polynomial import Polynomial
+from repro.core.predicate import And, Comparison, Not, Or
+from repro.core.relation import Rel
+from repro.core.roots import real_roots, solve_relation
+from repro.core.solve_cache import reset_global_solve_cache
+
+coeff = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+polys = st.lists(coeff, min_size=1, max_size=7).map(Polynomial)
+all_rels = st.sampled_from(list(Rel))
+
+DOMAIN = (-10.0, 10.0)
+
+domains = st.one_of(
+    st.tuples(
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    ).map(lambda ab: (min(ab), max(ab))),
+    st.just((-math.inf, math.inf)),
+    st.just((0.0, math.inf)),
+    st.just((-math.inf, 0.0)),
+)
+
+
+@given(st.lists(st.tuples(polys, all_rels), min_size=1, max_size=12), domains)
+@settings(max_examples=200)
+def test_solve_relation_batch_matches_scalar(items, domain):
+    lo, hi = domain
+    tasks = [(p, rel, lo, hi) for p, rel in items]
+    batched = solve_relation_batch(tasks)
+    scalar = [solve_relation(p, rel, lo, hi) for p, rel in items]
+    # Exact TimeSet equality — the kernel reuses the scalar arithmetic
+    # bit for bit, so no tolerance is needed or allowed.
+    assert batched == scalar
+
+
+@given(st.lists(polys, min_size=1, max_size=12))
+@settings(max_examples=200)
+def test_real_roots_batch_matches_scalar(ps):
+    ps = [p for p in ps if not p.is_zero]
+    assume(ps)
+    batched = real_roots_batch([(p, *DOMAIN) for p in ps])
+    for p, roots in zip(ps, batched):
+        assert roots == real_roots(p, *DOMAIN)
+
+
+@given(st.lists(st.tuples(polys, all_rels), min_size=1, max_size=8), domains)
+@settings(max_examples=100)
+def test_solve_tasks_cache_round_trip_is_exact(items, domain):
+    """Warm-cache answers are the very objects the kernel produced."""
+    lo, hi = domain
+    tasks = [(p, rel, lo, hi) for p, rel in items]
+    reset_global_solve_cache()
+    with solver_mode("batch"):
+        cold = solve_tasks(tasks)
+        warm = solve_tasks(tasks)
+    assert cold == warm
+    with solver_mode("scalar"):
+        scalar = solve_tasks(tasks)
+    assert cold == scalar
+
+
+@given(
+    st.lists(coeff, min_size=2, max_size=4).map(Polynomial),
+    st.lists(coeff, min_size=2, max_size=4).map(Polynomial),
+    all_rels,
+    all_rels,
+)
+@settings(max_examples=150)
+def test_equation_system_solve_parity(p1, p2, rel1, rel2):
+    """Full-system solve: batch and scalar modes emit identical TimeSets."""
+    models = {"p1": p1, "p2": p2}
+    pred = Or(
+        And(
+            Comparison(Attr("p1"), rel1, Const(0.0)),
+            Comparison(Attr("p2"), rel2, Const(0.0)),
+        ),
+        Not(Comparison(Attr("p1"), rel2, Const(0.0))),
+    )
+    system = EquationSystem.from_predicate(pred, models.__getitem__)
+    with solver_mode("batch") as cfg:
+        cfg.cache_enabled = False
+        batched = system.solve(*DOMAIN)
+    with solver_mode("scalar"):
+        scalar = system.solve(*DOMAIN)
+    assert batched == scalar
+
+
+@given(st.lists(coeff, min_size=2, max_size=5).map(Polynomial), all_rels)
+@settings(max_examples=150)
+def test_single_row_system_parity(p, rel):
+    models = {"p": p}
+    pred = Comparison(Attr("p"), rel, Const(0.0))
+    system = EquationSystem.from_predicate(pred, models.__getitem__)
+    with solver_mode("batch") as cfg:
+        cfg.cache_enabled = False
+        batched = system.solve(*DOMAIN)
+    with solver_mode("scalar"):
+        scalar = system.solve(*DOMAIN)
+    assert batched == scalar
+
+
+@given(
+    st.lists(st.tuples(polys, all_rels), min_size=2, max_size=6),
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=100)
+def test_batch_solutions_pointwise_consistent(items, t):
+    """Batched solutions still agree with direct evaluation off-root."""
+    sols = solve_relation_batch([(p, rel, *DOMAIN) for p, rel in items])
+    for (p, rel), sol in zip(items, sols):
+        if p.is_zero:
+            continue
+        scale = max(abs(c) for c in p.coeffs)
+        value = p(t)
+        if abs(value) <= 1e-6 * max(1.0, scale) or not (-10.0 < t < 10.0):
+            continue
+        assert sol.contains(t) == rel.holds(value)
