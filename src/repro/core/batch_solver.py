@@ -28,14 +28,16 @@ forces the scalar path for A/B experiments.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from .errors import SolverError, SolverFailure
 from .intervals import EPS, Interval, TimeSet
 from .polynomial import Polynomial
 from .relation import Rel
@@ -45,6 +47,7 @@ from .roots import (
     ROOT_MERGE_TOL,
     _deflate,
     _quadratic_roots,
+    check_coefficients,
     solve_relation,
 )
 
@@ -79,12 +82,21 @@ class SolverConfig:
         default ``0`` caches only byte-identical systems; raising it
         makes near-identical systems (within ``~2**bits`` ulps) share an
         entry at the cost of exactness.
+    max_rows_per_system:
+        Guardrail budget: a single system presenting more difference
+        rows than this fails with a typed ``"row-budget"``
+        :class:`~repro.core.errors.SolverFailure` instead of grinding.
+    max_roots_per_row:
+        Guardrail budget on a row's polynomial degree (the root count
+        bound); beyond it the row fails with ``"root-budget"``.
     """
 
     kernel: str = "batch"
     cache_enabled: bool = True
     cache_size: int = 4096
     cache_mantissa_bits: int = 0
+    max_rows_per_system: int = 256
+    max_roots_per_row: int = 64
 
 
 SOLVER_CONFIG = SolverConfig()
@@ -115,22 +127,38 @@ def set_solver_mode(mode: str) -> None:
 @contextmanager
 def solver_mode(mode: str) -> Iterator[SolverConfig]:
     """Temporarily force a solver mode (restores all knobs on exit)."""
-    saved = (
-        SOLVER_CONFIG.kernel,
-        SOLVER_CONFIG.cache_enabled,
-        SOLVER_CONFIG.cache_size,
-        SOLVER_CONFIG.cache_mantissa_bits,
-    )
+    saved = dataclasses.asdict(SOLVER_CONFIG)
     try:
         set_solver_mode(mode)
         yield SOLVER_CONFIG
     finally:
-        (
-            SOLVER_CONFIG.kernel,
-            SOLVER_CONFIG.cache_enabled,
-            SOLVER_CONFIG.cache_size,
-            SOLVER_CONFIG.cache_mantissa_bits,
-        ) = saved
+        for name, value in saved.items():
+            setattr(SOLVER_CONFIG, name, value)
+
+
+# ----------------------------------------------------------------------
+# fault injection hook
+# ----------------------------------------------------------------------
+#: A fault hook sees every solve task about to run (cache misses only)
+#: and may raise a :class:`SolverError` to fail it or return a
+#: replacement task (e.g. with NaN coefficients) to corrupt it.  ``None``
+#: passes the task through untouched.  Installed by the fault-injection
+#: harness (:mod:`repro.testing.faults`); never set in production.
+FaultHook = Callable[[SolveTask], "SolveTask | None"]
+
+_FAULT_HOOK: FaultHook | None = None
+
+
+def set_fault_hook(hook: FaultHook | None) -> FaultHook | None:
+    """Install (or clear) the solver fault hook; returns the previous one."""
+    global _FAULT_HOOK
+    previous = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return previous
+
+
+def fault_hook() -> FaultHook | None:
+    return _FAULT_HOOK
 
 
 # ----------------------------------------------------------------------
@@ -256,24 +284,57 @@ def _stacked_companion_eigvals(rows: list[list[float]]) -> np.ndarray:
 
 
 def real_roots_batch(
-    items: Sequence[tuple[Polynomial, float, float]]
+    items: Sequence[tuple[Polynomial, float, float]],
+    failures: dict[int, SolverError] | None = None,
 ) -> list[list[float]]:
     """Batched :func:`repro.core.roots.real_roots` over many polynomials.
 
-    Each item is ``(poly, lo, hi)``; zero polynomials are the caller's
-    responsibility (as in the scalar path).  Degree <= 2 rows use the
-    closed forms; higher degrees share stacked companion-matrix
-    eigensolves (bucketed by effective degree) and one vectorized Newton
-    polish across every candidate root of every row.
+    Each item is ``(poly, lo, hi)``.  Degree <= 2 rows use the closed
+    forms; higher degrees share stacked companion-matrix eigensolves
+    (bucketed by effective degree) and one vectorized Newton polish
+    across every candidate root of every row.
+
+    Guardrails mirror the scalar path: zero polynomials, non-finite or
+    absurd coefficients and over-budget degrees fail with the same typed
+    :class:`SolverFailure` the scalar :func:`~repro.core.roots.real_roots`
+    raises.  When ``failures`` is given, per-item failures are recorded
+    there (the item's result slot stays ``[]``) instead of raised, so one
+    poisoned row cannot sink the whole batch; when a stacked eigensolve
+    fails, the bucket falls back row by row so only the offending row is
+    charged.
     """
     n = len(items)
     deflated: list[tuple[float, ...]] = [()] * n
     candidates: list[list[float]] = [[] for _ in range(n)]
+    failed: set[int] = set()
     # inner companion length -> list of (item index, descending inner coeffs)
     buckets: dict[int, list[tuple[int, list[float]]]] = defaultdict(list)
     needs_polish: set[int] = set()
 
+    def record(j: int, exc: SolverError) -> None:
+        if failures is None:
+            raise exc
+        failed.add(j)
+        candidates[j] = []
+        failures[j] = exc
+
+    budget = SOLVER_CONFIG.max_roots_per_row
     for j, (poly, lo, hi) in enumerate(items):
+        try:
+            if poly.is_zero:
+                raise SolverFailure(
+                    "zero-polynomial",
+                    "the zero polynomial has no discrete root set",
+                )
+            check_coefficients(poly.coeffs)
+            if poly.degree > budget:
+                raise SolverFailure(
+                    "root-budget",
+                    f"degree {poly.degree} exceeds the root budget {budget}",
+                )
+        except SolverError as exc:
+            record(j, exc)
+            continue
         c = _deflate(poly.coeffs, lo, hi)
         deflated[j] = c
         if len(c) == 2:
@@ -292,13 +353,34 @@ def real_roots_batch(
                 buckets[len(desc)].append((j, desc))
 
     for _, jobs in sorted(buckets.items()):
-        eigen = _stacked_companion_eigvals([coeffs for _, coeffs in jobs])
+        try:
+            eigen = _stacked_companion_eigvals([coeffs for _, coeffs in jobs])
+        except (np.linalg.LinAlgError, ValueError):
+            # The stacked eigensolve failed as a whole.  Retry row by
+            # row so a single poisoned companion matrix is charged to
+            # its own item rather than sinking the degree bucket.
+            eigen = []
+            for j, coeffs in jobs:
+                try:
+                    eigen.append(_stacked_companion_eigvals([coeffs])[0])
+                except (np.linalg.LinAlgError, ValueError) as exc:
+                    record(
+                        j,
+                        SolverFailure(
+                            "eigvals", f"companion eigensolve failed: {exc}"
+                        ),
+                    )
+                    eigen.append(None)
         for (j, _), row in zip(jobs, eigen):
+            if row is None:
+                continue
             keep = np.abs(row.imag) <= IMAG_TOL * np.maximum(1.0, np.abs(row.real))
             candidates[j].extend(float(v) for v in row.real[keep])
 
     # One Newton polish across every candidate of every degree->=3 item.
-    polish_items = [j for j in sorted(needs_polish) if candidates[j]]
+    polish_items = [
+        j for j in sorted(needs_polish - failed) if candidates[j]
+    ]
     if polish_items:
         owner = np.concatenate(
             [np.full(len(candidates[j]), j, dtype=int) for j in polish_items]
@@ -343,11 +425,17 @@ def real_roots_batch(
 # ----------------------------------------------------------------------
 # batched relation solving
 # ----------------------------------------------------------------------
-def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
+def solve_relation_batch(
+    tasks: Sequence[SolveTask],
+    failures: dict[int, SolverError] | None = None,
+) -> list[TimeSet]:
     """Batched :func:`repro.core.roots.solve_relation` over many rows.
 
     Returns one :class:`TimeSet` per task, identical to what the scalar
-    path produces for the same ``(poly, rel, lo, hi)``.
+    path produces for the same ``(poly, rel, lo, hi)`` — including the
+    typed :class:`SolverFailure` guardrails.  With a ``failures`` dict,
+    per-task failures are recorded (result slot ``TimeSet.empty()``)
+    instead of raised.
     """
     n = len(tasks)
     results: list[TimeSet | None] = [None] * n
@@ -355,7 +443,16 @@ def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
     for i, (poly, rel, lo, hi) in enumerate(tasks):
         if lo >= hi:
             results[i] = TimeSet.empty()
-        elif poly.is_zero:
+            continue
+        try:
+            check_coefficients(poly.coeffs)
+        except SolverFailure as exc:
+            if failures is None:
+                raise
+            failures[i] = exc
+            results[i] = TimeSet.empty()
+            continue
+        if poly.is_zero:
             results[i] = (
                 TimeSet.interval(lo, hi)
                 if rel.includes_equality
@@ -372,9 +469,21 @@ def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
     if not pending:
         return results  # type: ignore[return-value]
 
-    roots_per = real_roots_batch(
-        [(tasks[i][0], tasks[i][2], tasks[i][3]) for i in pending]
+    slot_failures: dict[int, SolverError] | None = (
+        None if failures is None else {}
     )
+    roots_per = real_roots_batch(
+        [(tasks[i][0], tasks[i][2], tasks[i][3]) for i in pending],
+        failures=slot_failures,
+    )
+    if slot_failures:
+        for slot, exc in slot_failures.items():
+            failures[pending[slot]] = exc  # type: ignore[index]
+            results[pending[slot]] = TimeSet.empty()
+
+    failed_tasks = set() if slot_failures is None else {
+        pending[slot] for slot in slot_failures
+    }
 
     # Collect every sign-test midpoint across all pending rows, then
     # evaluate them in one gathered coefficient-matrix sweep.
@@ -382,6 +491,8 @@ def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
     eval_rows: list[int] = []  # index into `pending` per midpoint
     eval_ts: list[float] = []
     for slot, i in enumerate(pending):
+        if i in failed_tasks:
+            continue
         poly, rel, lo, hi = tasks[i]
         roots = roots_per[slot]
         if rel is Rel.EQ:
@@ -441,12 +552,17 @@ def solve_relation_batch(tasks: Sequence[SolveTask]) -> list[TimeSet]:
 # ----------------------------------------------------------------------
 # cached entry points
 # ----------------------------------------------------------------------
-def solve_tasks(tasks: Sequence[SolveTask]) -> list[TimeSet]:
+def solve_tasks(
+    tasks: Sequence[SolveTask],
+    failures: dict[int, SolverError] | None = None,
+) -> list[TimeSet]:
     """Solve many difference rows, consulting the cache and the kernel.
 
     This is the single funnel every row solve goes through: cache lookup
     first (when enabled), then either the batched kernel or the scalar
-    path for the misses, then cache fill.
+    path for the misses, then cache fill.  Failed tasks are never
+    cached; with a ``failures`` dict, their typed errors are recorded
+    per task index (result slot ``TimeSet.empty()``) instead of raised.
     """
     cfg = SOLVER_CONFIG
     cache = None
@@ -478,17 +594,56 @@ def solve_tasks(tasks: Sequence[SolveTask]) -> list[TimeSet]:
     else:
         miss_indices = list(range(len(tasks)))
 
+    miss_failures: dict[int, SolverError] = {}
     if miss_indices:
         pending = [tasks[i] for i in miss_indices]
+        hook = _FAULT_HOOK
+        if hook is not None:
+            hooked: list[SolveTask] = []
+            for slot, task in enumerate(pending):
+                try:
+                    replacement = hook(task)
+                except SolverError as exc:
+                    if failures is None:
+                        raise
+                    miss_failures[slot] = exc
+                    replacement = None
+                hooked.append(task if replacement is None else replacement)
+            pending = hooked
+        live = [s for s in range(len(pending)) if s not in miss_failures]
+        solved: dict[int, TimeSet] = {}
         if batch_kernel_enabled():
-            solved = solve_relation_batch(pending)
+            live_failures: dict[int, SolverError] | None = (
+                None if failures is None else {}
+            )
+            solved_live = solve_relation_batch(
+                [pending[s] for s in live], failures=live_failures
+            )
+            for k, s in enumerate(live):
+                solved[s] = solved_live[k]
+            if live_failures:
+                for k, exc in live_failures.items():
+                    miss_failures[live[k]] = exc
         else:
-            solved = [solve_relation(p, rel, lo, hi) for p, rel, lo, hi in pending]
+            for s in live:
+                p, rel, lo, hi = pending[s]
+                try:
+                    solved[s] = solve_relation(p, rel, lo, hi)
+                except SolverError as exc:
+                    if failures is None:
+                        raise
+                    miss_failures[s] = exc
         for slot, i in enumerate(miss_indices):
+            if slot in miss_failures:
+                failures[i] = miss_failures[slot]  # type: ignore[index]
+                results[i] = TimeSet.empty()
+                continue
             results[i] = solved[slot]
             if cache is not None:
                 cache.put(keys[slot], solved[slot])
     for i, slot in aliases:
+        if slot in miss_failures and failures is not None:
+            failures[i] = miss_failures[slot]
         results[i] = results[miss_indices[slot]]
     return results  # type: ignore[return-value]
 

@@ -30,19 +30,21 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .batch_solver import (
+    SOLVER_CONFIG,
     SolveTask,
     batch_kernel_enabled,
+    fault_hook,
     solve_one,
     solve_tasks,
     vandermonde_values,
 )
-from .errors import SolverError
+from .errors import SolverError, SolverFailure
 from .expr import ModelResolver
 from .intervals import Interval, TimeSet
 from .polynomial import Polynomial
 from .predicate import And, BoolExpr, Comparison, Literal, Not, Or, normalize
 from .relation import Rel
-from .roots import real_roots
+from .roots import check_coefficients, real_roots
 
 
 def row_solve_counter():
@@ -227,14 +229,43 @@ class EquationSystem:
         other multi-row systems go through the batched kernel (every row
         solved in one companion-matrix sweep) unless the scalar path is
         forced via :func:`repro.core.batch_solver.set_solver_mode`.
+
+        Guardrail contract: every failure escapes as a typed
+        :class:`SolverError` (usually a :class:`SolverFailure` with a
+        machine-readable reason) — never a bare numerical exception —
+        so the resilience layer can quarantine the offending key and
+        degrade to the discrete path.
         """
         if lo >= hi:
             return TimeSet.empty()
-        if self.all_equalities and self.is_conjunctive and len(self.rows) > 1:
-            return self._solve_equality_system(lo, hi)
-        if batch_kernel_enabled() and len(self.rows) > 1:
-            return self.evaluate_structure(self.solve_rows(lo, hi), lo, hi)
-        return self._solve_node(self._structure, lo, hi)
+        self.check_budget()
+        try:
+            if (
+                self.all_equalities
+                and self.is_conjunctive
+                and len(self.rows) > 1
+            ):
+                return self._solve_equality_system(lo, hi)
+            if batch_kernel_enabled() and len(self.rows) > 1:
+                return self.evaluate_structure(
+                    self.solve_rows(lo, hi), lo, hi
+                )
+            return self._solve_node(self._structure, lo, hi)
+        except SolverError:
+            raise
+        except (ValueError, ArithmeticError, np.linalg.LinAlgError) as exc:
+            raise SolverFailure(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def check_budget(self) -> None:
+        """Enforce the configured per-system row budget."""
+        budget = SOLVER_CONFIG.max_rows_per_system
+        if len(self.rows) > budget:
+            raise SolverFailure(
+                "row-budget",
+                f"{len(self.rows)} rows exceed the system budget {budget}",
+            )
 
     def solve_rows(self, lo: float, hi: float) -> list[TimeSet]:
         """Solve every row over ``[lo, hi)`` in one cached batch."""
@@ -305,6 +336,14 @@ class EquationSystem:
         original row.
         """
         row_solve_counter().bump()
+        hook = fault_hook()
+        for row in self.rows:
+            task: SolveTask = (row.poly, row.rel, lo, hi)
+            if hook is not None:
+                replacement = hook(task)
+                if replacement is not None:
+                    task = replacement
+            check_coefficients(task[0].coeffs)
         matrix = self.coefficient_matrix()
         if self.equality_strategy == "svd":
             candidate_poly = self._svd_candidate(matrix)
@@ -416,7 +455,8 @@ class EquationSystem:
 
 
 def solve_systems_batch(
-    jobs: Sequence[tuple["EquationSystem", float, float]]
+    jobs: Sequence[tuple["EquationSystem", float, float]],
+    failures: dict[int, SolverError] | None = None,
 ) -> list[TimeSet]:
     """Solve many systems' rows through one batched kernel sweep.
 
@@ -426,6 +466,10 @@ def solve_systems_batch(
     one degree-bucketed eigensolve); equality fast-path systems keep
     their own pre-analysis, and everything falls back to the scalar
     per-system path when the batch kernel is disabled.
+
+    With a ``failures`` dict, a failing system records its typed error
+    under its job index (result ``TimeSet.empty()``) instead of sinking
+    the whole sweep — one poisoned candidate pair costs only itself.
     """
     results: list[TimeSet | None] = [None] * len(jobs)
     spans: list[tuple[int, int, int]] = []  # (job index, start, stop)
@@ -442,16 +486,43 @@ def solve_systems_batch(
                 and len(system.rows) > 1
             )
         ):
-            results[ji] = system.solve(lo, hi)
+            try:
+                results[ji] = system.solve(lo, hi)
+            except SolverError as exc:
+                if failures is None:
+                    raise
+                failures[ji] = exc
+                results[ji] = TimeSet.empty()
+            continue
+        try:
+            system.check_budget()
+        except SolverError as exc:
+            if failures is None:
+                raise
+            failures[ji] = exc
+            results[ji] = TimeSet.empty()
             continue
         start = len(tasks)
         tasks.extend((r.poly, r.rel, lo, hi) for r in system.rows)
         row_solve_counter().bump(len(system.rows))
         spans.append((ji, start, len(tasks)))
     if tasks:
-        solved = solve_tasks(tasks)
+        task_failures: dict[int, SolverError] | None = (
+            None if failures is None else {}
+        )
+        solved = solve_tasks(tasks, failures=task_failures)
         for ji, start, stop in spans:
             system, lo, hi = jobs[ji]
+            if task_failures:
+                bad = [
+                    task_failures[k]
+                    for k in range(start, stop)
+                    if k in task_failures
+                ]
+                if bad:
+                    failures[ji] = bad[0]  # type: ignore[index]
+                    results[ji] = TimeSet.empty()
+                    continue
             results[ji] = system.evaluate_structure(solved[start:stop], lo, hi)
     return results  # type: ignore[return-value]
 

@@ -36,6 +36,34 @@ class SolverError(PulseError):
     """The equation-system solver failed to produce a solution set."""
 
 
+class SolverFailure(SolverError):
+    """A guarded solver failure with a machine-readable reason.
+
+    The solver guardrails promise that no bare numerical exception
+    (``LinAlgError``, ``ZeroDivisionError``, ...) ever escapes a solve:
+    anything the root finders cannot answer for surfaces as one of these,
+    carrying a ``reason`` the resilience layer can route on:
+
+    * ``"invalid-coefficients"`` — NaN/inf or absurd-magnitude
+      coefficients (a bad model fit);
+    * ``"zero-polynomial"`` — a root query on the zero polynomial;
+    * ``"eigvals"`` — the companion-matrix eigensolve did not converge;
+    * ``"row-budget"`` / ``"root-budget"`` — the per-system size budget
+      of :class:`~repro.core.batch_solver.SolverConfig` was exceeded;
+    * ``"injected"`` / ``"timeout"`` — faults from the test harness
+      (:mod:`repro.testing.faults`);
+    * ``"internal"`` — any other numerical error, wrapped.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        message = f"solver failure [{reason}]"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class UnsupportedAggregateError(PulseError):
     """A frequency-based aggregate was requested on the continuous path.
 
@@ -57,6 +85,20 @@ class QuerySyntaxError(PulseError):
         self.column = column
         if line:
             message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TraceError(PulseError):
+    """A replayed trace row is malformed (strict replay mode).
+
+    Carries the 1-based data-row number so operators can locate the bad
+    row in the CSV trace.
+    """
+
+    def __init__(self, message: str, row: int = 0):
+        self.row = row
+        if row:
+            message = f"{message} (trace row {row})"
         super().__init__(message)
 
 

@@ -19,13 +19,44 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .errors import SolverError
+from .errors import SolverError, SolverFailure
 from .intervals import EPS, Interval, TimeSet
 from .polynomial import Polynomial
 from .relation import Rel
 
 #: Tolerance below which an imaginary eigenvalue part is treated as zero.
 IMAG_TOL = 1e-8
+
+#: Coefficients beyond this magnitude cannot come from a sane model fit
+#: and destroy companion-matrix conditioning (squaring one overflows a
+#: double); the guardrail rejects the row instead of solving garbage.
+COEFF_MAX = 1e150
+
+
+def check_coefficients(coeffs: Sequence[float]) -> None:
+    """Guardrail: reject coefficient rows no root finder can answer for.
+
+    Raises :class:`SolverFailure` (reason ``"invalid-coefficients"``) on
+    NaN/inf entries — the signature of a failed model fit — and on
+    absurd magnitudes beyond :data:`COEFF_MAX`.
+    """
+    for c in coeffs:
+        if not math.isfinite(c):
+            raise SolverFailure(
+                "invalid-coefficients", f"non-finite coefficient {c!r}"
+            )
+        if abs(c) > COEFF_MAX:
+            raise SolverFailure(
+                "invalid-coefficients",
+                f"coefficient magnitude {abs(c):.3g} exceeds {COEFF_MAX:g}",
+            )
+
+
+def _root_budget() -> int:
+    """The configured per-row root-count budget (lazy import: no cycle)."""
+    from .batch_solver import SOLVER_CONFIG
+
+    return SOLVER_CONFIG.max_roots_per_row
 
 #: Tolerance for deduplicating nearby roots.
 ROOT_MERGE_TOL = 1e-9
@@ -188,7 +219,15 @@ def real_roots(
     callers must special-case it (the predicate holds everywhere).
     """
     if poly.is_zero:
-        raise SolverError("the zero polynomial has no discrete root set")
+        raise SolverFailure(
+            "zero-polynomial", "the zero polynomial has no discrete root set"
+        )
+    check_coefficients(poly.coeffs)
+    if poly.degree > _root_budget():
+        raise SolverFailure(
+            "root-budget",
+            f"degree {poly.degree} exceeds the root budget {_root_budget()}",
+        )
     c = _deflate(poly.coeffs, lo, hi)
     if len(c) == 1:
         return []
@@ -213,7 +252,12 @@ def _companion_roots(poly: Polynomial) -> list[float]:
     """Roots of a degree >= 3 polynomial via companion-matrix eigenvalues,
     polished with a Newton step."""
     # numpy.roots expects descending coefficients.
-    eigen = np.roots(list(reversed(poly.coeffs)))
+    try:
+        eigen = np.roots(list(reversed(poly.coeffs)))
+    except (np.linalg.LinAlgError, ValueError) as exc:
+        raise SolverFailure(
+            "eigvals", f"companion eigensolve failed: {exc}"
+        ) from exc
     scale = max(abs(v) for v in poly.coeffs)
     deriv = poly.derivative()
     out: list[float] = []
@@ -241,6 +285,10 @@ def solve_relation(
     """
     if lo >= hi:
         return TimeSet.empty()
+    # Guardrail before the cheap branches: a NaN "constant" would
+    # otherwise silently evaluate to an empty solution instead of
+    # flagging the broken model to the caller.
+    check_coefficients(poly.coeffs)
     if poly.is_zero:
         if rel.includes_equality:
             return TimeSet.interval(lo, hi)

@@ -54,7 +54,13 @@ class ValidatorStats:
     slack_checks: int = 0
     violations: int = 0
     dropped: int = 0
+    #: Tuples with no usable model/bound — routed to processing, never
+    #: dropped (the paper's "must process" residue).
+    unknown: int = 0
     solver_runs: int = 0
+    #: Segment ingests whose solve failed; the key's model is
+    #: deactivated so its tuples validate UNKNOWN (process raw).
+    solver_failures: int = 0
     inversions: int = 0
 
     @property
@@ -105,6 +111,11 @@ class QueryValidator:
         self._slack: dict[Key, _SlackRecord] = {}
         #: Active predictive model per key (stream source segments).
         self._active: dict[Key, Segment] = {}
+        #: Optional observer called as ``listener(key, outcome)`` after
+        #: every validation — how the resilience layer's circuit
+        #: breaker watches the violation rate without the validator
+        #: knowing about breakers.
+        self.outcome_listener = None
 
     # ------------------------------------------------------------------
     # segment ingestion (solver path)
@@ -115,10 +126,21 @@ class QueryValidator:
         Produces query outputs; on results, inverts the output bound to
         input allocations; on a null, computes and records slack.
         """
+        from ..errors import PulseError
+
         self.lineage.record_source(segment)
         self._active[segment.key] = segment
         self.stats.solver_runs += 1
-        outputs = self.query.push(stream, segment)
+        try:
+            outputs = self.query.push(stream, segment)
+        except PulseError:
+            # The solve failed: this key has no trustworthy model, so
+            # deactivate it — its tuples must validate UNKNOWN and be
+            # processed raw until a re-model succeeds.
+            self.stats.solver_failures += 1
+            self._active.pop(segment.key, None)
+            self._slack.pop(segment.key, None)
+            raise
         if outputs:
             made = self.inverter.invert_all(outputs, self.bound, self.allocation)
             self.stats.inversions += made
@@ -170,7 +192,20 @@ class QueryValidator:
     # tuple validation (fast path)
     # ------------------------------------------------------------------
     def validate(self, key: Key, attr: str, t: float, value: float) -> Outcome:
-        """Validate one observed attribute value against its model."""
+        """Validate one observed attribute value against its model.
+
+        ``UNKNOWN`` outcomes (no active model or bound for the key —
+        including right after a solver failure deactivated it) must be
+        routed to processing by the caller; they are never droppable.
+        """
+        outcome = self._validate(key, attr, t, value)
+        if outcome is Outcome.UNKNOWN:
+            self.stats.unknown += 1
+        if self.outcome_listener is not None:
+            self.outcome_listener(key, outcome)
+        return outcome
+
+    def _validate(self, key: Key, attr: str, t: float, value: float) -> Outcome:
         self.stats.tuples_checked += 1
         model_segment = self._active.get(key)
         if model_segment is None or not model_segment.contains_time(t):

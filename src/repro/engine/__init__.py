@@ -9,11 +9,14 @@ instrumentation used by the benchmarks.
 from .metrics import (
     Counter,
     CounterRegistry,
+    Gauge,
     QueueingModel,
     RunMetrics,
     Stopwatch,
     counter_snapshot,
+    gauge_snapshot,
     get_counter,
+    get_gauge,
     measure_service_time,
     reset_counters,
 )
@@ -26,9 +29,13 @@ from .operators import (
     DiscreteWindowAggregate,
 )
 from .plan import DiscretePlan
+from .resilience import BreakerConfig, BreakerState, CircuitBreaker
 from .tuples import Schema, StreamDef, StreamTuple
 
 __all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
     "Counter",
     "CounterRegistry",
     "DiscreteFilter",
@@ -38,6 +45,7 @@ __all__ = [
     "DiscreteOperator",
     "DiscretePlan",
     "DiscreteWindowAggregate",
+    "Gauge",
     "QueueingModel",
     "RunMetrics",
     "Schema",
@@ -45,7 +53,9 @@ __all__ = [
     "StreamDef",
     "StreamTuple",
     "counter_snapshot",
+    "gauge_snapshot",
     "get_counter",
+    "get_gauge",
     "measure_service_time",
     "reset_counters",
 ]

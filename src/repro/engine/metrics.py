@@ -40,17 +40,41 @@ class Counter:
         self.value = 0
 
 
-class CounterRegistry:
-    """Process-wide named counters — the shared solver stats surface.
+@dataclass
+class Gauge:
+    """A named, settable level (e.g. currently-open breaker keys).
 
-    Both the equation-system solver (``equation_system.row_solves``) and
-    the solve cache (``solve_cache.hits`` / ``.misses`` / ``.evictions``)
-    register here, so benchmarks and ablations read and reset one place
-    instead of poking mutable class attributes.
+    Counters only accumulate; gauges report a current state that can go
+    down as well as up, which is what the resilience layer exports for
+    breaker occupancy and queue depths.
+    """
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, by: float = 1.0) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class CounterRegistry:
+    """Process-wide named counters and gauges — the shared stats surface.
+
+    The equation-system solver (``equation_system.row_solves``), the
+    solve cache (``solve_cache.hits`` / ``.misses`` / ``.evictions``)
+    and the resilience layer (``resilience.breaker.*``) register here,
+    so benchmarks and ablations read and reset one place instead of
+    poking mutable class attributes.
     """
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
@@ -59,23 +83,40 @@ class CounterRegistry:
             found = self._counters[name] = Counter(name)
         return found
 
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
     def value(self, name: str) -> int:
         return self.counter(name).value
 
     def snapshot(self, prefix: str = "") -> dict[str, int]:
-        """Current values, optionally restricted to a name prefix."""
+        """Current counter values, optionally restricted to a prefix."""
         return {
             name: c.value
             for name, c in sorted(self._counters.items())
             if name.startswith(prefix)
         }
 
+    def gauge_snapshot(self, prefix: str = "") -> dict[str, float]:
+        """Current gauge values, optionally restricted to a prefix."""
+        return {
+            name: g.value
+            for name, g in sorted(self._gauges.items())
+            if name.startswith(prefix)
+        }
+
     def reset(self, *names: str) -> None:
-        """Reset the named counters, or every counter when none given."""
-        targets = names or tuple(self._counters)
+        """Reset the named counters/gauges, or everything when none given."""
+        targets = names or tuple(self._counters) + tuple(self._gauges)
         for name in targets:
             if name in self._counters:
                 self._counters[name].reset()
+            if name in self._gauges:
+                self._gauges[name].reset()
 
 
 #: The default registry used by the solver, cache, and benchmarks.
@@ -87,8 +128,17 @@ def get_counter(name: str) -> Counter:
     return GLOBAL_COUNTERS.counter(name)
 
 
+def get_gauge(name: str) -> Gauge:
+    """Get or create a gauge in the global registry."""
+    return GLOBAL_COUNTERS.gauge(name)
+
+
 def counter_snapshot(prefix: str = "") -> Mapping[str, int]:
     return GLOBAL_COUNTERS.snapshot(prefix)
+
+
+def gauge_snapshot(prefix: str = "") -> Mapping[str, float]:
+    return GLOBAL_COUNTERS.gauge_snapshot(prefix)
 
 
 def reset_counters(*names: str) -> None:

@@ -1,4 +1,4 @@
-"""Multi-query runtime: queued inputs, round-robin scheduling.
+"""Multi-query runtime: queued inputs, round-robin scheduling, resilience.
 
 The paper's prototype ran inside Borealis, a push engine where operators
 consume from queues under a scheduler and queue growth (against the page
@@ -8,6 +8,21 @@ registered queries (continuous or discrete) share named input streams;
 arrivals are enqueued, a round-robin scheduler drains the queues in
 batches, and queue depths are observable — the live counterpart of the
 fluid :class:`~repro.engine.metrics.QueueingModel`.
+
+On top of the seed runtime, two production disciplines:
+
+* **Fault isolation** — a failing continuous solve (any
+  :class:`~repro.core.errors.PulseError`) no longer kills the step.  The
+  offending (query, key) is quarantined through the per-key
+  :class:`~repro.engine.resilience.CircuitBreaker` and, when the query
+  was registered with a discrete ``fallback``, the segment is sampled
+  into tuples and replayed through the lowered plan — the paper's
+  model-invalidation fallback, automated.
+* **Back-pressure** — ``queue_capacity`` is enforced, not merely
+  reported, under an explicit policy: ``"block"`` refuses the arrival
+  (the producer must retry), ``"shed-newest"`` drops it, and
+  ``"shed-oldest"`` evicts the oldest queued items to make room.  All
+  sheds are metered in the :mod:`repro.engine.metrics` registry.
 """
 
 from __future__ import annotations
@@ -16,11 +31,23 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from ..core.errors import PlanError
+from ..core.errors import PlanError, PulseError
+
+#: What the per-item fault boundary contains: library failures plus the
+#: errors malformed/corrupt items raise inside operator evaluation
+#: (missing fields, non-numeric values).  Programming errors outside
+#: these classes still propagate.
+_ITEM_FAULTS = (PulseError, KeyError, ValueError, TypeError, ArithmeticError)
+from ..core.operators.sampler import OutputSampler
 from ..core.segment import Segment
 from ..core.transform import TransformedQuery
 from .lowering import LoweredQuery
+from .metrics import get_counter
+from .resilience import BreakerConfig, CircuitBreaker
 from .tuples import StreamTuple
+
+#: Valid back-pressure policies for :class:`QueryRuntime`.
+BACKPRESSURE_POLICIES = ("block", "shed-oldest", "shed-newest")
 
 
 @dataclass
@@ -28,16 +55,35 @@ class _Registration:
     name: str
     query: TransformedQuery | LoweredQuery
     streams: tuple[str, ...]
+    #: Discrete lowered twin used when the breaker quarantines a key or
+    #: a continuous push fails; ``None`` sheds instead of degrading.
+    fallback: LoweredQuery | None = None
+    #: Sampling period used to turn a quarantined segment into tuples
+    #: for the fallback plan; defaults to the query's effective sample
+    #: period, then 1.0.
+    fallback_period: float | None = None
     queues: dict[str, deque] = field(default_factory=dict)
     outputs: list = field(default_factory=list)
     items_processed: int = 0
     #: Total queued items across this query's streams, maintained at
     #: enqueue/drain time so the scheduler loop never re-sums queues.
     pending: int = 0
+    errors: int = 0
+    fallback_items: int = 0
+    last_error: Exception | None = None
+    _sampler: OutputSampler | None = None
 
     def __post_init__(self) -> None:
         for stream in self.streams:
             self.queues[stream] = deque()
+
+    def sampler(self) -> OutputSampler:
+        if self._sampler is None:
+            period = self.fallback_period
+            if period is None:
+                period = getattr(self.query, "effective_sample_period", None)
+            self._sampler = OutputSampler(period if period else 1.0)
+        return self._sampler
 
 
 class QueryRuntime:
@@ -50,39 +96,80 @@ class QueryRuntime:
         small batches interleave queries fairly, large batches amortize
         scheduling overhead.
     queue_capacity:
-        Total queued items across all queries before :meth:`enqueue`
-        reports back-pressure (the page-pool analogue).  ``None``
-        disables the check.
+        Total queued items across all queries before the back-pressure
+        policy engages (the page-pool analogue).  ``None`` disables the
+        check.
+    backpressure:
+        What happens to an arrival that would exceed capacity:
+        ``"block"`` refuses it (``enqueue`` returns ``False``),
+        ``"shed-newest"`` drops it, ``"shed-oldest"`` evicts the oldest
+        queued items to admit it.
+    breaker:
+        A :class:`~repro.engine.resilience.CircuitBreaker` (or a
+        :class:`~repro.engine.resilience.BreakerConfig` to build one)
+        gating the continuous path per (query, key).  ``None`` disables
+        quarantine; step failures still degrade to the fallback.
     """
 
     def __init__(
         self,
         batch_size: int = 64,
         queue_capacity: int | None = None,
+        backpressure: str = "block",
+        breaker: CircuitBreaker | BreakerConfig | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure policy must be one of "
+                f"{BACKPRESSURE_POLICIES}, got {backpressure!r}"
+            )
         self.batch_size = batch_size
         self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        if isinstance(breaker, BreakerConfig):
+            breaker = CircuitBreaker(breaker)
+        self.breaker = breaker
         self._queries: dict[str, _Registration] = {}
         self._round_robin: deque[str] = deque()
+        self._streams: set[str] = set()
         self._total_pending = 0
         self.items_enqueued = 0
         self.items_dropped = 0
+        self.items_shed = 0
+        self.step_errors = 0
 
     # ------------------------------------------------------------------
     # registration
     # ------------------------------------------------------------------
     def register(
-        self, name: str, query: TransformedQuery | LoweredQuery
+        self,
+        name: str,
+        query: TransformedQuery | LoweredQuery,
+        fallback: LoweredQuery | None = None,
+        fallback_period: float | None = None,
     ) -> None:
-        """Register a compiled query under a unique name."""
+        """Register a compiled query under a unique name.
+
+        ``fallback`` (continuous queries only) names the discrete
+        lowered twin that serves quarantined keys; see the class
+        docstring.
+        """
         if name in self._queries:
             raise PlanError(f"query {name!r} already registered")
+        if fallback is not None and not isinstance(query, TransformedQuery):
+            raise PlanError(
+                "only continuous queries take a discrete fallback"
+            )
         streams = tuple(query.stream_sources)
-        reg = _Registration(name, query, streams)
+        reg = _Registration(
+            name, query, streams,
+            fallback=fallback, fallback_period=fallback_period,
+        )
         self._queries[name] = reg
         self._round_robin.append(name)
+        self._streams.update(streams)
 
     def unregister(self, name: str) -> None:
         reg = self._queries.pop(name, None)
@@ -90,6 +177,9 @@ class QueryRuntime:
             raise PlanError(f"query {name!r} is not registered")
         self._round_robin.remove(name)
         self._total_pending -= reg.pending
+        self._streams = {
+            s for r in self._queries.values() for s in r.streams
+        }
 
     @property
     def query_names(self) -> list[str]:
@@ -102,37 +192,83 @@ class QueryRuntime:
         """Queue one arrival for every query consuming ``stream``.
 
         Segments route to continuous queries, tuples to discrete ones.
-        Returns ``False`` (and drops the item) when the runtime is at
-        queue capacity — the observable back-pressure signal.
+        An unregistered stream name raises :class:`PlanError` — a silent
+        drop there hides wiring bugs; a stream that is registered but
+        has no query of the item's representation returns ``False``.
+        At capacity the configured back-pressure policy decides: refuse
+        (``block``), drop the arrival (``shed-newest``), or evict old
+        queue entries to admit it (``shed-oldest``).
         """
-        if (
-            self.queue_capacity is not None
-            and self.total_pending >= self.queue_capacity
-        ):
-            self.items_dropped += 1
-            return False
-        routed = False
+        if stream not in self._streams:
+            raise PlanError(
+                f"stream {stream!r} is not consumed by any registered "
+                f"query; known streams: {sorted(self._streams)}"
+            )
         want_segment = isinstance(item, Segment)
-        for reg in self._queries.values():
-            if stream not in reg.queues:
-                continue
-            is_continuous = isinstance(reg.query, TransformedQuery)
-            if is_continuous != want_segment:
-                continue
+        targets = [
+            reg
+            for reg in self._queries.values()
+            if stream in reg.queues
+            and isinstance(reg.query, TransformedQuery) == want_segment
+        ]
+        if not targets:
+            return False
+        if self.queue_capacity is not None:
+            shortfall = (
+                self._total_pending + len(targets) - self.queue_capacity
+            )
+            if shortfall > 0 and self.backpressure == "shed-oldest":
+                for _ in range(shortfall):
+                    if not self._evict_oldest():
+                        break
+                shortfall = (
+                    self._total_pending + len(targets) - self.queue_capacity
+                )
+            if shortfall > 0:
+                self.items_dropped += 1
+                if self.backpressure == "shed-newest":
+                    self.items_shed += 1
+                    get_counter("runtime.shed_newest").bump()
+                else:
+                    get_counter("runtime.blocked").bump()
+                return False
+        for reg in targets:
             reg.queues[stream].append(item)
             reg.pending += 1
             self._total_pending += 1
-            routed = True
-        if routed:
-            self.items_enqueued += 1
-        return routed
+        self.items_enqueued += 1
+        return True
+
+    def _evict_oldest(self) -> bool:
+        """Shed the oldest item of the deepest queue; ``False`` if empty."""
+        deepest: deque | None = None
+        owner: _Registration | None = None
+        for reg in self._queries.values():
+            for queue in reg.queues.values():
+                if queue and (deepest is None or len(queue) > len(deepest)):
+                    deepest = queue
+                    owner = reg
+        if deepest is None or owner is None:
+            return False
+        deepest.popleft()
+        owner.pending -= 1
+        self._total_pending -= 1
+        self.items_shed += 1
+        get_counter("runtime.shed_oldest").bump()
+        return True
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def step(self) -> int:
         """One scheduling round: drain up to ``batch_size`` items from
-        the next query in round-robin order.  Returns items processed."""
+        the next query in round-robin order.  Returns items processed.
+
+        A :class:`PulseError` from any single item is contained: the
+        error is counted, the breaker quarantines the (query, key), and
+        the item degrades to the registration's fallback (if any) — the
+        round continues.
+        """
         if not self._round_robin:
             return 0
         name = self._round_robin[0]
@@ -146,12 +282,73 @@ class QueryRuntime:
                 item = queue.popleft()
                 reg.pending -= 1
                 self._total_pending -= 1
-                reg.outputs.extend(reg.query.push(stream, item))
+                self._process_item(reg, stream, item)
                 reg.items_processed += 1
                 processed += 1
                 if processed >= self.batch_size:
                     break
         return processed
+
+    def _process_item(
+        self, reg: _Registration, stream: str, item: Segment | StreamTuple
+    ) -> None:
+        """Push one item, containing failures per the resilience policy."""
+        continuous = isinstance(reg.query, TransformedQuery)
+        key = item.key if isinstance(item, Segment) else None
+        if (
+            continuous
+            and self.breaker is not None
+            and not self.breaker.allow(reg.name, key)
+        ):
+            reg.outputs.extend(self._fallback_push(reg, stream, item))
+            return
+        try:
+            outputs = reg.query.push(stream, item)
+        except _ITEM_FAULTS as exc:
+            reg.errors += 1
+            reg.last_error = exc
+            self.step_errors += 1
+            get_counter("runtime.step_errors").bump()
+            if continuous:
+                if self.breaker is not None:
+                    self.breaker.record_failure(reg.name, key)
+                reg.outputs.extend(self._fallback_push(reg, stream, item))
+            # Discrete items that fail (e.g. corrupt tuples) are dropped
+            # after being counted; there is no lower path to fall to.
+            return
+        if continuous and self.breaker is not None:
+            self.breaker.record_success(reg.name, key)
+        reg.outputs.extend(outputs)
+
+    def _fallback_push(
+        self, reg: _Registration, stream: str, item: Segment | StreamTuple
+    ) -> list:
+        """Degrade one quarantined/failed arrival to the discrete twin.
+
+        Segments are sampled into tuples at the registration's fallback
+        period and replayed through the lowered plan (passthrough to
+        raw-tuple processing); outputs are tuples, flagged by presence
+        in the same ``outputs()`` drain as the healthy segments.
+        """
+        if reg.fallback is None:
+            get_counter("runtime.fallback_unavailable").bump()
+            return []
+        rows = (
+            reg.sampler().tuples(item)
+            if isinstance(item, Segment)
+            else [dict(item)]
+        )
+        outputs: list = []
+        for row in rows:
+            row = dict(row)
+            row.pop("__key", None)
+            try:
+                outputs.extend(reg.fallback.push(stream, StreamTuple(row)))
+            except _ITEM_FAULTS:
+                get_counter("runtime.fallback_errors").bump()
+        reg.fallback_items += 1
+        get_counter("runtime.fallback_items").bump()
+        return outputs
 
     def run_until_idle(self, max_rounds: int = 1_000_000) -> int:
         """Schedule rounds until every queue is empty; returns items."""
@@ -183,3 +380,21 @@ class QueryRuntime:
         return {
             name: reg.items_processed for name, reg in self._queries.items()
         }
+
+    def resilience_stats(self) -> Mapping[str, object]:
+        """Step errors, fallback traffic and breaker population."""
+        stats: dict[str, object] = {
+            "step_errors": self.step_errors,
+            "items_shed": self.items_shed,
+            "fallback_items": {
+                name: reg.fallback_items
+                for name, reg in self._queries.items()
+            },
+            "errors": {
+                name: reg.errors for name, reg in self._queries.items()
+            },
+        }
+        if self.breaker is not None:
+            stats["breaker"] = self.breaker.snapshot()
+            stats["recovered_fraction"] = self.breaker.recovered_fraction()
+        return stats

@@ -1,0 +1,19 @@
+"""Testing utilities: the fault-injection harness.
+
+Everything here is for chaos/resilience testing only — nothing in the
+production paths imports this package.
+"""
+
+from .faults import (
+    InjectionStats,
+    corrupt_tuples,
+    force_eigvals_failures,
+    inject_solver_faults,
+)
+
+__all__ = [
+    "InjectionStats",
+    "corrupt_tuples",
+    "force_eigvals_failures",
+    "inject_solver_faults",
+]

@@ -1,0 +1,196 @@
+"""Fault injection: break the solver and the data on purpose.
+
+The resilience layer (solver guardrails, per-key circuit breakers,
+runtime fallback) is only trustworthy if it is exercised against real
+failure classes.  This module injects them deterministically:
+
+* :func:`inject_solver_faults` — a fraction of row solves raise a typed
+  failure, time out, or see NaN coefficients (a poisoned model fit);
+* :func:`force_eigvals_failures` — the stacked companion-matrix
+  eigensolve raises ``LinAlgError`` (LAPACK non-convergence), forcing
+  the batch kernel's row-by-row fallback;
+* :func:`corrupt_tuples` — stream tuples are corrupted in flight
+  (NaN values, dropped fields, absurd magnitudes).
+
+All injectors are context managers (or pure generators) that restore
+the patched state on exit, and all draw from a seeded
+``random.Random`` so every chaos run is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core import batch_solver
+from ..core.errors import SolverFailure
+from ..core.polynomial import Polynomial
+from ..engine.tuples import StreamTuple
+
+#: Supported solver fault kinds.
+SOLVER_FAULT_KINDS = ("raise", "nan", "timeout")
+
+#: Supported tuple corruption modes.
+CORRUPTION_MODES = ("nan", "drop-field", "huge")
+
+
+@dataclass
+class InjectionStats:
+    """How often an injector fired, for asserting on fault coverage."""
+
+    calls: int = 0
+    injected: int = 0
+
+    @property
+    def observed_rate(self) -> float:
+        return self.injected / self.calls if self.calls else 0.0
+
+
+# ----------------------------------------------------------------------
+# solver faults
+# ----------------------------------------------------------------------
+@contextmanager
+def inject_solver_faults(
+    rate: float = 0.05,
+    kind: str = "raise",
+    seed: int = 0,
+    delay: float = 0.0,
+) -> Iterator[InjectionStats]:
+    """Make a fraction of row solves fail, via the solver fault hook.
+
+    Parameters
+    ----------
+    rate:
+        Probability that any one solve task is hit.
+    kind:
+        ``"raise"`` fails the task with ``SolverFailure("injected")``;
+        ``"timeout"`` sleeps ``delay`` seconds, then fails with
+        ``SolverFailure("timeout")``; ``"nan"`` replaces the task's
+        polynomial with NaN coefficients, exercising the coefficient
+        guardrails exactly as a poisoned model fit would.
+    seed:
+        Seed of the injector's private RNG — runs are reproducible.
+    """
+    if kind not in SOLVER_FAULT_KINDS:
+        raise ValueError(
+            f"kind must be one of {SOLVER_FAULT_KINDS}, got {kind!r}"
+        )
+    rng = random.Random(seed)
+    stats = InjectionStats()
+
+    def hook(task: batch_solver.SolveTask):
+        stats.calls += 1
+        if rng.random() >= rate:
+            return None
+        stats.injected += 1
+        if kind == "raise":
+            raise SolverFailure("injected", "injected solver fault")
+        if kind == "timeout":
+            if delay > 0:
+                time.sleep(delay)
+            raise SolverFailure("timeout", "injected solver timeout")
+        poly, rel, lo, hi = task
+        width = max(2, len(poly.coeffs))
+        return (Polynomial([math.nan] * width), rel, lo, hi)
+
+    previous = batch_solver.set_fault_hook(hook)
+    try:
+        yield stats
+    finally:
+        batch_solver.set_fault_hook(previous)
+
+
+@contextmanager
+def force_eigvals_failures(
+    rate: float = 1.0,
+    seed: int = 0,
+    only_stacked: bool = False,
+) -> Iterator[InjectionStats]:
+    """Make the companion-matrix eigensolve raise ``LinAlgError``.
+
+    Patches the batch kernel's stacked eigensolver to simulate LAPACK
+    non-convergence.  With ``only_stacked=True`` only multi-row
+    (stacked) calls fail, so the kernel's row-by-row retry succeeds —
+    the test of "one poisoned row cannot sink its degree bucket".
+    """
+    rng = random.Random(seed)
+    stats = InjectionStats()
+    original = batch_solver._stacked_companion_eigvals
+
+    def patched(rows):
+        stats.calls += 1
+        hit = rng.random() < rate
+        if hit and (len(rows) > 1 or not only_stacked):
+            stats.injected += 1
+            raise np.linalg.LinAlgError(
+                "injected: eigenvalues did not converge"
+            )
+        return original(rows)
+
+    batch_solver._stacked_companion_eigvals = patched
+    try:
+        yield stats
+    finally:
+        batch_solver._stacked_companion_eigvals = original
+
+
+# ----------------------------------------------------------------------
+# data faults
+# ----------------------------------------------------------------------
+def corrupt_tuples(
+    tuples: Iterable[StreamTuple],
+    rate: float = 0.05,
+    seed: int = 0,
+    modes: Sequence[str] = CORRUPTION_MODES,
+    fields: Sequence[str] | None = None,
+    stats: InjectionStats | None = None,
+) -> Iterator[StreamTuple]:
+    """Yield ``tuples`` with a fraction corrupted in flight.
+
+    Corruption picks a random eligible field (numeric, non-``time`` by
+    default — or any of ``fields`` when given) and applies one of the
+    ``modes``: set it to NaN, delete it, or blow it up to ``1e300``.
+    Pass a :class:`InjectionStats` to observe the realized rate.
+    """
+    for mode in modes:
+        if mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"modes must be among {CORRUPTION_MODES}, got {mode!r}"
+            )
+    rng = random.Random(seed)
+    if stats is None:
+        stats = InjectionStats()
+    for tup in tuples:
+        stats.calls += 1
+        if rng.random() >= rate:
+            yield tup
+            continue
+        eligible = (
+            list(fields)
+            if fields is not None
+            else [
+                f
+                for f, v in tup.items()
+                if f != StreamTuple.TIME_FIELD and isinstance(v, float)
+            ]
+        )
+        if not eligible:
+            yield tup
+            continue
+        stats.injected += 1
+        field = rng.choice(eligible)
+        mode = rng.choice(list(modes))
+        corrupted = dict(tup)
+        if mode == "nan":
+            corrupted[field] = math.nan
+        elif mode == "huge":
+            corrupted[field] = math.copysign(1e300, rng.random() - 0.5)
+        else:  # drop-field
+            corrupted.pop(field, None)
+        yield StreamTuple(corrupted)

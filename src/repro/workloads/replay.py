@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
+from ..core.errors import TraceError
+from ..engine.metrics import get_counter
 from ..engine.tuples import StreamTuple
 
 
@@ -31,26 +33,59 @@ def write_trace(
 
 
 def read_trace(
-    path: str | Path, numeric_fields: Sequence[str] | None = None
+    path: str | Path,
+    numeric_fields: Sequence[str] | None = None,
+    strict: bool = False,
+    on_skip: Callable[[int, list[str], Exception], None] | None = None,
 ) -> Iterator[StreamTuple]:
     """Replay a CSV trace written by :func:`write_trace`.
 
     ``numeric_fields`` lists columns parsed as floats; by default every
     column except ``id`` and ``symbol`` is numeric.
+
+    Real traces carry damage: truncated rows, unparsable numbers, field
+    counts that disagree with the header.  By default such rows are
+    *skipped* — counted in the ``replay.skipped_rows`` metrics counter
+    and reported to ``on_skip(row_number, row, error)`` when given — so
+    one bad row cannot kill a replay mid-run.  With ``strict=True``
+    the first malformed row raises a typed :class:`TraceError` carrying
+    the 1-based data-row number instead.
     """
     path = Path(path)
+    skipped = get_counter("replay.skipped_rows")
     with path.open(newline="") as f:
         reader = csv.reader(f)
-        header = next(reader)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceError(f"trace {path} has no header row")
         if numeric_fields is None:
             numeric = [h for h in header if h not in ("id", "symbol")]
         else:
             numeric = list(numeric_fields)
         numeric_set = set(numeric)
-        for row in reader:
-            values: dict[str, object] = {}
-            for field, raw in zip(header, row):
-                values[field] = float(raw) if field in numeric_set else raw
+        for number, row in enumerate(reader, start=1):
+            if not row:
+                continue  # blank line, not data damage
+            try:
+                if len(row) != len(header):
+                    raise ValueError(
+                        f"expected {len(header)} fields, got {len(row)}"
+                    )
+                values: dict[str, object] = {}
+                for field, raw in zip(header, row):
+                    values[field] = (
+                        float(raw) if field in numeric_set else raw
+                    )
+            except (ValueError, IndexError) as exc:
+                if strict:
+                    raise TraceError(
+                        f"malformed trace row: {exc}", row=number
+                    ) from exc
+                skipped.bump()
+                if on_skip is not None:
+                    on_skip(number, row, exc)
+                continue
             yield StreamTuple(values)
 
 

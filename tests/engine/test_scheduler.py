@@ -64,10 +64,19 @@ class TestRouting:
         assert rt.enqueue("s", tup(0.0, 5.0))
         assert rt.queue_depths() == {"cont": 0, "disc": 1}
 
-    def test_unknown_stream_not_routed(self):
+    def test_unregistered_stream_raises(self):
         rt = QueryRuntime()
         rt.register("cont", to_continuous_plan(planned(0)))
-        assert not rt.enqueue("other", seg(0, 1, 5.0))
+        with pytest.raises(PlanError):
+            rt.enqueue("other", seg(0, 1, 5.0))
+
+    def test_known_stream_without_matching_engine_returns_false(self):
+        # Stream "s" is registered, but only by a continuous query: a
+        # raw tuple has no discrete consumer, which is a routing miss,
+        # not a wiring error.
+        rt = QueryRuntime()
+        rt.register("cont", to_continuous_plan(planned(0)))
+        assert not rt.enqueue("s", tup(0.0, 5.0))
 
     def test_fan_out_to_multiple_queries(self):
         rt = QueryRuntime()

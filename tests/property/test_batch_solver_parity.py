@@ -8,6 +8,7 @@ relations, finite and infinite domains through both paths.
 
 import math
 
+import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.batch_solver import (
@@ -16,8 +17,10 @@ from repro.core.batch_solver import (
     solve_tasks,
     solver_mode,
 )
+from repro.core.errors import SolverError, SolverFailure
 from repro.core.expr import Attr, Const
 from repro.core.equation_system import EquationSystem
+from repro.core.intervals import TimeSet
 from repro.core.polynomial import Polynomial
 from repro.core.predicate import And, Comparison, Not, Or
 from repro.core.relation import Rel
@@ -119,6 +122,64 @@ def test_single_row_system_parity(p, rel):
     with solver_mode("scalar"):
         scalar = system.solve(*DOMAIN)
     assert batched == scalar
+
+
+# ----------------------------------------------------------------------
+# failure parity: both paths fail the same way, with the same types
+# ----------------------------------------------------------------------
+def _failure(fn, *args, **kwargs):
+    try:
+        fn(*args, **kwargs)
+    except SolverFailure as exc:
+        return exc.reason
+    raise AssertionError(f"{fn.__name__} did not raise SolverFailure")
+
+
+@given(all_rels)
+def test_zero_polynomial_failure_parity(rel):
+    zero = Polynomial([0.0])
+    scalar_reason = _failure(real_roots, zero, *DOMAIN)
+    batch_reason = _failure(real_roots_batch, [(zero, *DOMAIN)])
+    assert scalar_reason == batch_reason == "zero-polynomial"
+    # Both failures are SolverError subclasses (legacy catch sites hold).
+    with pytest.raises(SolverError):
+        real_roots_batch([(zero, *DOMAIN)])
+
+
+@given(all_rels, st.integers(min_value=1, max_value=5))
+def test_nan_coefficient_failure_parity(rel, degree):
+    bad = Polynomial([math.nan] + [1.0] * degree)
+    scalar_reason = _failure(real_roots, bad, *DOMAIN)
+    batch_reason = _failure(real_roots_batch, [(bad, *DOMAIN)])
+    assert scalar_reason == batch_reason == "invalid-coefficients"
+    scalar_reason = _failure(solve_relation, bad, rel, *DOMAIN)
+    batch_reason = _failure(solve_relation_batch, [(bad, rel, *DOMAIN)])
+    assert scalar_reason == batch_reason == "invalid-coefficients"
+
+
+@given(st.lists(polys, min_size=1, max_size=8), all_rels)
+@settings(max_examples=100)
+def test_failures_dict_isolates_poisoned_rows(ps, rel):
+    """One poisoned row fails alone; healthy rows still match scalar."""
+    ps = [p for p in ps if not p.is_zero]
+    assume(ps)
+    bad = Polynomial([math.nan, 1.0])
+    mixed = ps + [bad]
+    failures = {}
+    batched = real_roots_batch([(p, *DOMAIN) for p in mixed], failures)
+    assert set(failures) == {len(ps)}
+    assert isinstance(failures[len(ps)], SolverFailure)
+    assert failures[len(ps)].reason == "invalid-coefficients"
+    for p, roots in zip(ps, batched):
+        assert roots == real_roots(p, *DOMAIN)
+
+    failures = {}
+    tasks = [(p, rel, *DOMAIN) for p in mixed]
+    sols = solve_relation_batch(tasks, failures)
+    assert set(failures) == {len(ps)}
+    assert sols[len(ps)] == TimeSet.empty()
+    for p, sol in zip(ps, sols):
+        assert sol == solve_relation(p, rel, *DOMAIN)
 
 
 @given(

@@ -1,0 +1,192 @@
+"""The per-key circuit breaker: state machine, windows, metrics."""
+
+import pytest
+
+from repro.engine.metrics import counter_snapshot, get_gauge
+from repro.engine.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+pytestmark = pytest.mark.resilience
+
+Q = "q"
+K = ("k",)
+
+
+def breaker(**kw):
+    defaults = dict(
+        failure_threshold=3,
+        violation_window=8,
+        violation_threshold=0.5,
+        min_window=4,
+        backoff=4,
+        probe_successes=1,
+    )
+    defaults.update(kw)
+    return CircuitBreaker(BreakerConfig(**defaults))
+
+
+class TestFailureTrip:
+    def test_stays_closed_below_threshold(self):
+        b = breaker()
+        b.record_failure(Q, K)
+        b.record_failure(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+        assert b.allow(Q, K)
+
+    def test_opens_at_threshold(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        assert b.state(Q, K) is BreakerState.OPEN
+        assert not b.allow(Q, K)
+        assert counter_snapshot("resilience.breaker.opened") == {
+            "resilience.breaker.opened": 1
+        }
+        assert get_gauge("resilience.breaker.open_keys").value == 1
+
+    def test_success_resets_consecutive_count(self):
+        b = breaker()
+        b.record_failure(Q, K)
+        b.record_failure(Q, K)
+        b.record_success(Q, K)
+        b.record_failure(Q, K)
+        b.record_failure(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+
+    def test_keys_are_independent(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, ("bad",))
+        assert b.state(Q, ("bad",)) is BreakerState.OPEN
+        assert b.state(Q, ("good",)) is BreakerState.CLOSED
+        assert b.allow(Q, ("good",))
+
+    def test_untracked_keys_carry_no_state(self):
+        b = breaker()
+        b.record_success(Q, K)
+        b.record_valid(Q, K)
+        assert list(b.tracked_keys()) == []
+
+
+class TestQuarantineAndRecovery:
+    def trip(self, b):
+        for _ in range(3):
+            b.record_failure(Q, K)
+
+    def test_backoff_then_half_open_probe(self):
+        b = breaker(backoff=4)
+        self.trip(b)
+        refused = [b.allow(Q, K) for _ in range(3)]
+        assert refused == [False, False, False]
+        # The 4th arrival becomes the probe.
+        assert b.allow(Q, K)
+        assert b.state(Q, K) is BreakerState.HALF_OPEN
+        snap = counter_snapshot("resilience.breaker")
+        assert snap["resilience.breaker.shed"] == 3
+        assert snap["resilience.breaker.half_open"] == 1
+
+    def test_probe_success_closes(self):
+        b = breaker(backoff=1)
+        self.trip(b)
+        assert b.allow(Q, K)  # straight to probe
+        b.record_success(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+        assert b.allow(Q, K)
+        snap = counter_snapshot("resilience.breaker")
+        assert snap["resilience.breaker.closed"] == 1
+        assert get_gauge("resilience.breaker.open_keys").value == 0
+
+    def test_probe_failure_reopens(self):
+        b = breaker(backoff=2)
+        self.trip(b)
+        assert not b.allow(Q, K)
+        assert b.allow(Q, K)  # backoff elapsed: the probe
+        b.record_failure(Q, K)
+        assert b.state(Q, K) is BreakerState.OPEN
+        assert not b.allow(Q, K)  # a fresh quarantine has begun
+        snap = counter_snapshot("resilience.breaker")
+        assert snap["resilience.breaker.probe_failures"] == 1
+        assert snap["resilience.breaker.opened"] == 2
+
+    def test_multiple_probe_successes_required(self):
+        b = breaker(backoff=1, probe_successes=2)
+        self.trip(b)
+        assert b.allow(Q, K)
+        b.record_success(Q, K)
+        assert b.state(Q, K) is BreakerState.HALF_OPEN
+        b.record_success(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+
+
+class TestViolationRateTrip:
+    def test_no_trip_below_min_window(self):
+        b = breaker(min_window=4)
+        for _ in range(3):
+            b.record_violation(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+
+    def test_trips_on_rate_over_window(self):
+        b = breaker(min_window=4, violation_threshold=0.5)
+        for _ in range(4):
+            b.record_violation(Q, K)
+        assert b.state(Q, K) is BreakerState.OPEN
+
+    def test_valid_traffic_keeps_rate_low(self):
+        b = breaker(min_window=4, violation_window=8)
+        b.record_violation(Q, K)  # creates tracking
+        for _ in range(20):
+            b.record_valid(Q, K)
+            b.record_valid(Q, K)
+            b.record_violation(Q, K)
+        # Rate stays at ~1/3, never above the > 0.5 threshold.
+        assert b.state(Q, K) is BreakerState.CLOSED
+
+    def test_window_slides(self):
+        b = breaker(min_window=4, violation_window=4)
+        for _ in range(3):
+            b.record_violation(Q, K)
+        # Three clean outcomes push the violations out of the window.
+        for _ in range(3):
+            b.record_valid(Q, K)
+        b.record_violation(Q, K)
+        assert b.state(Q, K) is BreakerState.CLOSED
+
+
+class TestObservation:
+    def test_open_keys_lists_unhealthy_only(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, ("bad",))
+        b.record_failure(Q, ("meh",))
+        assert b.open_keys() == [(Q, ("bad",))]
+
+    def test_snapshot_counts_states(self):
+        b = breaker(backoff=1)
+        for _ in range(3):
+            b.record_failure(Q, ("open",))
+        for _ in range(3):
+            b.record_failure(Q, ("probing",))
+        b.allow(Q, ("probing",))
+        b.record_failure(Q, ("tracked",))
+        snap = b.snapshot()
+        assert snap["open"] == 1
+        assert snap["half_open"] == 1
+        assert snap["closed"] == 1
+        assert snap["tracked"] == 3
+
+    def test_recovered_fraction(self):
+        b = breaker(backoff=1)
+        assert b.recovered_fraction() == 1.0  # nothing ever tripped
+        for key in (("a",), ("b",)):
+            for _ in range(3):
+                b.record_failure(Q, key)
+        assert b.recovered_fraction() == 0.0
+        b.allow(Q, ("a",))
+        b.record_success(Q, ("a",))
+        assert b.recovered_fraction() == 0.5
+        b.allow(Q, ("b",))
+        b.record_success(Q, ("b",))
+        assert b.recovered_fraction() == 1.0

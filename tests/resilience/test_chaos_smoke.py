@@ -1,0 +1,76 @@
+"""Chaos smoke: the Fig. 5 filter workload with injected solver faults.
+
+The acceptance run from the issue: a realistic moving-object workload,
+5% of solves failing, and the system must produce nonzero output with
+zero uncaught exceptions while the breakers degrade and recover.
+"""
+
+import pytest
+
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.engine.resilience import BreakerConfig
+from repro.engine.scheduler import QueryRuntime
+from repro.fitting import build_segments
+from repro.query import parse_query, plan_query
+from repro.testing import inject_solver_faults
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+pytestmark = pytest.mark.resilience
+
+
+def workload(n=1500, tuples_per_segment=25):
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=5,
+            rate=10_000.0,
+            tuples_per_segment=tuples_per_segment,
+            seed=42,
+        )
+    )
+    tuples = list(gen.tuples(n))
+    segments = build_segments(
+        tuples, attrs=("x",), tolerance=1e-6,
+        key_fields=("id",), constants=("id",),
+    )
+    return tuples, segments
+
+
+@pytest.mark.parametrize("rate", [0.05, 0.10])
+def test_fig5_filter_survives_injected_faults(rate):
+    _, segments = workload()
+    p = plan_query(parse_query("select * from s where x > 0"))
+    rt = QueryRuntime(
+        batch_size=16,
+        breaker=BreakerConfig(failure_threshold=2, backoff=2),
+    )
+    rt.register("q", to_continuous_plan(p), fallback=to_discrete_plan(p))
+    with inject_solver_faults(rate=rate, seed=7) as stats:
+        for seg in segments:
+            rt.enqueue("s", seg)
+        rt.run_until_idle()  # an uncaught exception fails the test
+    assert stats.injected > 0, "the chaos run must actually inject faults"
+    assert rt.total_pending == 0
+    assert rt.outputs("q"), "faulted run must still produce output"
+    res = rt.resilience_stats()
+    assert res["step_errors"] == rt.step_errors
+
+
+def test_faulted_run_recovers_after_chaos_ends():
+    _, segments = workload()
+    p = plan_query(parse_query("select * from s where x > 0"))
+    rt = QueryRuntime(
+        batch_size=16,
+        breaker=BreakerConfig(failure_threshold=1, backoff=2),
+    )
+    rt.register("q", to_continuous_plan(p), fallback=to_discrete_plan(p))
+    half = len(segments) // 2
+    with inject_solver_faults(rate=0.10, seed=3):
+        for seg in segments[:half]:
+            rt.enqueue("s", seg)
+        rt.run_until_idle()
+    # Chaos over: the rest of the trace drives probes and closes.
+    for seg in segments[half:]:
+        rt.enqueue("s", seg)
+    rt.run_until_idle()
+    assert rt.breaker.recovered_fraction() >= 0.95

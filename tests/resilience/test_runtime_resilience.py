@@ -1,0 +1,212 @@
+"""The runtime under fault injection: containment, fallback, recovery."""
+
+import math
+
+import pytest
+
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.engine.metrics import counter_snapshot, get_gauge
+from repro.engine.resilience import BreakerConfig, BreakerState
+from repro.engine.scheduler import QueryRuntime
+from repro.engine.tuples import StreamTuple
+from repro.query import parse_query, plan_query
+from repro.testing import (
+    corrupt_tuples,
+    force_eigvals_failures,
+    inject_solver_faults,
+)
+
+pytestmark = pytest.mark.resilience
+
+KEYS = [(f"k{i}",) for i in range(10)]
+
+
+def planned(threshold=0.0):
+    return plan_query(parse_query(f"select * from s where x > {threshold}"))
+
+
+def runtime(**kw):
+    kw.setdefault(
+        "breaker",
+        BreakerConfig(failure_threshold=2, backoff=3, probe_successes=1),
+    )
+    rt = QueryRuntime(batch_size=8, **kw)
+    p = planned()
+    rt.register("q", to_continuous_plan(p), fallback=to_discrete_plan(p))
+    return rt
+
+
+def feed(rt, phase, rounds, keys=KEYS):
+    """Enqueue ``rounds`` distinct segments per key (cache-busting)."""
+    for j in range(rounds):
+        for i, key in enumerate(keys):
+            t0 = float(phase * 1000 + j * 10)
+            value = 1.0 + i + 0.01 * j + 0.001 * phase
+            rt.enqueue(
+                "s", Segment(key, t0, t0 + 1.0, {"x": Polynomial([value])})
+            )
+
+
+class TestFaultContainment:
+    def test_solver_raise_faults_never_escape_step(self):
+        rt = runtime()
+        feed(rt, 0, 3)
+        with inject_solver_faults(rate=1.0) as stats:
+            rt.run_until_idle()
+        assert stats.injected > 0
+        assert rt.step_errors > 0
+        assert rt.total_pending == 0
+        # Every arrival was served by the discrete twin instead.
+        res = rt.resilience_stats()
+        assert res["fallback_items"]["q"] > 0
+        outputs = rt.outputs("q")
+        assert outputs  # x > 0 everywhere: the fallback still answers
+        assert all(isinstance(o, StreamTuple) for o in outputs)
+
+    def test_eigvals_faults_contained(self):
+        rt = runtime()
+        # Cubic models force the companion-matrix eigensolve.
+        for i, key in enumerate(KEYS[:4]):
+            rt.enqueue(
+                "s",
+                Segment(
+                    key, 0.0, 10.0,
+                    {"x": Polynomial([-(i + 1.0), 0.0, 0.0, 1.0])},
+                ),
+            )
+        with force_eigvals_failures(rate=1.0):
+            rt.run_until_idle()
+        assert rt.step_errors == 4
+        assert rt.resilience_stats()["fallback_items"]["q"] == 4
+
+    def test_corrupt_tuples_contained_on_discrete_path(self):
+        rt = QueryRuntime()
+        rt.register("d", to_discrete_plan(planned()))
+        clean = [
+            StreamTuple({"time": float(i), "x": 1.0}) for i in range(100)
+        ]
+        for tup in corrupt_tuples(clean, rate=0.3, seed=2, modes=("drop-field",)):
+            rt.enqueue("s", tup)
+        rt.run_until_idle()  # must not raise
+        assert rt.step_errors > 0
+        assert len(rt.outputs("d")) == 100 - rt.step_errors
+
+    def test_nan_poisoned_models_contained(self):
+        rt = runtime()
+        rt.enqueue(
+            "s", Segment(("k0",), 0.0, 1.0, {"x": Polynomial([math.nan])})
+        )
+        rt.run_until_idle()
+        assert rt.step_errors == 1
+
+
+class TestBreakerIntegration:
+    def test_transitions_visible_in_metrics(self):
+        rt = runtime()
+        feed(rt, 0, 3)
+        with inject_solver_faults(rate=1.0):
+            rt.run_until_idle()
+        snap = counter_snapshot("resilience.breaker")
+        assert snap["resilience.breaker.opened"] >= len(KEYS)
+        assert get_gauge("resilience.breaker.open_keys").value > 0
+        # Recovery phase: faults stop, arrivals keep coming.
+        feed(rt, 1, 6)
+        rt.run_until_idle()
+        snap = counter_snapshot("resilience.breaker")
+        assert snap["resilience.breaker.half_open"] >= len(KEYS)
+        assert snap["resilience.breaker.closed"] >= len(KEYS)
+        assert snap["resilience.breaker.shed"] > 0
+        assert get_gauge("resilience.breaker.open_keys").value == 0
+
+    def test_quarantined_keys_served_by_fallback(self):
+        rt = runtime()
+        feed(rt, 0, 2)
+        with inject_solver_faults(rate=1.0):
+            rt.run_until_idle()
+        # All keys are OPEN now; clean arrivals for them degrade to the
+        # discrete twin while quarantined (before the probe).
+        before = rt.resilience_stats()["fallback_items"]["q"]
+        feed(rt, 1, 1)
+        rt.run_until_idle()
+        assert rt.resilience_stats()["fallback_items"]["q"] > before
+
+    def test_recovery_fraction_meets_acceptance_bar(self):
+        """>= 95% of affected keys back on the continuous path."""
+        rt = runtime()
+        feed(rt, 0, 3)
+        with inject_solver_faults(rate=1.0):
+            rt.run_until_idle()
+        assert rt.breaker.recovered_fraction() == 0.0
+        feed(rt, 1, 6)
+        rt.run_until_idle()
+        assert rt.breaker.recovered_fraction() >= 0.95
+        for key in KEYS:
+            assert rt.breaker.state("q", key) is BreakerState.CLOSED
+        # Healthy again: continuous outputs are segments once more.
+        rt.outputs("q")
+        feed(rt, 2, 1)
+        rt.run_until_idle()
+        outputs = rt.outputs("q")
+        assert any(isinstance(o, Segment) for o in outputs)
+
+    def test_partial_fault_rate_only_trips_unlucky_keys(self):
+        rt = runtime()
+        feed(rt, 0, 4)
+        with inject_solver_faults(rate=0.3, seed=4):
+            rt.run_until_idle()
+        tracked = rt.breaker.snapshot()["tracked"]
+        assert 0 < tracked <= len(KEYS)
+
+    def test_no_breaker_still_degrades(self):
+        rt = runtime(breaker=None)
+        feed(rt, 0, 1)
+        with inject_solver_faults(rate=1.0):
+            rt.run_until_idle()
+        assert rt.step_errors == len(KEYS)
+        assert rt.resilience_stats()["fallback_items"]["q"] == len(KEYS)
+
+
+class TestBackPressureUnderFaults:
+    def test_shed_oldest_admits_new_arrivals(self):
+        rt = QueryRuntime(
+            queue_capacity=4, backpressure="shed-oldest", batch_size=8
+        )
+        rt.register("q", to_continuous_plan(planned()))
+        for j in range(8):
+            assert rt.enqueue(
+                "s",
+                Segment((f"k{j}",), j, j + 1.0, {"x": Polynomial([1.0])}),
+            )
+        assert rt.total_pending == 4
+        assert rt.items_shed == 4
+        assert counter_snapshot("runtime.shed_oldest") == {
+            "runtime.shed_oldest": 4
+        }
+
+    def test_shed_newest_drops_incoming(self):
+        rt = QueryRuntime(queue_capacity=4, backpressure="shed-newest")
+        rt.register("q", to_continuous_plan(planned()))
+        accepted = 0
+        for j in range(8):
+            accepted += rt.enqueue(
+                "s",
+                Segment((f"k{j}",), j, j + 1.0, {"x": Polynomial([1.0])}),
+            )
+        assert accepted == 4
+        assert rt.items_shed == 4
+        assert counter_snapshot("runtime.shed_newest") == {
+            "runtime.shed_newest": 4
+        }
+
+    def test_block_policy_counts_refusals(self):
+        rt = QueryRuntime(queue_capacity=2, backpressure="block")
+        rt.register("q", to_continuous_plan(planned()))
+        for j in range(5):
+            rt.enqueue(
+                "s",
+                Segment((f"k{j}",), j, j + 1.0, {"x": Polynomial([1.0])}),
+            )
+        assert counter_snapshot("runtime.blocked") == {"runtime.blocked": 3}

@@ -1,0 +1,107 @@
+"""``Outcome.UNKNOWN`` routing: unmodelled tuples always process.
+
+The paper's validation only ever *drops* a tuple when an active model
+plus an inverted bound (or slack) vouches for it.  Any gap — no model,
+out of range, no allocation, or a model deactivated by a solver failure
+— must route the tuple to processing.  These tests pin that contract,
+including the breaker-forced re-model path.
+"""
+
+import pytest
+
+from repro.core.errors import PulseError
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.transform import to_continuous_plan
+from repro.core.validation import ErrorBound, Outcome, QueryValidator
+from repro.query import parse_query, plan_query
+from repro.testing import inject_solver_faults
+
+pytestmark = pytest.mark.resilience
+
+
+def build(sql="select * from s where x > 0", bound=1.0):
+    planned = plan_query(parse_query(sql))
+    return QueryValidator(to_continuous_plan(planned), ErrorBound(bound))
+
+
+def seg(lo, hi, value, key=("k",)):
+    return Segment(key, lo, hi, {"x": Polynomial([value])})
+
+
+class TestUnknownIsNeverDroppable:
+    def test_unknown_cannot_drop(self):
+        assert not Outcome.UNKNOWN.can_drop
+
+    def test_no_model_counts_unknown(self):
+        v = build()
+        assert v.validate(("nope",), "x", 0.0, 1.0) is Outcome.UNKNOWN
+        assert v.stats.unknown == 1
+        assert v.stats.dropped == 0
+
+    def test_out_of_range_counts_unknown(self):
+        v = build()
+        v.ingest("s", seg(0, 10, 5.0))
+        assert v.validate(("k",), "x", 50.0, 5.0) is Outcome.UNKNOWN
+        assert v.stats.unknown == 1
+
+    def test_unmodelled_attr_counts_unknown(self):
+        v = build()
+        v.ingest("s", seg(0, 10, 5.0))
+        assert v.validate(("k",), "x", 3.0, 5.2) is Outcome.ACCURATE
+        assert v.validate(("k",), "y", 3.0, 5.2) is Outcome.UNKNOWN
+        assert v.stats.unknown == 1
+
+    def test_no_bound_and_no_slack_counts_unknown(self):
+        # Ingest nothing: the key has a model only after ingest, so
+        # activate() alone (no allocation, no slack) is the gap case.
+        v = build()
+        v.activate(seg(0, 10, 5.0))
+        assert v.validate(("k",), "x", 3.0, 5.0) is Outcome.UNKNOWN
+        assert v.stats.unknown == 1
+
+
+class TestOutcomeListener:
+    def test_listener_sees_every_outcome(self):
+        v = build()
+        seen = []
+        v.outcome_listener = lambda key, outcome: seen.append((key, outcome))
+        v.ingest("s", seg(0, 10, 5.0))
+        v.validate(("k",), "x", 3.0, 5.2)   # ACCURATE
+        v.validate(("k",), "x", 3.0, 9.0)   # VIOLATION
+        v.validate(("other",), "x", 3.0, 9.0)  # UNKNOWN
+        assert seen == [
+            (("k",), Outcome.ACCURATE),
+            (("k",), Outcome.VIOLATION),
+            (("other",), Outcome.UNKNOWN),
+        ]
+
+
+class TestSolverFailureDeactivation:
+    def test_failed_ingest_routes_key_to_unknown(self):
+        v = build()
+        # A healthy model first, so the key would otherwise validate.
+        v.ingest("s", seg(0, 10, 5.0))
+        assert v.validate(("k",), "x", 3.0, 5.2) is Outcome.ACCURATE
+        # Re-model under a total solver fault: ingest raises, the key's
+        # model is deactivated.
+        with inject_solver_faults(rate=1.0):
+            with pytest.raises(PulseError):
+                v.ingest("s", seg(10, 20, 6.0))
+        assert v.stats.solver_failures == 1
+        # Tuples for the key now route to processing, never dropped.
+        out = v.validate(("k",), "x", 12.0, 6.0)
+        assert out is Outcome.UNKNOWN
+        assert v.stats.unknown == 1
+
+    def test_recovery_after_clean_remodel(self):
+        """The breaker-forced re-model: a later clean ingest restores
+        validated dropping for the key."""
+        v = build()
+        with inject_solver_faults(rate=1.0):
+            with pytest.raises(PulseError):
+                v.ingest("s", seg(0, 10, 5.0))
+        assert v.validate(("k",), "x", 3.0, 5.0) is Outcome.UNKNOWN
+        v.ingest("s", seg(10, 20, 5.0))
+        assert v.validate(("k",), "x", 12.0, 5.2) is Outcome.ACCURATE
+        assert v.stats.dropped == 1

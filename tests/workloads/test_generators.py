@@ -155,3 +155,49 @@ class TestReplay:
     def test_take(self):
         assert take(iter(range(100)), 5) == [0, 1, 2, 3, 4]
         assert take(iter(range(3)), 10) == [0, 1, 2]
+
+
+class TestMalformedTraces:
+    def damaged(self, tmp_path):
+        path = tmp_path / "damaged.csv"
+        path.write_text(
+            "time,x\n"
+            "0.0,1.0\n"
+            "1.0\n"            # truncated row
+            "2.0,not-a-float\n"  # unparsable numeric
+            "\n"               # blank line: not damage
+            "3.0,4.0,extra\n"  # too many fields
+            "4.0,5.0\n"
+        )
+        return path
+
+    def test_lenient_skips_and_counts(self, tmp_path):
+        from repro.engine.metrics import get_counter
+
+        counter = get_counter("replay.skipped_rows")
+        counter.reset()
+        skipped = []
+        rows = list(
+            read_trace(
+                self.damaged(tmp_path),
+                on_skip=lambda n, row, exc: skipped.append(n),
+            )
+        )
+        assert [r["x"] for r in rows] == [1.0, 5.0]
+        assert skipped == [2, 3, 5]
+        assert counter.value == 3
+
+    def test_strict_raises_typed_error_with_row_number(self, tmp_path):
+        from repro.core.errors import TraceError
+
+        with pytest.raises(TraceError) as info:
+            list(read_trace(self.damaged(tmp_path), strict=True))
+        assert "row 2" in str(info.value)
+
+    def test_missing_header_always_raises(self, tmp_path):
+        from repro.core.errors import TraceError
+
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(TraceError):
+            list(read_trace(empty))
