@@ -22,9 +22,14 @@ from __future__ import annotations
 
 import gc
 import os
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import record_result  # noqa: E402
 
 from repro.core.batch_solver import solve_tasks, solver_mode
 from repro.core.expr import Attr
@@ -164,6 +169,15 @@ def test_ablation_batch_solver(benchmark, report):
         ),
     )
     benchmark.extra_info.update(r)
+    record_result(
+        "ablation_batch_solver",
+        {
+            **r,
+            "wall_time_s": r["batch_seconds"],
+            "throughput_items_per_s": r["rows"] / r["batch_seconds"],
+            "smoke": SMOKE,
+        },
+    )
 
     # Parity is enforced, not sampled: the batch must produce the exact
     # TimeSet objects the scalar path produces.

@@ -1,0 +1,258 @@
+"""Shard-scaling benchmark: serial vs key-sharded continuous runtime.
+
+A 4-key filter+join trace (256 rows per key, degree-3 models with
+densely overlapping long segments) runs once through the serial
+runtime (``num_shards=1``, direct per-segment solves) and once per
+requested shard count through the sharded runtime (coefficient-batched
+solve dispatch plus round-level task prefill, ``parallel="auto"``).
+The run asserts bit-exact output parity and identical
+``equation_system`` counter totals (``row_solves`` counts every row
+solved regardless of which cache layer answered it) between every
+configuration before it reports any timing, so a recorded speedup can
+never come from divergent work.
+
+Timing is best-of-N (default 3) per configuration.  Results land in
+``benchmarks/results/BENCH_scaling_shards.json`` via the harness and in
+``scaling_shards.txt`` via the ``report`` fixture when run under
+pytest.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_scaling_shards.py \
+        --rows 64 --shards 1,2
+
+``REPRO_BENCH_SMOKE=1`` shrinks the trace and skips the speedup floor
+(parity is always enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import record_result  # noqa: E402
+
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.solve_cache import (
+    reset_global_solve_cache,
+    reset_worker_root_cache,
+)
+from repro.core.transform import to_continuous_plan
+from repro.engine.metrics import counter_snapshot, reset_counters
+from repro.engine.scheduler import QueryRuntime
+from repro.query import parse_query, plan_query
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+KEYS = ("aapl", "ibm", "msft", "goog")
+#: Modeled comparison lives in the ON clause: the join primes its own
+#: root queries, while a WHERE would compile to a filter above it.
+JOIN_SQL = (
+    "select from ticks T join quotes Q "
+    "on (T.sym = Q.sym and T.x > Q.y)"
+)
+FILT_SQL = "select * from ticks where x > 1"
+#: Low degree + dense overlap is the regime batching rewards most: the
+#: per-call numpy/python overhead the stacked eigensolve amortizes is
+#: constant, so it dominates when each individual solve is cheap and
+#: each round predicts many of them.
+DEG = 3
+BATCH_SIZE = 256
+SEED = 11
+ROWS = 32 if SMOKE else 256
+SHARDS = (1, 2) if SMOKE else (1, 2, 4)
+ROUNDS = 1 if SMOKE else 3
+#: Acceptance floor at max shards (full-size runs only).
+SPEEDUP_FLOOR = 1.7
+
+
+def make_trace(rows_per_key: int, seed: int = SEED):
+    """Per-key piecewise trace on two streams with same-key updates."""
+    rng = random.Random(seed)
+    events = []
+    t = {k: 0.0 for k in KEYS}
+    for _ in range(rows_per_key):
+        for k in KEYS:
+            start = t[k]
+            dur = rng.uniform(2.0, 4.0)
+            c1 = [rng.uniform(-2, 2) for _ in range(DEG + 1)]
+            c2 = [rng.uniform(-2, 2) for _ in range(DEG + 1)]
+            events.append(
+                ("ticks", Segment((k,), start, start + dur,
+                                  {"x": Polynomial(c1)},
+                                  constants={"sym": k}))
+            )
+            events.append(
+                ("quotes", Segment((k,), start, start + dur,
+                                   {"y": Polynomial(c2)},
+                                   constants={"sym": k}))
+            )
+            # Short advance vs long duration: each new segment
+            # overlaps several predecessors, exercising update
+            # semantics and multiplying join pairs per event.
+            t[k] = start + rng.uniform(0.3, 0.6)
+    return events
+
+
+def run_once(num_shards: int, events):
+    """One full trace through a fresh runtime; returns timing + state."""
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    rt = QueryRuntime(num_shards=num_shards, batch_size=BATCH_SIZE)
+    try:
+        rt.register(
+            "filt", to_continuous_plan(plan_query(parse_query(FILT_SQL)))
+        )
+        rt.register(
+            "join", to_continuous_plan(plan_query(parse_query(JOIN_SQL)))
+        )
+        t0 = time.perf_counter()
+        for stream, seg in events:
+            rt.enqueue(stream, seg)
+        rt.run_until_idle()
+        elapsed = time.perf_counter() - t0
+        outputs = {
+            name: [(s.key, s.t_start, s.t_end) for s in rt.outputs(name)]
+            for name in rt.query_names
+        }
+        # row_solves counts every row solved, independent of whether
+        # the prefill sweep or the per-arrival path answered it — it
+        # must match exactly across shard counts.  (solve_cache
+        # hit/miss splits legitimately differ: prefill shifts misses
+        # into the priming sweep.)
+        counters = counter_snapshot("equation_system")
+        stats = rt.parallel_stats()
+    finally:
+        rt.close()
+    return elapsed, outputs, counters, stats
+
+
+def run_experiment(
+    rows: int = ROWS,
+    shards: tuple[int, ...] = SHARDS,
+    rounds: int = ROUNDS,
+) -> dict:
+    events = make_trace(rows)
+    baseline_outputs = None
+    baseline_counters = None
+    results = {}
+    for n in shards:
+        best = float("inf")
+        stats = {}
+        for _ in range(rounds):
+            elapsed, outputs, counters, stats = run_once(n, events)
+            best = min(best, elapsed)
+            if baseline_outputs is None:
+                baseline_outputs = outputs
+                baseline_counters = counters
+            else:
+                assert outputs == baseline_outputs, (
+                    f"{n}-shard outputs diverge from serial"
+                )
+                assert counters == baseline_counters, (
+                    f"{n}-shard equation_system counters diverge "
+                    f"from serial: {counters} != {baseline_counters}"
+                )
+        results[n] = {"wall_time_s": best, "parallel_stats": stats}
+
+    serial = results[shards[0]]["wall_time_s"]
+    n_events = len(events)
+    metrics = {
+        "rows_per_key": rows,
+        "keys": len(KEYS),
+        "events": n_events,
+        "degree": DEG,
+        "batch_size": BATCH_SIZE,
+        "rounds_best_of": rounds,
+        "output_segments": sum(
+            len(v) for v in (baseline_outputs or {}).values()
+        ),
+        "parity": True,  # asserted above for every configuration
+        "smoke": SMOKE,
+    }
+    for n, r in results.items():
+        metrics[f"wall_time_s_shards_{n}"] = round(r["wall_time_s"], 4)
+        metrics[f"speedup_shards_{n}"] = round(
+            serial / r["wall_time_s"], 3
+        )
+        metrics[f"throughput_shards_{n}"] = round(
+            n_events / r["wall_time_s"], 1
+        )
+    top = max(shards)
+    metrics["wall_time_s"] = round(results[top]["wall_time_s"], 4)
+    metrics["speedup"] = metrics[f"speedup_shards_{top}"]
+    metrics["throughput_items_per_s"] = metrics[
+        f"throughput_shards_{top}"
+    ]
+    metrics["max_shards"] = top
+    metrics["rows_dispatched"] = results[top]["parallel_stats"].get(
+        "rows_dispatched", 0
+    )
+    return metrics
+
+
+def test_scaling_shards(benchmark, report):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        f"trace: {r['events']} events, {r['keys']} keys x "
+        f"{r['rows_per_key']} rows, degree {r['degree']}",
+        f"output segments: {r['output_segments']} (bit-exact across "
+        f"all shard counts)",
+    ]
+    for n in sorted(
+        int(k.rsplit("_", 1)[1])
+        for k in r
+        if k.startswith("speedup_shards_")
+    ):
+        lines.append(
+            f"shards={n}: {r[f'wall_time_s_shards_{n}']:.3f}s "
+            f"({r[f'speedup_shards_{n}']:.2f}x, "
+            f"{r[f'throughput_shards_{n}']:,.0f} ev/s)"
+        )
+    report("scaling_shards", "\n".join(lines))
+    benchmark.extra_info.update(r)
+    record_result("scaling_shards", r)
+    assert r["parity"]
+    if not SMOKE:
+        assert r["speedup"] >= SPEEDUP_FLOOR, (
+            f"speedup {r['speedup']:.2f}x at {r['max_shards']} shards "
+            f"below {SPEEDUP_FLOOR}x floor"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=ROWS,
+                        help="rows per key")
+    parser.add_argument("--shards", default=",".join(map(str, SHARDS)),
+                        help="comma-separated shard counts; first is "
+                        "the serial baseline")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help="best-of-N timing rounds")
+    args = parser.parse_args(argv)
+    shards = tuple(int(s) for s in args.shards.split(","))
+    r = run_experiment(rows=args.rows, shards=shards,
+                       rounds=args.rounds)
+    path = record_result("scaling_shards", r)
+    for n in shards:
+        print(
+            f"shards={n}: {r[f'wall_time_s_shards_{n}']:.3f}s "
+            f"({r[f'speedup_shards_{n}']:.2f}x, "
+            f"{r[f'throughput_shards_{n}']:,.0f} ev/s)"
+        )
+    print(f"parity: {r['parity']}  recorded: {path}")
+    if not SMOKE and max(shards) >= 4 and r["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup below {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

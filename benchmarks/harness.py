@@ -1,0 +1,112 @@
+"""Benchmark result recording: one JSON artifact per benchmark run.
+
+Every benchmark that wants a machine-readable trajectory calls
+:func:`record_result` with its headline metrics; the harness stamps the
+environment (git revision, CPU count, hostname-free platform string,
+UTC timestamp) and writes ``benchmarks/results/BENCH_<name>.json``.
+Committing these artifacts gives the repository a recorded performance
+trajectory: every run of the same benchmark on a new revision appends a
+comparable point, and CI uploads the files so regressions are diffable
+without rerunning anything.
+
+Schema (stable keys; benchmarks may add their own under ``metrics``):
+
+```json
+{
+  "name": "scaling_shards",
+  "git_rev": "441536d...",
+  "recorded_at": "2026-08-06T12:00:00+00:00",
+  "python": "3.12.3",
+  "platform": "Linux-...",
+  "cpu_count": 1,
+  "wall_time_s": 1.23,
+  "throughput_items_per_s": 831.4,
+  "speedup": 1.83,
+  "metrics": {...}
+}
+```
+
+``wall_time_s`` / ``throughput_items_per_s`` / ``speedup`` are promoted
+to the top level when present in ``metrics`` (under those names or the
+short aliases ``wall_time`` / ``throughput``) so downstream tooling can
+read the headline numbers without knowing each benchmark's vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: metrics keys promoted to top-level fields (first name wins).
+_PROMOTED = {
+    "wall_time_s": ("wall_time_s", "wall_time"),
+    "throughput_items_per_s": ("throughput_items_per_s", "throughput"),
+    "speedup": ("speedup",),
+}
+
+
+def git_revision(repo_root: Path | None = None) -> str:
+    """The current git revision, or ``"unknown"`` outside a checkout."""
+    root = repo_root or Path(__file__).resolve().parent.parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def record_result(
+    name: str,
+    metrics: Mapping[str, Any],
+    results_dir: Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``benchmarks/results/``.
+
+    ``name`` must be a filesystem-safe slug (letters, digits, ``-``,
+    ``_``); ``metrics`` is the benchmark's own flat mapping of numbers
+    and strings.  Returns the written path.
+    """
+    if not name or any(c not in _SLUG for c in name):
+        raise ValueError(
+            f"benchmark name must be a [-_a-zA-Z0-9] slug, got {name!r}"
+        )
+    out_dir = results_dir or RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    doc: dict[str, Any] = {
+        "name": name,
+        "git_rev": git_revision(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    for field, aliases in _PROMOTED.items():
+        for alias in aliases:
+            if alias in metrics:
+                doc[field] = metrics[alias]
+                break
+    doc["metrics"] = dict(metrics)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+_SLUG = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)

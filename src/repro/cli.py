@@ -105,14 +105,25 @@ def cmd_run(args) -> int:
         query = to_continuous_plan(planned)
         start = time.perf_counter()
         outputs = []
-        for segment in segments:
-            outputs.extend(query.push(stream, segment))
+        if args.shards > 1:
+            from .engine.scheduler import QueryRuntime
+
+            with QueryRuntime(num_shards=args.shards) as runtime:
+                runtime.register("cli", query)
+                for segment in segments:
+                    runtime.enqueue(stream, segment)
+                runtime.run_until_idle()
+                outputs = runtime.outputs("cli")
+        else:
+            for segment in segments:
+                outputs.extend(query.push(stream, segment))
         run_elapsed = time.perf_counter() - start
+        shard_note = f", {args.shards} shards" if args.shards > 1 else ""
         print(
             f"\ncontinuous engine: {len(segments)} segments "
             f"({len(tuples) / max(len(segments), 1):.0f}x compression, "
             f"fit {fit_elapsed * 1e3:.0f} ms), {len(outputs)} result "
-            f"segments in {run_elapsed * 1e3:.0f} ms"
+            f"segments in {run_elapsed * 1e3:.0f} ms{shard_note}"
         )
         for seg in outputs[: args.show]:
             attrs_repr = {
@@ -156,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tolerance", type=float, default=0.05,
                        help="model-fitting tolerance (absolute)")
     p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument(
+        "--shards", type=int, default=1,
+        help="key shards for the parallel continuous runtime "
+        "(1 = direct serial push)")
     p_run.add_argument("--show", type=int, default=3,
                        help="results to print per path")
     p_run.set_defaults(func=cmd_run)

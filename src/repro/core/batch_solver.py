@@ -162,6 +162,35 @@ def fault_hook() -> FaultHook | None:
 
 
 # ----------------------------------------------------------------------
+# roots dispatch hook (sharded runtime integration point)
+# ----------------------------------------------------------------------
+#: Signature-compatible replacement for :func:`real_roots_batch`.  The
+#: sharded runtime installs a dispatcher here that serves root lists
+#: from the parent-side :class:`~repro.core.solve_cache.RootCache`
+#: (filled by priming sweeps through shard workers) and falls back to
+#: the in-process kernel for anything unprimed.  ``None`` means the
+#: serial path: every root is computed inline.
+RootsDispatch = Callable[
+    [Sequence[tuple[Polynomial, float, float]], "dict[int, SolverError] | None"],
+    list[list[float]],
+]
+
+_ROOTS_DISPATCH: RootsDispatch | None = None
+
+
+def set_roots_dispatch(dispatch: RootsDispatch | None) -> RootsDispatch | None:
+    """Install (or clear) the roots dispatcher; returns the previous one."""
+    global _ROOTS_DISPATCH
+    previous = _ROOTS_DISPATCH
+    _ROOTS_DISPATCH = dispatch
+    return previous
+
+
+def roots_dispatch() -> RootsDispatch | None:
+    return _ROOTS_DISPATCH
+
+
+# ----------------------------------------------------------------------
 # padded-matrix polynomial evaluation
 # ----------------------------------------------------------------------
 def pad_coefficient_matrix(
@@ -283,6 +312,29 @@ def _stacked_companion_eigvals(rows: list[list[float]]) -> np.ndarray:
     return np.linalg.eigvals(matrices)
 
 
+def task_root_query(
+    task: SolveTask,
+) -> tuple[tuple[float, ...], float, float] | None:
+    """The root-finder row a solve task would issue, or ``None``.
+
+    Mirrors :func:`solve_relation_batch`'s classification: only
+    non-zero, non-constant rows with in-guardrail coefficients and
+    in-budget degree reach the root finder, and only over a non-empty
+    domain.  Used by the sharded runtime to derive shippable root rows
+    from predicted solve tasks.
+    """
+    poly, _, lo, hi = task
+    if lo >= hi or poly.is_zero or poly.is_constant:
+        return None
+    if poly.degree > SOLVER_CONFIG.max_roots_per_row:
+        return None
+    try:
+        check_coefficients(poly.coeffs)
+    except SolverError:
+        return None
+    return (poly.coeffs, lo, hi)
+
+
 def real_roots_batch(
     items: Sequence[tuple[Polynomial, float, float]],
     failures: dict[int, SolverError] | None = None,
@@ -303,7 +355,33 @@ def real_roots_batch(
     fails, the bucket falls back row by row so only the offending row is
     charged.
     """
-    n = len(items)
+    return real_roots_rows(
+        [(poly.coeffs, lo, hi) for poly, lo, hi in items],
+        failures=failures,
+        budget=SOLVER_CONFIG.max_roots_per_row,
+    )
+
+
+def real_roots_rows(
+    rows: Sequence[tuple[tuple[float, ...], float, float]],
+    failures: dict[int, SolverError] | None = None,
+    budget: int | None = None,
+) -> list[list[float]]:
+    """The raw-row core of :func:`real_roots_batch`.
+
+    ``rows`` holds ``(coeffs, lo, hi)`` with *trimmed ascending*
+    coefficient tuples (exactly :attr:`Polynomial.coeffs` semantics: no
+    exactly-zero leading entries, the zero polynomial is ``(0.0,)``).
+    Operating on raw tuples keeps the function worker-safe — shard
+    workers rebuild rows from a shipped float64 matrix and call this
+    directly, so parent and worker share one arithmetic path and their
+    outputs are bit-identical by construction.  The result of each row
+    is also *partition-invariant*: degree bucketing stacks independent
+    companion matrices (the eigensolver gufunc loops per matrix) and the
+    Newton polish is element-wise, so splitting a batch across shards
+    cannot change any row's roots.
+    """
+    n = len(rows)
     deflated: list[tuple[float, ...]] = [()] * n
     candidates: list[list[float]] = [[] for _ in range(n)]
     failed: set[int] = set()
@@ -318,24 +396,26 @@ def real_roots_batch(
         candidates[j] = []
         failures[j] = exc
 
-    budget = SOLVER_CONFIG.max_roots_per_row
-    for j, (poly, lo, hi) in enumerate(items):
+    if budget is None:
+        budget = SOLVER_CONFIG.max_roots_per_row
+    for j, (coeffs, lo, hi) in enumerate(rows):
         try:
-            if poly.is_zero:
+            if len(coeffs) == 1 and coeffs[0] == 0.0:
                 raise SolverFailure(
                     "zero-polynomial",
                     "the zero polynomial has no discrete root set",
                 )
-            check_coefficients(poly.coeffs)
-            if poly.degree > budget:
+            check_coefficients(coeffs)
+            if len(coeffs) - 1 > budget:
                 raise SolverFailure(
                     "root-budget",
-                    f"degree {poly.degree} exceeds the root budget {budget}",
+                    f"degree {len(coeffs) - 1} exceeds the root budget "
+                    f"{budget}",
                 )
         except SolverError as exc:
             record(j, exc)
             continue
-        c = _deflate(poly.coeffs, lo, hi)
+        c = _deflate(coeffs, lo, hi)
         deflated[j] = c
         if len(c) == 2:
             candidates[j] = [-c[0] / c[1]]
@@ -409,7 +489,7 @@ def real_roots_batch(
     # Scalar post-processing: finite filter, sort, dedupe, domain pad —
     # verbatim from real_roots so the output multiset is identical.
     out: list[list[float]] = []
-    for j, (_, lo, hi) in enumerate(items):
+    for j, (_, lo, hi) in enumerate(rows):
         roots = [r for r in candidates[j] if math.isfinite(r)]
         roots.sort()
         merged: list[float] = []
@@ -420,6 +500,123 @@ def real_roots_batch(
         pad = EPS * max(1.0, span)
         out.append([r for r in merged if lo - pad <= r <= hi + pad])
     return out
+
+
+# ----------------------------------------------------------------------
+# worker entry point (sharded runtime)
+# ----------------------------------------------------------------------
+def solve_rows_worker(payload: dict) -> dict:
+    """Pure, picklable shard-worker entry point: payload in, payload out.
+
+    The parallel dispatcher ships one of these per shard per round.  The
+    input payload carries rows as contiguous float64 ndarrays (no
+    Python-object pickling on the hot path):
+
+    ``coeffs``
+        ``(n, width)`` float64 matrix, row ``i`` holding the trimmed
+        ascending coefficients in ``coeffs[i, :lengths[i]]`` (zero pad
+        beyond — exactly :attr:`Polynomial.coeffs` once sliced).
+    ``lengths``
+        ``(n,)`` int64 coefficient counts.
+    ``lo`` / ``hi``
+        ``(n,)`` float64 domain bounds per row.
+    ``root_budget``
+        Optional per-row degree budget (defaults to the worker's own
+        :data:`SOLVER_CONFIG`; the parent always passes its value so
+        config drift between processes cannot change behaviour).
+    ``cache``
+        Optional bool (default ``True``): consult/fill this process's
+        :func:`~repro.core.solve_cache.worker_root_cache`.
+    ``shard``
+        Opaque shard id, echoed back for merge bookkeeping.
+
+    The result payload holds ``roots`` (flat float64 of all rows' roots,
+    row ``i`` occupying ``roots[offsets[i]:offsets[i + 1]]``),
+    ``offsets`` (``(n + 1,)`` int64), ``failures`` (list of
+    ``(row_index, reason, detail)`` for typed per-row failures — never
+    raised, never cached) and ``cache_stats`` (this call's hit/miss
+    /eviction *delta* as a dict, mergeable across calls and workers via
+    :meth:`~repro.core.solve_cache.CacheStats.merge`).
+
+    The function touches no global registry and no runtime state beyond
+    the per-process root cache, so it is safe to run in forked pool
+    workers and, with ``cache=False``, is fully deterministic from its
+    arguments alone.
+    """
+    from .solve_cache import CacheStats, RootCache, worker_root_cache
+
+    coeffs = np.ascontiguousarray(payload["coeffs"], dtype=float)
+    lengths = np.asarray(payload["lengths"], dtype=np.int64)
+    lo = np.asarray(payload["lo"], dtype=float)
+    hi = np.asarray(payload["hi"], dtype=float)
+    budget = int(payload.get("root_budget") or SOLVER_CONFIG.max_roots_per_row)
+    use_cache = bool(payload.get("cache", True))
+    shard = int(payload.get("shard", 0))
+
+    cache = worker_root_cache() if use_cache else None
+    base = cache.snapshot() if cache is not None else None
+
+    n = int(lengths.shape[0])
+    roots_out: list[Sequence[float]] = [()] * n
+    failures: list[tuple[int, str, str]] = []
+    pending_rows: list[tuple[tuple[float, ...], float, float]] = []
+    pending_idx: list[int] = []
+    pending_keys: list[object] = []
+    for i in range(n):
+        row = tuple(float(c) for c in coeffs[i, : int(lengths[i])])
+        a, b = float(lo[i]), float(hi[i])
+        if cache is not None:
+            key = RootCache.key(row, a, b)
+            hit = cache.get(key)
+            if hit is not None:
+                roots_out[i] = hit
+                continue
+            pending_keys.append(key)
+        pending_rows.append((row, a, b))
+        pending_idx.append(i)
+
+    if pending_rows:
+        row_failures: dict[int, SolverError] = {}
+        solved = real_roots_rows(
+            pending_rows, failures=row_failures, budget=budget
+        )
+        for slot, i in enumerate(pending_idx):
+            exc = row_failures.get(slot)
+            if exc is not None:
+                reason = getattr(exc, "reason", "internal")
+                detail = getattr(exc, "detail", None)
+                failures.append((i, str(reason), str(detail or exc)))
+                continue
+            roots_out[i] = solved[slot]
+            if cache is not None:
+                cache.put(pending_keys[slot], solved[slot])
+
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    for i in range(n):
+        offsets[i + 1] = offsets[i] + len(roots_out[i])
+    flat = np.fromiter(
+        (r for roots in roots_out for r in roots),
+        dtype=float,
+        count=int(offsets[-1]),
+    )
+
+    if cache is not None:
+        snap = cache.snapshot()
+        stats = CacheStats(
+            hits=snap.hits - base.hits,
+            misses=snap.misses - base.misses,
+            evictions=snap.evictions - base.evictions,
+            entries=snap.entries,
+        )
+    else:
+        stats = CacheStats()
+    return {
+        "shard": shard,
+        "roots": flat,
+        "offsets": offsets,
+        "failures": failures,
+        "cache_stats": stats.as_dict(),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -472,9 +669,10 @@ def solve_relation_batch(
     slot_failures: dict[int, SolverError] | None = (
         None if failures is None else {}
     )
-    roots_per = real_roots_batch(
+    roots_fn = _ROOTS_DISPATCH if _ROOTS_DISPATCH is not None else real_roots_batch
+    roots_per = roots_fn(
         [(tasks[i][0], tasks[i][2], tasks[i][3]) for i in pending],
-        failures=slot_failures,
+        slot_failures,
     )
     if slot_failures:
         for slot, exc in slot_failures.items():
@@ -575,13 +773,15 @@ def solve_tasks(
     keys: list[object] = []
     aliases: list[tuple[int, int]] = []  # (result index, miss slot)
     if cache is not None:
+        # Counter handle bound once per call, not looked up per task.
+        hits_counter = cache._counter("hits")
         slot_of_key: dict[object, int] = {}
         for i, task in enumerate(tasks):
             key = cache.key(*task)
             if key in slot_of_key:
                 # Duplicate of an in-flight miss: served from this very
                 # batch's fill, so it counts as a hit.
-                cache._counter("hits").bump()
+                hits_counter.bump()
                 aliases.append((i, slot_of_key[key]))
                 continue
             hit = cache.get(key)

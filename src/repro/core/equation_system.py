@@ -47,16 +47,25 @@ from .relation import Rel
 from .roots import check_coefficients, real_roots
 
 
+_row_solve_counter = None
+
+
 def row_solve_counter():
     """The global row-solve counter (``equation_system.row_solves``).
 
     Lives in the :mod:`repro.engine.metrics` registry so benchmarks and
     the solve cache share one resettable stats surface; fetched lazily
-    to keep ``repro.core`` importable on its own.
+    to keep ``repro.core`` importable on its own.  The handle is bound
+    on first use and reused: ``reset_counters`` zeroes counters in
+    place without replacing them, so per-solve registry lookups would
+    be pure hot-path overhead.
     """
-    from ..engine.metrics import get_counter
+    global _row_solve_counter
+    if _row_solve_counter is None:
+        from ..engine.metrics import get_counter
 
-    return get_counter("equation_system.row_solves")
+        _row_solve_counter = get_counter("equation_system.row_solves")
+    return _row_solve_counter
 
 
 @dataclass(frozen=True)
@@ -266,6 +275,54 @@ class EquationSystem:
                 "row-budget",
                 f"{len(self.rows)} rows exceed the system budget {budget}",
             )
+
+    def row_tasks(self, lo: float, hi: float) -> "list[SolveTask]":
+        """The cache-funnel tasks solving this system would issue.
+
+        Every row solve — batched multi-row, or per-atom in the boolean
+        walk — funnels through :func:`~repro.core.batch_solver.solve_tasks`
+        with ``(poly, rel, lo, hi)`` tasks; this returns that task list
+        without solving.  The equality fast path solves a *derived*
+        candidate row, so it predicts nothing.  An ``And`` short-circuit
+        may skip some rows at solve time, so this can over-predict —
+        the priming pass that consumes it only warms caches.  Never
+        mutates the system.
+        """
+        if lo >= hi or not self.rows:
+            return []
+        if self.all_equalities and self.is_conjunctive and len(self.rows) > 1:
+            return []
+        return [(row.poly, row.rel, lo, hi) for row in self.rows]
+
+    def root_queries(
+        self, lo: float, hi: float
+    ) -> list[tuple[tuple[float, ...], float, float]]:
+        """The root-finding queries solving this system would issue.
+
+        Mirrors the classification in
+        :func:`~repro.core.batch_solver.solve_relation_batch`: only
+        non-zero, non-constant rows with in-guardrail coefficients reach
+        the root finder, and only over a non-empty domain.  The equality
+        fast path solves a *derived* candidate row instead of the
+        originals, so it predicts nothing.  Used by the sharded
+        runtime's priming pass; never mutates the system.
+        """
+        if lo >= hi or not self.rows:
+            return []
+        if self.all_equalities and self.is_conjunctive and len(self.rows) > 1:
+            return []
+        budget = SOLVER_CONFIG.max_roots_per_row
+        queries: list[tuple[tuple[float, ...], float, float]] = []
+        for row in self.rows:
+            poly = row.poly
+            if poly.is_zero or poly.is_constant or poly.degree > budget:
+                continue
+            try:
+                check_coefficients(poly.coeffs)
+            except SolverError:
+                continue
+            queries.append((poly.coeffs, lo, hi))
+        return queries
 
     def solve_rows(self, lo: float, hi: float) -> list[TimeSet]:
         """Solve every row over ``[lo, hi)`` in one cached batch."""

@@ -54,11 +54,159 @@ class ContinuousOperator:
         """Emit any outputs still buffered at end of stream."""
         return []
 
+    def prime_tasks(self, segment: Segment, port: int = 0) -> list:
+        """Predict the solve tasks ``process(segment, port)`` would issue.
+
+        Each entry is a full cache-funnel task ``(poly, rel, lo, hi)``
+        (see :func:`~repro.core.batch_solver.solve_tasks`).  The sharded
+        runtime calls this *read-only* pass to batch a whole drain
+        round's solve work — root rows through shard workers, then a
+        single parent-side solve sweep that fills the solve cache —
+        before processing; implementations must not mutate operator
+        state.
+
+        The prediction is best-effort and correctness-neutral: a missed
+        task simply computes inline during ``process`` (e.g. a join
+        partner inserted earlier in the same round), and an extra task
+        only warms the caches.  The default predicts nothing — safe
+        for every operator.
+        """
+        return []
+
+    def prime_round(
+        self, arrivals: Sequence[tuple[int, Segment]]
+    ) -> list[tuple[object, object]]:
+        """Predict solve tasks for a whole drain round of arrivals.
+
+        ``arrivals`` holds ``(port, segment)`` in processing order.
+        Returns ``(key, task)`` pairs where ``key`` is the stream key
+        of the arrival that will trigger the solve — the sharded
+        runtime partitions the work by that key.  The default asks
+        :meth:`prime_tasks` per arrival; stateful operators (the join)
+        override this to also predict interactions *between* the
+        round's own arrivals, which per-item prediction cannot see.
+        Must not mutate operator state.
+        """
+        out: list[tuple[object, object]] = []
+        for port, segment in arrivals:
+            for task in self.prime_tasks(segment, port):
+                out.append((segment.key, task))
+        return out
+
     def reset(self) -> None:
         """Discard all operator state."""
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SystemMemo:
+    """Capped value-keyed memo used to deduplicate predicate compiles.
+
+    Selective operators compile the same predicate against the same
+    segment content more than once — the sharded runtime's read-only
+    priming pass predicts the systems ``process`` then rebuilds, and a
+    join probes each stored partner against many arrivals.  Two
+    signature granularities cover the two compile stages:
+
+    * :meth:`fold_signature` — discrete constant values plus model
+      *names*.  The partial-evaluation fold reads only discrete values
+      and name-resolution structure, so this cheap key is exact for the
+      folded residual; crucially it is shared by every pair an equi-key
+      predicate rejects discretely, which is where most probes of a
+      multi-key stream end.
+    * :meth:`signature` — constants plus model ``(name, polynomial)``
+      items.  The compiled equation system additionally depends on the
+      model coefficients; polynomials hash by coefficient value, so
+      segment copies produced by update-semantics trimming (which keep
+      their originals' models) hit the same entry, and there is no
+      object-identity reuse hazard.
+
+    Entries are capped; overflow flushes the map so streams with
+    unbounded constant cardinality stay bounded.
+
+    Per-segment signature components are cached by ``seg_id`` (segments
+    are immutable and ids are never reused in-process): a stored join
+    partner is probed against many arrivals, and rebuilding its sorted
+    item tuples on every probe dominates memo-hit cost.
+    """
+
+    __slots__ = ("_map", "maxsize")
+
+    def __init__(self, maxsize: int = 4096):
+        self._map: dict = {}
+        self.maxsize = maxsize
+
+    @staticmethod
+    def signature(*segments: Segment):
+        """Full content key (constants + model polynomials), or ``None``
+        when some constant value is unhashable."""
+        try:
+            sig = tuple(_content_sig(s) for s in segments)
+            hash(sig)
+        except TypeError:
+            return None
+        return sig
+
+    @staticmethod
+    def fold_signature(*segments: Segment):
+        """Discrete-only key (constants + model names), or ``None`` when
+        some constant value is unhashable."""
+        try:
+            sig = tuple(_fold_sig(s) for s in segments)
+            hash(sig)
+        except TypeError:
+            return None
+        return sig
+
+    def get(self, sig):
+        if sig is None:
+            return None
+        return self._map.get(sig)
+
+    def put(self, sig, value) -> None:
+        if sig is None:
+            return
+        if len(self._map) >= self.maxsize:
+            self._map.clear()
+        self._map[sig] = value
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def clear(self) -> None:
+        self._map.clear()
+
+
+_SIG_CACHE_MAX = 8192
+_content_sigs: dict[int, tuple] = {}
+_fold_sigs: dict[int, tuple] = {}
+
+
+def _content_sig(segment: Segment) -> tuple:
+    sig = _content_sigs.get(segment.seg_id)
+    if sig is None:
+        sig = (
+            tuple(sorted(segment.constants.items())),
+            tuple(sorted(segment.models.items())),
+        )
+        if len(_content_sigs) >= _SIG_CACHE_MAX:
+            _content_sigs.clear()
+        _content_sigs[segment.seg_id] = sig
+    return sig
+
+
+def _fold_sig(segment: Segment) -> tuple:
+    sig = _fold_sigs.get(segment.seg_id)
+    if sig is None:
+        sig = (
+            tuple(sorted(segment.constants.items())),
+            tuple(sorted(segment.models)),
+        )
+        if len(_fold_sigs) >= _SIG_CACHE_MAX:
+            _fold_sigs.clear()
+        _fold_sigs[segment.seg_id] = sig
+    return sig
 
 
 class AttributeBinding:

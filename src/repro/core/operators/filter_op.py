@@ -12,7 +12,12 @@ from __future__ import annotations
 from ..equation_system import EquationSystem
 from ..predicate import BoolExpr, Literal
 from ..segment import Segment
-from .base import AttributeBinding, ContinuousOperator, partial_evaluate
+from .base import (
+    AttributeBinding,
+    ContinuousOperator,
+    SystemMemo,
+    partial_evaluate,
+)
 
 
 class ContinuousFilter(ContinuousOperator):
@@ -37,15 +42,65 @@ class ContinuousFilter(ContinuousOperator):
         self.name = name
         #: Count of equation systems instantiated (benchmark hook).
         self.systems_solved = 0
+        # Two-level compile memo shared by process / priming / slack:
+        # folds key on the segment's discrete signature, systems on full
+        # content (see SystemMemo).
+        self._fold_memo = SystemMemo()
+        self._system_memo = SystemMemo()
+        # Identity shortcut over the value memos: a segment is immutable,
+        # so its compile result never changes.  The sharded runtime
+        # probes each segment twice (prime, then process); the second
+        # probe becomes a single dict hit.
+        self._segment_results: dict[
+            int, tuple[BoolExpr, EquationSystem | None]
+        ] = {}
+
+    def reset(self) -> None:
+        self._fold_memo.clear()
+        self._system_memo.clear()
+        self._segment_results.clear()
+
+    def _segment_system(
+        self, segment: Segment
+    ) -> tuple[BoolExpr, EquationSystem | None]:
+        """Fold + compile ``predicate`` for one segment, memoized.
+
+        Returns ``(residual, system)``; ``system`` is ``None`` iff the
+        residual folded to a literal.
+        """
+        cached = self._segment_results.get(segment.seg_id)
+        if cached is not None:
+            return cached
+        binding = None
+        fold_sig = SystemMemo.fold_signature(segment)
+        residual = self._fold_memo.get(fold_sig)
+        if residual is None:
+            binding = AttributeBinding({self.alias: segment})
+            residual = partial_evaluate(self.predicate, binding)
+            self._fold_memo.put(fold_sig, residual)
+        if isinstance(residual, Literal):
+            system = None
+        else:
+            sys_sig = SystemMemo.signature(segment)
+            system = self._system_memo.get(sys_sig)
+            if system is None:
+                if binding is None:
+                    binding = AttributeBinding({self.alias: segment})
+                system = EquationSystem.from_predicate(
+                    residual, binding.resolver()
+                )
+                self._system_memo.put(sys_sig, system)
+        if len(self._segment_results) >= 65536:
+            self._segment_results.clear()
+        self._segment_results[segment.seg_id] = (residual, system)
+        return residual, system
 
     def process(self, segment: Segment, port: int = 0) -> list[Segment]:
-        binding = AttributeBinding({self.alias: segment})
-        residual = partial_evaluate(self.predicate, binding)
-        if isinstance(residual, Literal):
+        residual, system = self._segment_system(segment)
+        if system is None:
             if residual.value:
                 return [segment]
             return []
-        system = EquationSystem.from_predicate(residual, binding.resolver())
         self.systems_solved += 1
         solution = system.solve(segment.t_start, segment.t_end)
         outputs: list[Segment] = []
@@ -55,10 +110,14 @@ class ContinuousFilter(ContinuousOperator):
             outputs.append(segment.at_instant(p))
         return outputs
 
+    def prime_tasks(self, segment: Segment, port: int = 0):
+        """Exact prediction: the filter is stateless, so the system built
+        here is the one ``process`` will use (shared via the memo)."""
+        residual, system = self._segment_system(segment)
+        if system is None:
+            return []
+        return system.row_tasks(segment.t_start, segment.t_end)
+
     def slack_system(self, segment: Segment) -> EquationSystem | None:
         """The equation system for slack computation on a null result."""
-        binding = AttributeBinding({self.alias: segment})
-        residual = partial_evaluate(self.predicate, binding)
-        if isinstance(residual, Literal):
-            return None
-        return EquationSystem.from_predicate(residual, binding.resolver())
+        return self._segment_system(segment)[1]

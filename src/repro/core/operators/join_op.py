@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from ..equation_system import EquationSystem, solve_systems_batch
 from ..predicate import BoolExpr, Literal
-from ..segment import Segment, SegmentBuffer
+from ..segment import Segment, SegmentBuffer, apply_update_semantics
 from .base import (
     AttributeBinding,
     ContinuousOperator,
+    SystemMemo,
     merged_constants,
     merged_models,
     partial_evaluate,
@@ -85,12 +86,30 @@ class ContinuousJoin(ContinuousOperator):
         self.systems_solved = 0
         #: Count of aligned pairs whose predicate was discretely false.
         self.pairs_rejected_discrete = 0
+        # Two-level compile memo (see SystemMemo): the folded residual
+        # keys on the pair's discrete signature alone — one entry serves
+        # every cross-key pair the equi-key predicate rejects — while
+        # compiled systems key on full content, deduplicating the
+        # prime-then-process double build of the sharded runtime.
+        self._fold_memo = SystemMemo()
+        self._system_memo = SystemMemo()
+        # Identity shortcut over the value memos: segments are immutable
+        # and seg_ids unique, so a (left, right) pair resolves to the
+        # same result forever.  The sharded runtime probes every pair
+        # twice (prime, then process); this makes the second probe a
+        # single dict hit instead of a value-signature hash.
+        self._pair_results: dict[
+            tuple[int, int], tuple[BoolExpr, EquationSystem | None]
+        ] = {}
 
     def reset(self) -> None:
         for buf in self._buffers:
             buf.clear()
         self._high_water = [float("-inf"), float("-inf")]
         self._start_water = [float("-inf"), float("-inf")]
+        self._fold_memo.clear()
+        self._system_memo.clear()
+        self._pair_results.clear()
 
     def process(self, segment: Segment, port: int = 0) -> list[Segment]:
         if port not in (0, 1):
@@ -113,6 +132,49 @@ class ContinuousJoin(ContinuousOperator):
             )
         return self._join_pairs(pairs)
 
+    def _pair_system(
+        self, left: Segment, right: Segment
+    ) -> tuple[BoolExpr, EquationSystem | None]:
+        """Fold + compile ``predicate`` for a pair, memoized by content.
+
+        Returns ``(residual, system)`` where ``system`` is ``None`` iff
+        the residual folded to a literal.  See :class:`SystemMemo` for
+        why the two keying granularities are exact.
+        """
+        ids = (left.seg_id, right.seg_id)
+        cached = self._pair_results.get(ids)
+        if cached is not None:
+            return cached
+        binding = None
+        fold_sig = SystemMemo.fold_signature(left, right)
+        residual = self._fold_memo.get(fold_sig)
+        if residual is None:
+            binding = AttributeBinding(
+                {self.left_alias: left, self.right_alias: right}
+            )
+            residual = partial_evaluate(self.predicate, binding)
+            self._fold_memo.put(fold_sig, residual)
+        if isinstance(residual, Literal):
+            if len(self._pair_results) >= 65536:
+                self._pair_results.clear()
+            self._pair_results[ids] = (residual, None)
+            return residual, None
+        sys_sig = SystemMemo.signature(left, right)
+        system = self._system_memo.get(sys_sig)
+        if system is None:
+            if binding is None:
+                binding = AttributeBinding(
+                    {self.left_alias: left, self.right_alias: right}
+                )
+            system = EquationSystem.from_predicate(
+                residual, binding.resolver()
+            )
+            self._system_memo.put(sys_sig, system)
+        if len(self._pair_results) >= 65536:
+            self._pair_results.clear()
+        self._pair_results[ids] = (residual, system)
+        return residual, system
+
     def _join_pairs(
         self, pairs: list[tuple[Segment, Segment]]
     ) -> list[Segment]:
@@ -125,17 +187,13 @@ class ContinuousJoin(ContinuousOperator):
             if overlap is None:
                 continue
             lo, hi = overlap
-            binding = AttributeBinding(
-                {self.left_alias: left, self.right_alias: right}
-            )
-            residual = partial_evaluate(self.predicate, binding)
-            if isinstance(residual, Literal):
+            residual, system = self._pair_system(left, right)
+            if system is None:
                 if not residual.value:
                     self.pairs_rejected_discrete += 1
                     continue
                 emit_plan.append(("whole", (left, right, lo, hi)))
                 continue
-            system = EquationSystem.from_predicate(residual, binding.resolver())
             self.systems_solved += 1
             jobs.append((system, lo, hi))
             emit_plan.append(("solved", (left, right, len(jobs) - 1)))
@@ -152,6 +210,96 @@ class ContinuousJoin(ContinuousOperator):
             for p in solution.points:
                 outputs.append(self._emit_point(left, right, p))
         return outputs
+
+    def prime_tasks(self, segment: Segment, port: int = 0) -> list:
+        """Peek the partner pairs this arrival would align with.
+
+        Read-only: the segment is *not* inserted, the eviction horizon
+        is untouched.  The prediction can under-count (``process``
+        inserts before probing, so a self-join pairs the arrival with
+        itself; partners inserted earlier in the same drain round are
+        invisible here — :meth:`prime_round` covers those) — missed
+        pairs simply solve inline, which is the safe direction.
+        """
+        if port not in (0, 1):
+            return []
+        return self._pair_queries(
+            segment,
+            port,
+            list(
+                self._buffers[1 - port].overlapping(
+                    segment.t_start, segment.t_end
+                )
+            ),
+        )
+
+    def prime_round(self, arrivals) -> list:
+        """Predict the whole round's pairings, including round-internal ones.
+
+        ``process`` inserts each arrival before probing, so an arrival
+        pairs with buffered partners *and* with every earlier arrival of
+        the round on the opposite port (including itself, for a
+        self-join where one segment feeds both ports).  A virtual
+        per-port buffer — keys are copied out of the real buffer on
+        first touch, then maintained with the same
+        :func:`apply_update_semantics` the real insert uses — replays
+        that sequence without mutating real state.  Replaying update
+        semantics matters: a successor arrival trims its same-key
+        predecessors, so probes later in the round see the *trimmed*
+        partner segments, and predicting against the raw ones would
+        fabricate root queries no solve ever issues.  Eviction is still
+        ignored — evicted partners make this an over-prediction, which
+        only warms the cache.
+        """
+        # port -> {key: segment list}, shadowing the real buffer for
+        # every key an arrival has touched this round.
+        virtual: tuple[dict, dict] = ({}, {})
+        out: list[tuple[object, object]] = []
+        for port, segment in arrivals:
+            if port not in (0, 1):
+                continue
+            other = 1 - port
+            vown = virtual[port]
+            current = vown.get(segment.key)
+            if current is None:
+                current = list(self._buffers[port].segments(segment.key))
+            vown[segment.key] = apply_update_semantics(current, segment)
+            vother = virtual[other]
+            partners = [
+                v
+                for v in self._buffers[other].overlapping(
+                    segment.t_start, segment.t_end
+                )
+                if v.key not in vother
+            ]
+            for shadowed in vother.values():
+                partners.extend(
+                    v
+                    for v in shadowed
+                    if v.t_start < segment.t_end and segment.t_start < v.t_end
+                )
+            for query in self._pair_queries(segment, port, partners):
+                out.append((segment.key, query))
+        return out
+
+    def _pair_queries(
+        self, segment: Segment, port: int, partners: list[Segment]
+    ) -> list:
+        """Solve tasks for aligning ``segment`` with ``partners``."""
+        queries: list = []
+        for partner in partners:
+            left, right = (
+                (segment, partner) if port == 0 else (partner, segment)
+            )
+            overlap = left.overlap_range(right)
+            if overlap is None:
+                continue
+            lo, hi = overlap
+            residual, system = self._pair_system(left, right)
+            if system is None:
+                continue
+            queries.extend(system.row_tasks(lo, hi))
+        return queries
 
     def _evict(self) -> None:
         """Drop state no future arrival can pair with.
@@ -173,16 +321,12 @@ class ContinuousJoin(ContinuousOperator):
         if overlap is None:
             return []
         lo, hi = overlap
-        binding = AttributeBinding(
-            {self.left_alias: left, self.right_alias: right}
-        )
-        residual = partial_evaluate(self.predicate, binding)
-        if isinstance(residual, Literal):
+        residual, system = self._pair_system(left, right)
+        if system is None:
             if not residual.value:
                 self.pairs_rejected_discrete += 1
                 return []
             return [self._emit(left, right, lo, hi)]
-        system = EquationSystem.from_predicate(residual, binding.resolver())
         self.systems_solved += 1
         solution = system.solve(lo, hi)
         outputs: list[Segment] = []

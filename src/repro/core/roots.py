@@ -40,6 +40,13 @@ def check_coefficients(coeffs: Sequence[float]) -> None:
     NaN/inf entries — the signature of a failed model fit — and on
     absurd magnitudes beyond :data:`COEFF_MAX`.
     """
+    # Fast path: one C-level pass each for finiteness and magnitude.
+    # This runs per solve row, so the per-element Python loop below is
+    # reserved for the failing case (it names the offending value).
+    if all(map(math.isfinite, coeffs)) and (
+        not coeffs or max(map(abs, coeffs)) <= COEFF_MAX
+    ):
+        return
     for c in coeffs:
         if not math.isfinite(c):
             raise SolverFailure(

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..core.batch_solver import solve_tasks, task_root_query
 from ..core.errors import PlanError, PulseError
 
 #: What the per-item fault boundary contains: library failures plus the
@@ -43,6 +44,7 @@ from ..core.segment import Segment
 from ..core.transform import TransformedQuery
 from .lowering import LoweredQuery
 from .metrics import get_counter
+from .parallel import ParallelSolveDispatcher
 from .resilience import BreakerConfig, CircuitBreaker
 from .tuples import StreamTuple
 
@@ -109,6 +111,21 @@ class QueryRuntime:
         :class:`~repro.engine.resilience.BreakerConfig` to build one)
         gating the continuous path per (query, key).  ``None`` disables
         quarantine; step failures still degrade to the fallback.
+    num_shards:
+        Key-partition width for the parallel solve path.  ``1`` (the
+        default) is the untouched serial runtime.  Above 1, each drain
+        round is *primed*: predicted root work is hash-partitioned by
+        key and shipped to per-shard workers in ndarray batches before
+        items are processed — processing itself still runs serially in
+        arrival order, so outputs are bit-identical to ``num_shards=1``.
+        The breaker and shed policies are per-key and therefore
+        per-shard-local automatically.
+    parallel:
+        With ``num_shards > 1``: ``True`` backs each shard with its own
+        single-worker process pool; ``False`` runs the same sharded
+        path inline in this process (debugging); ``"auto"`` (default)
+        uses pools only on multi-core hosts — a single core still gets
+        the batched-sweep amortization without paying process IPC.
     """
 
     def __init__(
@@ -117,6 +134,8 @@ class QueryRuntime:
         queue_capacity: int | None = None,
         backpressure: str = "block",
         breaker: CircuitBreaker | BreakerConfig | None = None,
+        num_shards: int = 1,
+        parallel: "bool | str" = "auto",
     ):
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -125,12 +144,21 @@ class QueryRuntime:
                 f"backpressure policy must be one of "
                 f"{BACKPRESSURE_POLICIES}, got {backpressure!r}"
             )
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         self.batch_size = batch_size
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
         if isinstance(breaker, BreakerConfig):
             breaker = CircuitBreaker(breaker)
         self.breaker = breaker
+        self.num_shards = num_shards
+        self.parallel = parallel
+        self._dispatcher: ParallelSolveDispatcher | None = None
+        if num_shards > 1:
+            self._dispatcher = ParallelSolveDispatcher(
+                num_shards, parallel=parallel
+            )
         self._queries: dict[str, _Registration] = {}
         self._round_robin: deque[str] = deque()
         self._streams: set[str] = set()
@@ -139,6 +167,17 @@ class QueryRuntime:
         self.items_dropped = 0
         self.items_shed = 0
         self.step_errors = 0
+        # Counter handles bound once here — the enqueue/step hot paths
+        # never resolve registry names per event.
+        self._shed_newest_counter = get_counter("runtime.shed_newest")
+        self._shed_oldest_counter = get_counter("runtime.shed_oldest")
+        self._blocked_counter = get_counter("runtime.blocked")
+        self._step_errors_counter = get_counter("runtime.step_errors")
+        self._fallback_unavailable_counter = get_counter(
+            "runtime.fallback_unavailable"
+        )
+        self._fallback_errors_counter = get_counter("runtime.fallback_errors")
+        self._fallback_items_counter = get_counter("runtime.fallback_items")
 
     # ------------------------------------------------------------------
     # registration
@@ -228,9 +267,9 @@ class QueryRuntime:
                 self.items_dropped += 1
                 if self.backpressure == "shed-newest":
                     self.items_shed += 1
-                    get_counter("runtime.shed_newest").bump()
+                    self._shed_newest_counter.bump()
                 else:
-                    get_counter("runtime.blocked").bump()
+                    self._blocked_counter.bump()
                 return False
         for reg in targets:
             reg.queues[stream].append(item)
@@ -254,7 +293,7 @@ class QueryRuntime:
         owner.pending -= 1
         self._total_pending -= 1
         self.items_shed += 1
-        get_counter("runtime.shed_oldest").bump()
+        self._shed_oldest_counter.bump()
         return True
 
     # ------------------------------------------------------------------
@@ -274,20 +313,96 @@ class QueryRuntime:
         name = self._round_robin[0]
         self._round_robin.rotate(-1)
         reg = self._queries[name]
-        processed = 0
-        while processed < self.batch_size and reg.pending:
+        # Drain-then-process: the round's items are collected first (in
+        # exactly the order the serial loop would have popped them —
+        # processing never enqueues, so the split changes nothing), which
+        # gives the sharded path one look at the whole round for priming.
+        drained: list[tuple[str, Segment | StreamTuple]] = []
+        while len(drained) < self.batch_size and reg.pending:
             for stream, queue in reg.queues.items():
                 if not queue:
                     continue
-                item = queue.popleft()
+                drained.append((stream, queue.popleft()))
                 reg.pending -= 1
                 self._total_pending -= 1
+                if len(drained) >= self.batch_size:
+                    break
+        dispatcher = self._dispatcher
+        use_dispatch = dispatcher is not None and isinstance(
+            reg.query, TransformedQuery
+        )
+        if use_dispatch:
+            self._prime_round(reg, drained)
+            dispatcher.activate()
+        try:
+            for stream, item in drained:
                 self._process_item(reg, stream, item)
                 reg.items_processed += 1
-                processed += 1
-                if processed >= self.batch_size:
-                    break
-        return processed
+        finally:
+            if use_dispatch:
+                dispatcher.deactivate()
+        return len(drained)
+
+    def _prime_round(
+        self,
+        reg: _Registration,
+        drained: list[tuple[str, Segment | StreamTuple]],
+    ) -> None:
+        """Batch the round's predicted solve work before processing.
+
+        Two layers: root rows ship to the shard workers (stacked
+        eigensolves), then the full predicted task list pre-solves
+        through the cache funnel in one sweep so per-arrival processing
+        hits the solve cache.
+
+        Best-effort and read-only: keys the breaker would refuse are
+        skipped (via the non-mutating :meth:`CircuitBreaker.peek`, so
+        quarantine ticks are not consumed), and a priming error for one
+        item only skips that item's prediction — the item itself still
+        processes (and fails, if it must) through the normal path.
+        """
+        dispatcher = self._dispatcher
+        assert dispatcher is not None
+        items: list[tuple[str, Segment]] = []
+        for stream, item in drained:
+            if not isinstance(item, Segment):
+                continue
+            if self.breaker is not None and not self.breaker.peek(
+                reg.name, item.key
+            ):
+                continue
+            items.append((stream, item))
+        if not items:
+            return
+        try:
+            keyed_tasks = reg.query.prime_round(items)
+        except _ITEM_FAULTS:
+            return
+        by_shard: dict[int, list] = {}
+        prefill: list = []
+        for key, task in keyed_tasks:
+            prefill.append(task)
+            row = task_root_query(task)
+            if row is not None:
+                by_shard.setdefault(dispatcher.shard_for_key(key), []).append(
+                    row
+                )
+        if by_shard:
+            dispatcher.prime(by_shard)
+        if prefill:
+            # Pre-solve the round's predicted tasks as ONE cache-funnel
+            # sweep with the primed roots dispatched: process-side
+            # solves then hit the solve cache instead of paying the
+            # per-arrival kernel machinery.  Failures are recorded (not
+            # raised) and never cached, so a poisoned task still fails
+            # inside ``process`` exactly as the serial path would.
+            dispatcher.activate()
+            try:
+                solve_tasks(prefill, failures={})
+            except _ITEM_FAULTS:
+                pass
+            finally:
+                dispatcher.deactivate()
 
     def _process_item(
         self, reg: _Registration, stream: str, item: Segment | StreamTuple
@@ -308,7 +423,7 @@ class QueryRuntime:
             reg.errors += 1
             reg.last_error = exc
             self.step_errors += 1
-            get_counter("runtime.step_errors").bump()
+            self._step_errors_counter.bump()
             if continuous:
                 if self.breaker is not None:
                     self.breaker.record_failure(reg.name, key)
@@ -331,7 +446,7 @@ class QueryRuntime:
         in the same ``outputs()`` drain as the healthy segments.
         """
         if reg.fallback is None:
-            get_counter("runtime.fallback_unavailable").bump()
+            self._fallback_unavailable_counter.bump()
             return []
         rows = (
             reg.sampler().tuples(item)
@@ -345,9 +460,9 @@ class QueryRuntime:
             try:
                 outputs.extend(reg.fallback.push(stream, StreamTuple(row)))
             except _ITEM_FAULTS:
-                get_counter("runtime.fallback_errors").bump()
+                self._fallback_errors_counter.bump()
         reg.fallback_items += 1
-        get_counter("runtime.fallback_items").bump()
+        self._fallback_items_counter.bump()
         return outputs
 
     def run_until_idle(self, max_rounds: int = 1_000_000) -> int:
@@ -358,6 +473,21 @@ class QueryRuntime:
             total += self.step()
             rounds += 1
         return total
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the shard workers (no-op for the serial runtime)."""
+        if self._dispatcher is not None:
+            self._dispatcher.shutdown()
+            self._dispatcher = None
+
+    def __enter__(self) -> "QueryRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # observation
@@ -398,3 +528,9 @@ class QueryRuntime:
             stats["breaker"] = self.breaker.snapshot()
             stats["recovered_fraction"] = self.breaker.recovered_fraction()
         return stats
+
+    def parallel_stats(self) -> Mapping[str, object] | None:
+        """Shard dispatch/priming stats; ``None`` for the serial runtime."""
+        if self._dispatcher is None:
+            return None
+        return self._dispatcher.stats()
