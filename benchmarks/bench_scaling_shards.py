@@ -28,6 +28,7 @@ Runnable standalone::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import sys
@@ -44,6 +45,7 @@ from repro.core.solve_cache import (
     reset_worker_root_cache,
 )
 from repro.core.transform import to_continuous_plan
+from repro.engine import tracing
 from repro.engine.metrics import counter_snapshot, reset_counters
 from repro.engine.scheduler import QueryRuntime
 from repro.query import parse_query, plan_query
@@ -70,6 +72,23 @@ SHARDS = (1, 2) if SMOKE else (1, 2, 4)
 ROUNDS = 1 if SMOKE else 3
 #: Acceptance floor at max shards (full-size runs only).
 SPEEDUP_FLOOR = 1.7
+#: Ceiling on the throughput cost of metrics+tracing, as a fraction of
+#: the disabled run (asserted in smoke mode — the observability
+#: acceptance criterion).
+OVERHEAD_CEILING = 0.05
+#: Rounds for the overhead estimation (off / 1x / amplified runs are
+#: interleaved; medians taken per bucket).  Always multiple rounds,
+#: even in smoke mode, where the assert runs.
+OVERHEAD_ROUNDS = 5
+#: Amplification factor: each span hook fires this many times per call
+#: site (extra cycles around empty bodies), so the per-run hook cost is
+#: ``(T_amp - T_1x) / (OVERHEAD_AMP - 1)`` — a difference taken between
+#: two runs that both carry the full workload, immune to the 10-20%
+#: run-to-run regime noise that makes a raw on/off A/B unreadable at
+#: the 5% level.  High amplification keeps the measured difference an
+#: order of magnitude above that noise even on the small smoke trace;
+#: hooks cost ~1 µs each, so even 20 extra firings stay cheap.
+OVERHEAD_AMP = 21
 
 
 def make_trace(rows_per_key: int, seed: int = SEED):
@@ -134,6 +153,192 @@ def run_once(num_shards: int, events):
     return elapsed, outputs, counters, stats
 
 
+def _amplified(hook, k: int):
+    """Wrap a span hook to run ``k-1`` extra empty open/close cycles.
+
+    The extra cycles execute the full instrumentation path (clock
+    reads, span bookkeeping, histogram plumbing) around an empty body,
+    so running a trace with amplified hooks inflates *only* the
+    instrumentation cost — the slope against the 1x run isolates that
+    cost from workload time.  The real cycle still wraps the actual
+    work, so outputs are unchanged (asserted by the caller).
+    """
+    if hook is None:
+        return None
+
+    def wrapped(*args):
+        for _ in range(k - 1):
+            with hook(*args):
+                pass
+        return hook(*args)
+
+    return wrapped
+
+
+def _install_amplified_hooks(k: int) -> None:
+    """Re-install the currently enabled span hooks at ``k``x volume."""
+    from repro.core import batch_solver, equation_system, plan
+
+    solve_span, roots_span, eigen_observer = (
+        batch_solver.solver_instrumentation()
+    )
+    batch_solver.set_solver_instrumentation(
+        solve_span=_amplified(solve_span, k),
+        roots_span=_amplified(roots_span, k),
+        eigen_observer=eigen_observer,
+    )
+    system_span, batch_span = equation_system.system_instrumentation()
+    equation_system.set_system_instrumentation(
+        system_span=_amplified(system_span, k),
+        batch_span=_amplified(batch_span, k),
+    )
+    plan.set_operator_trace(_amplified(plan.operator_trace(), k))
+
+
+def _scheduler_span_cost(trace_records: list) -> tuple[int, float]:
+    """(count, seconds) of the run's scheduler-side span operations.
+
+    Arrival/round/prime spans and emit/watchdog events are issued by
+    the scheduler through ``Tracer.start``/``finish``/``event`` (not
+    the amplified core hooks), so their cost is priced by replaying the
+    same number of identical operations against a throwaway tracer.
+    Tight-loop timing is cache-warm, slightly flattering — but this
+    term is the small addend on top of the amplification slope, which
+    covers the dominant per-solve sites in situ.
+    """
+    starts = sum(
+        1 for r in trace_records
+        if r["kind"] in ("arrival", "round", "prime")
+    )
+    events_n = sum(
+        1 for r in trace_records
+        if r["kind"] in ("emit", "watchdog", "cache")
+    )
+    count = starts + events_n
+    if count == 0:
+        return 0, 0.0
+    tracer = tracing.Tracer([], buffer_limit=10 ** 9)
+    reps = 3
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(starts):
+            s = tracer.start(
+                "arrival", "arrival", query="q", stream="s", key=("k",)
+            )
+            tracer.finish(s, outputs=1)
+        for _ in range(events_n):
+            tracer.event("emit", "emit", outputs=1)
+        best = min(best, time.perf_counter() - t0)
+        tracer._pending.clear()
+    return count, best
+
+
+def measure_observability_overhead(
+    events, rounds: int = OVERHEAD_ROUNDS, amp: int = OVERHEAD_AMP
+) -> dict:
+    """Marginal cost of metrics+tracing on the serial hot path.
+
+    A naive enabled-vs-disabled wall-clock comparison cannot resolve a
+    5% budget here: back-to-back identical runs on a shared box differ
+    by 10-20% (frequency/regime noise), so the A/B difference is noise
+    almost regardless of round count.  Instead the instrumentation cost
+    is measured as a *slope*: the per-solve span hooks are re-installed
+    wrapped so each fires ``amp``x (extra cycles around empty bodies),
+    and ``(T_amp - T_1x) / (amp - 1)`` isolates the per-run cost of one
+    full set of hook firings — a signal several times larger than one
+    run's instrumentation cost, differenced between runs that both
+    carry the workload.  Scheduler-side spans (arrival/round/emit,
+    issued directly on the tracer) are priced by replaying the same
+    operation counts against a throwaway tracer and added on.  Raw
+    enabled/disabled medians are also recorded, as context only.
+
+    Every enabled run writes a real trace JSONL (full span volume, not
+    a null sink) and asserts output parity against the disabled
+    baseline — instrumentation that changed results would be worse
+    than any slowdown.  Deferred-serialization cost (spans are JSON-
+    encoded at flush, off the processing path) is reported separately
+    as ``observability_serialize_s``.
+    """
+    import statistics
+    import tempfile
+
+    t_off: list[float] = []
+    t_on: list[float] = []
+    t_amp: list[float] = []
+    baseline = None
+    trace_records: list = []
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.jsonl"
+        for _ in range(rounds):
+            elapsed_off, outputs_off, _, _ = run_once(1, events)
+            t_off.append(elapsed_off)
+            if baseline is None:
+                baseline = outputs_off
+
+            # Amp first, 1x second: the file left behind (read below)
+            # is then a real single-fire trace, not an amplified one.
+            for amplify, bucket in ((amp, t_amp), (1, t_on)):
+                tracer = tracing.enable_observability(str(trace_path))
+                # A real 1x trace fits the tracer's buffer, so a real
+                # run never serializes inside the timed window — but
+                # the amplified span volume would overflow it and bill
+                # drain-time JSON encoding to the slope.  Lift the
+                # limit so both runs defer serialization to close(),
+                # keeping the slope a pure hook-firing cost.
+                tracer._buffer_limit = 1 << 30
+                if amplify > 1:
+                    _install_amplified_hooks(amplify)
+                try:
+                    elapsed, outputs, _, _ = run_once(1, events)
+                finally:
+                    tracing.disable_observability()
+                bucket.append(elapsed)
+                assert outputs == baseline, (
+                    "observability changed query outputs"
+                )
+        trace_records = [
+            s.to_record() for s in tracing.read_trace(trace_path)
+        ]
+
+        # One final clean enabled run so the process registry (and the
+        # harness's recorded ``metrics_snapshot``) reflects real
+        # instrumentation volume, not the amplified runs above.
+        tracing.enable_observability(str(trace_path))
+        try:
+            _, outputs_clean, _, _ = run_once(1, events)
+        finally:
+            tracing.disable_observability()
+        assert outputs_clean == baseline
+
+    med_off = statistics.median(t_off)
+    med_on = statistics.median(t_on)
+    med_amp = statistics.median(t_amp)
+    hook_cost = max(0.0, (med_amp - med_on) / (amp - 1))
+    sched_count, sched_cost = _scheduler_span_cost(trace_records)
+    overhead = (hook_cost + sched_cost) / med_off
+
+    t0 = time.perf_counter()
+    payload = "".join(
+        json.dumps(rec, separators=(",", ":")) + "\n"
+        for rec in trace_records
+    )
+    serialize_s = time.perf_counter() - t0
+    assert payload  # the trace is real, not an empty sink
+
+    return {
+        "observability_overhead_frac": round(overhead, 4),
+        "observability_hook_cost_s": round(hook_cost, 5),
+        "observability_sched_cost_s": round(sched_cost, 5),
+        "observability_sched_spans": sched_count,
+        "observability_spans": len(trace_records),
+        "observability_serialize_s": round(serialize_s, 5),
+        "observability_wall_time_off_s": round(med_off, 4),
+        "observability_wall_time_on_s": round(med_on, 4),
+        "observability_amp_factor": amp,
+    }
+
+
 def run_experiment(
     rows: int = ROWS,
     shards: tuple[int, ...] = SHARDS,
@@ -195,6 +400,7 @@ def run_experiment(
     metrics["rows_dispatched"] = results[top]["parallel_stats"].get(
         "rows_dispatched", 0
     )
+    metrics.update(measure_observability_overhead(events))
     return metrics
 
 
@@ -216,10 +422,19 @@ def test_scaling_shards(benchmark, report):
             f"({r[f'speedup_shards_{n}']:.2f}x, "
             f"{r[f'throughput_shards_{n}']:,.0f} ev/s)"
         )
+    lines.append(
+        f"observability overhead (serial, metrics+tracing on vs off): "
+        f"{r['observability_overhead_frac'] * 100:.1f}%"
+    )
     report("scaling_shards", "\n".join(lines))
     benchmark.extra_info.update(r)
     record_result("scaling_shards", r)
     assert r["parity"]
+    assert r["observability_overhead_frac"] < OVERHEAD_CEILING, (
+        f"metrics+tracing cost "
+        f"{r['observability_overhead_frac'] * 100:.1f}% of serial "
+        f"throughput, over the {OVERHEAD_CEILING * 100:.0f}% budget"
+    )
     if not SMOKE:
         assert r["speedup"] >= SPEEDUP_FLOOR, (
             f"speedup {r['speedup']:.2f}x at {r['max_shards']} shards "
@@ -247,6 +462,10 @@ def main(argv=None) -> int:
             f"({r[f'speedup_shards_{n}']:.2f}x, "
             f"{r[f'throughput_shards_{n}']:,.0f} ev/s)"
         )
+    print(
+        f"observability overhead: "
+        f"{r['observability_overhead_frac'] * 100:.1f}%"
+    )
     print(f"parity: {r['parity']}  recorded: {path}")
     if not SMOKE and max(shards) >= 4 and r["speedup"] < SPEEDUP_FLOOR:
         print(f"FAIL: speedup below {SPEEDUP_FLOOR}x floor")

@@ -22,9 +22,17 @@ Schema (stable keys; benchmarks may add their own under ``metrics``):
   "wall_time_s": 1.23,
   "throughput_items_per_s": 831.4,
   "speedup": 1.83,
-  "metrics": {...}
+  "metrics": {...},
+  "metrics_snapshot": {"counters": {...}, "gauges": {...},
+                       "histograms": {...}}
 }
 ```
+
+``metrics_snapshot`` is the process's full
+:class:`repro.engine.metrics.MetricsSnapshot` at recording time —
+latency histograms included — so the perf trajectory carries
+distributions, not just wall time (``null`` when ``repro`` is not
+importable).
 
 ``wall_time_s`` / ``throughput_items_per_s`` / ``speedup`` are promoted
 to the top level when present in ``metrics`` (under those names or the
@@ -53,7 +61,13 @@ _PROMOTED = {
 
 
 def git_revision(repo_root: Path | None = None) -> str:
-    """The current git revision, or ``"unknown"`` outside a checkout."""
+    """The current git revision, ``"<rev>-dirty"`` with uncommitted
+    changes, or ``"unknown"`` outside a checkout.
+
+    Never raises: recording a benchmark result must work from an
+    exported tarball, a CI shallow clone mid-rebase, or a dirty working
+    tree — the provenance field degrades instead of the run failing.
+    """
     root = repo_root or Path(__file__).resolve().parent.parent
     try:
         out = subprocess.run(
@@ -66,7 +80,23 @@ def git_revision(repo_root: Path | None = None) -> str:
         )
     except (OSError, subprocess.SubprocessError):
         return "unknown"
-    return out.stdout.strip() or "unknown"
+    rev = out.stdout.strip()
+    if not rev:
+        return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # Revision known but cleanliness not provable: call it dirty so
+        # a recorded number is never wrongly attributed to a clean rev.
+        return f"{rev}-dirty"
+    return f"{rev}-dirty" if status.stdout.strip() else rev
 
 
 def record_result(
@@ -102,9 +132,25 @@ def record_result(
                 doc[field] = metrics[alias]
                 break
     doc["metrics"] = dict(metrics)
+    doc["metrics_snapshot"] = _metrics_snapshot()
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return path
+
+
+def _metrics_snapshot() -> dict[str, Any] | None:
+    """The process's current counter/gauge/histogram state, or ``None``.
+
+    Embedding the registry snapshot in every ``BENCH_<name>.json`` means
+    the recorded perf trajectory carries latency distributions and work
+    counters, not just wall time.  ``None`` when the ``repro`` package
+    is not importable (harness used standalone).
+    """
+    try:
+        from repro.engine.metrics import MetricsSnapshot
+    except ImportError:
+        return None
+    return MetricsSnapshot.collect().as_dict()
 
 
 _SLUG = set(

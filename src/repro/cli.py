@@ -77,6 +77,12 @@ def cmd_run(args) -> int:
         f"(seed {args.seed})"
     )
 
+    observing = bool(args.metrics_out or args.trace_out)
+    if observing:
+        from .engine import tracing
+
+        tracing.enable_observability(args.trace_out)
+
     if args.mode in ("discrete", "both"):
         query = to_discrete_plan(planned)
         start = time.perf_counter()
@@ -103,17 +109,33 @@ def cmd_run(args) -> int:
         )
         fit_elapsed = time.perf_counter() - start
         query = to_continuous_plan(planned)
+        budget_s = (
+            args.slow_solve_ms / 1e3
+            if args.slow_solve_ms is not None
+            else None
+        )
         start = time.perf_counter()
         outputs = []
-        if args.shards > 1:
+        if args.shards > 1 or budget_s is not None:
+            # The watchdog lives in the runtime's per-arrival timing, so
+            # --slow-solve-ms routes even a serial run through it.
             from .engine.scheduler import QueryRuntime
 
-            with QueryRuntime(num_shards=args.shards) as runtime:
+            with QueryRuntime(
+                num_shards=args.shards, slow_solve_budget_s=budget_s
+            ) as runtime:
                 runtime.register("cli", query)
                 for segment in segments:
                     runtime.enqueue(stream, segment)
                 runtime.run_until_idle()
                 outputs = runtime.outputs("cli")
+                if budget_s is not None:
+                    wd = runtime.resilience_stats()["watchdog"]
+                    print(
+                        f"watchdog: {wd['slow_solves']} of "
+                        f"{wd['items_checked']} arrivals over "
+                        f"{args.slow_solve_ms:g} ms"
+                    )
         else:
             for segment in segments:
                 outputs.extend(query.push(stream, segment))
@@ -133,6 +155,19 @@ def cmd_run(args) -> int:
                 f"  [{seg.t_start:.2f}, {seg.t_end:.2f}) "
                 f"key={seg.key} {attrs_repr}"
             )
+
+    if observing:
+        from .engine import tracing
+        from .engine.metrics import MetricsSnapshot
+
+        # Disable first: the trace flush fills deferred histogram
+        # observations, so the snapshot must be collected after it.
+        tracing.disable_observability()  # flushes + closes the trace
+        if args.metrics_out:
+            MetricsSnapshot.collect().write(args.metrics_out)
+            print(f"\nmetrics written to {args.metrics_out}")
+        if args.trace_out:
+            print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -173,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = direct serial push)")
     p_run.add_argument("--show", type=int, default=3,
                        help="results to print per path")
+    p_run.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a metrics snapshot after the run (JSON, or "
+        "Prometheus text format when PATH ends in .prom)")
+    p_run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write structured trace spans as JSONL (enables the "
+        "observability layer for the run)")
+    p_run.add_argument(
+        "--slow-solve-ms", type=float, default=None, metavar="MS",
+        help="flag arrivals that take longer than MS milliseconds via "
+        "the resilience watchdog counters")
     p_run.set_defaults(func=cmd_run)
 
     p_params = sub.add_parser(

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -191,6 +192,37 @@ def roots_dispatch() -> RootsDispatch | None:
 
 
 # ----------------------------------------------------------------------
+# instrumentation hooks (observability integration points)
+# ----------------------------------------------------------------------
+#: Hooks installed by :func:`repro.engine.tracing.enable_observability`.
+#: The span hooks are context-manager factories called with the batch
+#: size; the eigen observer is called with ``(n_matrices, seconds)``
+#: after each stacked eigensolve.  All default to ``None`` — a disabled
+#: run pays exactly one global load plus an ``is None`` test per site
+#: and makes zero instrumentation calls (pinned by
+#: ``tests/engine/test_tracing.py``).
+_SPAN_SOLVE_TASKS: Callable | None = None
+_SPAN_ROOTS: Callable | None = None
+_EIGEN_OBSERVER: Callable | None = None
+
+
+def set_solver_instrumentation(
+    solve_span: Callable | None = None,
+    roots_span: Callable | None = None,
+    eigen_observer: Callable | None = None,
+) -> None:
+    """Install (or clear, the default) the solver instrumentation hooks."""
+    global _SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER
+    _SPAN_SOLVE_TASKS = solve_span
+    _SPAN_ROOTS = roots_span
+    _EIGEN_OBSERVER = eigen_observer
+
+
+def solver_instrumentation() -> tuple:
+    return (_SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER)
+
+
+# ----------------------------------------------------------------------
 # padded-matrix polynomial evaluation
 # ----------------------------------------------------------------------
 def pad_coefficient_matrix(
@@ -301,6 +333,16 @@ def _stacked_companion_eigvals(rows: list[list[float]]) -> np.ndarray:
     (ones on the first subdiagonal, ``-p[1:]/p[0]`` in the first row) so
     the eigenvalues agree bit for bit with the scalar path.
     """
+    observer = _EIGEN_OBSERVER
+    if observer is None:
+        return _stacked_companion_eigvals_impl(rows)
+    t0 = time.perf_counter()
+    out = _stacked_companion_eigvals_impl(rows)
+    observer(len(rows), time.perf_counter() - t0)
+    return out
+
+
+def _stacked_companion_eigvals_impl(rows: list[list[float]]) -> np.ndarray:
     p = np.asarray(rows, dtype=float)
     m, length = p.shape
     size = length - 1
@@ -381,6 +423,18 @@ def real_roots_rows(
     Newton polish is element-wise, so splitting a batch across shards
     cannot change any row's roots.
     """
+    hook = _SPAN_ROOTS
+    if hook is None:
+        return _real_roots_rows_impl(rows, failures, budget)
+    with hook(len(rows)):
+        return _real_roots_rows_impl(rows, failures, budget)
+
+
+def _real_roots_rows_impl(
+    rows: Sequence[tuple[tuple[float, ...], float, float]],
+    failures: dict[int, SolverError] | None = None,
+    budget: int | None = None,
+) -> list[list[float]]:
     n = len(rows)
     deflated: list[tuple[float, ...]] = [()] * n
     candidates: list[list[float]] = [[] for _ in range(n)]
@@ -529,6 +583,13 @@ def solve_rows_worker(payload: dict) -> dict:
         :func:`~repro.core.solve_cache.worker_root_cache`.
     ``shard``
         Opaque shard id, echoed back for merge bookkeeping.
+    ``observe``
+        Optional bool (default ``False``): time this call's kernel work
+        and ship the timings home as mergeable histogram dicts under
+        ``"timings"`` (``solve_seconds`` for the whole
+        :func:`real_roots_rows` sweep, ``eigensolve_seconds`` per
+        stacked eigensolve) — the same fixed buckets the parent uses,
+        so the dispatcher merges them straight into its histograms.
 
     The result payload holds ``roots`` (flat float64 of all rows' roots,
     row ``i`` occupying ``roots[offsets[i]:offsets[i + 1]]``),
@@ -552,6 +613,7 @@ def solve_rows_worker(payload: dict) -> dict:
     budget = int(payload.get("root_budget") or SOLVER_CONFIG.max_roots_per_row)
     use_cache = bool(payload.get("cache", True))
     shard = int(payload.get("shard", 0))
+    observe = bool(payload.get("observe", False))
 
     cache = worker_root_cache() if use_cache else None
     base = cache.snapshot() if cache is not None else None
@@ -575,11 +637,35 @@ def solve_rows_worker(payload: dict) -> dict:
         pending_rows.append((row, a, b))
         pending_idx.append(i)
 
+    timings: dict | None = None
     if pending_rows:
         row_failures: dict[int, SolverError] = {}
-        solved = real_roots_rows(
-            pending_rows, failures=row_failures, budget=budget
-        )
+        if not observe:
+            solved = real_roots_rows(
+                pending_rows, failures=row_failures, budget=budget
+            )
+        else:
+            # Time the kernel sweep in-worker and ship the histograms
+            # home; same buckets as the parent, so they merge directly.
+            from ..engine.metrics import Histogram
+
+            solve_hist = Histogram("worker.solve_seconds")
+            eigen_hist = Histogram("worker.eigensolve_seconds")
+            global _EIGEN_OBSERVER
+            prev_observer = _EIGEN_OBSERVER
+            _EIGEN_OBSERVER = lambda n, seconds: eigen_hist.observe(seconds)
+            t0 = time.perf_counter()
+            try:
+                solved = real_roots_rows(
+                    pending_rows, failures=row_failures, budget=budget
+                )
+            finally:
+                solve_hist.observe(time.perf_counter() - t0)
+                _EIGEN_OBSERVER = prev_observer
+            timings = {
+                "solve_seconds": solve_hist.as_dict(),
+                "eigensolve_seconds": eigen_hist.as_dict(),
+            }
         for slot, i in enumerate(pending_idx):
             exc = row_failures.get(slot)
             if exc is not None:
@@ -610,13 +696,16 @@ def solve_rows_worker(payload: dict) -> dict:
         )
     else:
         stats = CacheStats()
-    return {
+    result = {
         "shard": shard,
         "roots": flat,
         "offsets": offsets,
         "failures": failures,
         "cache_stats": stats.as_dict(),
     }
+    if timings is not None:
+        result["timings"] = timings
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -762,6 +851,17 @@ def solve_tasks(
     cached; with a ``failures`` dict, their typed errors are recorded
     per task index (result slot ``TimeSet.empty()``) instead of raised.
     """
+    hook = _SPAN_SOLVE_TASKS
+    if hook is None:
+        return _solve_tasks_impl(tasks, failures)
+    with hook(len(tasks)):
+        return _solve_tasks_impl(tasks, failures)
+
+
+def _solve_tasks_impl(
+    tasks: Sequence[SolveTask],
+    failures: dict[int, SolverError] | None = None,
+) -> list[TimeSet]:
     cfg = SOLVER_CONFIG
     cache = None
     if cfg.cache_enabled:

@@ -47,6 +47,31 @@ from .relation import Rel
 from .roots import check_coefficients, real_roots
 
 
+# ----------------------------------------------------------------------
+# instrumentation hooks (observability integration points)
+# ----------------------------------------------------------------------
+#: Context-manager factories installed by
+#: :func:`repro.engine.tracing.enable_observability`; called with the
+#: row/system count of the solve they wrap.  ``None`` (the default)
+#: keeps the hot path at one global load + ``is None`` test per solve.
+_SPAN_SYSTEM: Callable | None = None
+_SPAN_BATCH: Callable | None = None
+
+
+def set_system_instrumentation(
+    system_span: Callable | None = None,
+    batch_span: Callable | None = None,
+) -> None:
+    """Install (or clear, the default) the system-solve span hooks."""
+    global _SPAN_SYSTEM, _SPAN_BATCH
+    _SPAN_SYSTEM = system_span
+    _SPAN_BATCH = batch_span
+
+
+def system_instrumentation() -> tuple:
+    return (_SPAN_SYSTEM, _SPAN_BATCH)
+
+
 _row_solve_counter = None
 
 
@@ -245,6 +270,13 @@ class EquationSystem:
         so the resilience layer can quarantine the offending key and
         degrade to the discrete path.
         """
+        hook = _SPAN_SYSTEM
+        if hook is None:
+            return self._solve_impl(lo, hi)
+        with hook(len(self.rows)):
+            return self._solve_impl(lo, hi)
+
+    def _solve_impl(self, lo: float, hi: float) -> TimeSet:
         if lo >= hi:
             return TimeSet.empty()
         self.check_budget()
@@ -528,6 +560,17 @@ def solve_systems_batch(
     under its job index (result ``TimeSet.empty()``) instead of sinking
     the whole sweep — one poisoned candidate pair costs only itself.
     """
+    hook = _SPAN_BATCH
+    if hook is None:
+        return _solve_systems_batch_impl(jobs, failures)
+    with hook(len(jobs)):
+        return _solve_systems_batch_impl(jobs, failures)
+
+
+def _solve_systems_batch_impl(
+    jobs: Sequence[tuple["EquationSystem", float, float]],
+    failures: dict[int, SolverError] | None = None,
+) -> list[TimeSet]:
     results: list[TimeSet | None] = [None] * len(jobs)
     spans: list[tuple[int, int, int]] = []  # (job index, start, stop)
     tasks: list[SolveTask] = []

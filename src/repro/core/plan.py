@@ -57,6 +57,24 @@ class NodeRef:
 #: by the lineage store during validated execution.
 StepObserver = Callable[[PlanNode, Segment, list[Segment]], None]
 
+#: Context-manager factory wrapping each operator ``process`` call,
+#: installed by :func:`repro.engine.tracing.enable_observability`; called
+#: with ``(label, node_id)``.  Unlike :data:`StepObserver` (which fires
+#: *after* a step), this wraps the step, so solve spans opened inside
+#: ``process`` nest under the operator span.  ``None`` (the default)
+#: keeps the cascade at one global load + ``is None`` test per step.
+_OPERATOR_TRACE: Callable | None = None
+
+
+def set_operator_trace(hook: Callable | None) -> None:
+    """Install (or clear) the operator span hook."""
+    global _OPERATOR_TRACE
+    _OPERATOR_TRACE = hook
+
+
+def operator_trace() -> Callable | None:
+    return _OPERATOR_TRACE
+
 
 class ContinuousPlan:
     """Builder and push-based executor for a DAG of continuous operators."""
@@ -215,7 +233,12 @@ class ContinuousPlan:
             node_id, port, seg = queue.popleft()
             node = self._nodes[node_id]
             node.segments_in += 1
-            outputs = node.operator.process(seg, port)
+            hook = _OPERATOR_TRACE
+            if hook is None:
+                outputs = node.operator.process(seg, port)
+            else:
+                with hook(node.label, node_id):
+                    outputs = node.operator.process(seg, port)
             node.segments_out += len(outputs)
             for observer in self._observers:
                 observer(node, seg, outputs)

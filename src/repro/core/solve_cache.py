@@ -43,6 +43,20 @@ from .relation import Rel
 
 CacheKey = Hashable
 
+#: Observer called with ``(event, entries)`` after every parent-cache
+#: ``put`` (``event`` is ``"put"`` or ``"evict"``), installed by
+#: :func:`repro.engine.tracing.enable_observability` to keep the
+#: ``solve_cache.entries`` gauge live and surface eviction events in
+#: traces.  ``None`` (the default) keeps ``put`` at one global load +
+#: ``is None`` test.
+_CACHE_OBSERVER = None
+
+
+def set_cache_observer(observer) -> None:
+    """Install (or clear) the parent-cache event observer."""
+    global _CACHE_OBSERVER
+    _CACHE_OBSERVER = observer
+
 
 def normalize_zero(value: float) -> float:
     """Canonicalize ``-0.0`` to ``0.0`` (all other values pass through).
@@ -229,9 +243,14 @@ class SolveCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        evicted = False
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self._counter("evictions").bump()
+            evicted = True
+        observer = _CACHE_OBSERVER
+        if observer is not None:
+            observer("evict" if evicted else "put", len(self._entries))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

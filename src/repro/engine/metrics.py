@@ -21,9 +21,25 @@ the shapes:
 
 from __future__ import annotations
 
+import json
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
+
+#: Default latency bucket upper bounds, in seconds.  A coarse log ladder
+#: from 10 microseconds (one cheap cached solve) to 10 seconds (a stuck
+#: drain round); observations beyond the last bound land in the implicit
+#: +Inf overflow bucket.  Fixed boundaries are what make histograms from
+#: different processes (shard workers, benchmark runs) merge exactly.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
 
 
 @dataclass
@@ -62,6 +78,122 @@ class Gauge:
         self.value = 0.0
 
 
+class Histogram:
+    """A fixed-bucket latency histogram with exact merging.
+
+    Bucket boundaries are the *upper bounds* of each bucket (ascending),
+    with an implicit +Inf overflow bucket at the end, mirroring the
+    Prometheus histogram model.  Because the boundaries are fixed at
+    construction, two histograms with the same boundaries merge by
+    adding their per-bucket counts — this is how shard workers ship
+    their solve timings home (one small snapshot per result payload)
+    and how benchmark runs aggregate across rounds.
+
+    ``observe`` is a single bisect plus three integer adds, cheap enough
+    for per-solve instrumentation; the observability layer still guards
+    every call site so a disabled run pays nothing at all.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] | None = None,
+    ):
+        if bounds is None:
+            bounds = DEFAULT_LATENCY_BUCKETS
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly ascending")
+        self.name = name
+        self.bounds = bounds
+        #: One slot per bound plus the +Inf overflow slot.
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, for the latency histograms)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "Histogram | Mapping") -> None:
+        """Fold another histogram (or its ``as_dict`` form) into this one.
+
+        Merging requires identical bucket boundaries — the snapshot a
+        worker ships is built from the same ``DEFAULT_LATENCY_BUCKETS``
+        module constant, so this holds by construction; a mismatch is a
+        programming error and raises.
+        """
+        if isinstance(other, Mapping):
+            other = Histogram.from_dict(self.name, other)
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.name!r}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.count += other.count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by linear interpolation within a bucket.
+
+        Observations in the overflow bucket report the last finite bound
+        (the histogram cannot see beyond its ladder).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, c in enumerate(self.counts):
+            running += c
+            if running >= rank and c:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i else 0.0
+                hi = self.bounds[i]
+                frac = (rank - (running - c)) / c
+                return lo + frac * (hi - lo)
+        return self.bounds[-1]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (mergeable via :meth:`merge`)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping) -> "Histogram":
+        hist = cls(name, data["bounds"])
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError(f"histogram {name!r}: malformed counts")
+        hist.counts = [int(c) for c in counts]
+        hist.total = float(data["sum"])
+        hist.count = int(data["count"])
+        return hist
+
+
 class CounterRegistry:
     """Process-wide named counters and gauges — the shared stats surface.
 
@@ -75,6 +207,7 @@ class CounterRegistry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
@@ -88,6 +221,15 @@ class CounterRegistry:
         found = self._gauges.get(name)
         if found is None:
             found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        """Get or create the named histogram (bounds fixed on creation)."""
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name, bounds)
         return found
 
     def value(self, name: str) -> int:
@@ -109,14 +251,28 @@ class CounterRegistry:
             if name.startswith(prefix)
         }
 
+    def histogram_snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """Current histogram snapshots, optionally prefix-restricted."""
+        return {
+            name: h.as_dict()
+            for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
+
     def reset(self, *names: str) -> None:
-        """Reset the named counters/gauges, or everything when none given."""
-        targets = names or tuple(self._counters) + tuple(self._gauges)
+        """Reset the named metrics, or everything when none given."""
+        targets = names or (
+            tuple(self._counters)
+            + tuple(self._gauges)
+            + tuple(self._histograms)
+        )
         for name in targets:
             if name in self._counters:
                 self._counters[name].reset()
             if name in self._gauges:
                 self._gauges[name].reset()
+            if name in self._histograms:
+                self._histograms[name].reset()
 
 
 #: The default registry used by the solver, cache, and benchmarks.
@@ -133,6 +289,13 @@ def get_gauge(name: str) -> Gauge:
     return GLOBAL_COUNTERS.gauge(name)
 
 
+def get_histogram(
+    name: str, bounds: Sequence[float] | None = None
+) -> Histogram:
+    """Get or create a histogram in the global registry."""
+    return GLOBAL_COUNTERS.histogram(name, bounds)
+
+
 def counter_snapshot(prefix: str = "") -> Mapping[str, int]:
     return GLOBAL_COUNTERS.snapshot(prefix)
 
@@ -141,8 +304,104 @@ def gauge_snapshot(prefix: str = "") -> Mapping[str, float]:
     return GLOBAL_COUNTERS.gauge_snapshot(prefix)
 
 
+def histogram_snapshot(prefix: str = "") -> Mapping[str, dict]:
+    return GLOBAL_COUNTERS.histogram_snapshot(prefix)
+
+
 def reset_counters(*names: str) -> None:
     GLOBAL_COUNTERS.reset(*names)
+
+
+# ----------------------------------------------------------------------
+# exported snapshots
+# ----------------------------------------------------------------------
+def _prometheus_name(name: str) -> str:
+    """Registry name -> Prometheus metric name (``repro_`` namespace)."""
+    safe = "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    )
+    return f"repro_{safe}"
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time export of every counter, gauge and histogram.
+
+    The one serialization surface for the observability layer: the CLI's
+    ``--metrics-out`` writes one of these (JSON, or Prometheus text
+    exposition format when the path ends in ``.prom``), and the
+    benchmark harness embeds one in every ``BENCH_<name>.json`` so the
+    recorded perf trajectory carries latency distributions, not just
+    wall time.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        prefix: str = "",
+        registry: CounterRegistry | None = None,
+    ) -> "MetricsSnapshot":
+        reg = registry or GLOBAL_COUNTERS
+        return cls(
+            counters=reg.snapshot(prefix),
+            gauges=reg.gauge_snapshot(prefix),
+            histograms=reg.histogram_snapshot(prefix),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4), one family per metric.
+
+        Counter/gauge families are single samples; histograms expand to
+        the standard cumulative ``_bucket{le=...}`` series plus ``_sum``
+        and ``_count``.
+        """
+        lines: list[str] = []
+        for name, value in sorted(self.counters.items()):
+            pname = _prometheus_name(name)
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {value}")
+        for name, value in sorted(self.gauges.items()):
+            pname = _prometheus_name(name)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {value}")
+        for name, data in sorted(self.histograms.items()):
+            pname = _prometheus_name(name)
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in zip(data["bounds"], data["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            cumulative += data["counts"][-1]
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{pname}_sum {data['sum']}")
+            lines.append(f"{pname}_count {data['count']}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path) -> None:
+        """Write to ``path``: Prometheus text for ``.prom``, else JSON."""
+        import pathlib
+
+        p = pathlib.Path(path)
+        if p.suffix == ".prom":
+            p.write_text(self.to_prometheus())
+        else:
+            p.write_text(self.to_json() + "\n")
 
 
 def absorb_cache_stats(prefix: str, stats) -> None:

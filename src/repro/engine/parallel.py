@@ -51,7 +51,8 @@ from ..core.batch_solver import (
 from ..core.errors import SolverError
 from ..core.polynomial import Polynomial
 from ..core.solve_cache import CacheStats, RootCache
-from .metrics import absorb_cache_stats
+from . import tracing
+from .metrics import absorb_cache_stats, get_histogram
 from .sharding import ShardRouter
 
 #: One predicted root query: trimmed ascending coefficients + domain.
@@ -195,6 +196,10 @@ class ParallelSolveDispatcher:
             if not fresh:
                 continue
             payload = self._build_payload(shard, fresh)
+            if tracing.observability_enabled():
+                # Workers time their kernel work and ship mergeable
+                # histogram snapshots home with the result payload.
+                payload["observe"] = True
             future = self._executor(shard).submit(solve_rows_worker, payload)
             submissions.append((shard, future, keys))
             self.rows_dispatched += len(fresh)
@@ -231,6 +236,16 @@ class ParallelSolveDispatcher:
             )
             self.worker_stats = self.worker_stats + delta
             absorb_cache_stats("root_cache.worker", delta)
+            timings = out.get("timings")
+            if timings:
+                # Same fixed buckets on both sides, so worker snapshots
+                # fold exactly into the parent-side histograms.
+                get_histogram("parallel.worker_solve_seconds").merge(
+                    timings["solve_seconds"]
+                )
+                get_histogram("parallel.worker_eigensolve_seconds").merge(
+                    timings["eigensolve_seconds"]
+                )
         self.rows_primed += shipped
         return shipped
 

@@ -276,3 +276,52 @@ class CircuitBreaker:
             counts[health.state.value] += 1
         counts["tracked"] = len(self._health)
         return counts
+
+
+class SlowSolveWatchdog:
+    """Flags arrivals whose end-to-end processing blew a latency budget.
+
+    The observability counterpart of the circuit breaker: where the
+    breaker reacts to *failures*, the watchdog surfaces *slowness* — a
+    row that solved correctly but took longer than the configured budget
+    (e.g. a degree blow-up that stayed inside the guardrails).  The
+    scheduler times each arrival and calls :meth:`check`; exceedances
+    are exported through the resilience counters:
+
+    * ``resilience.watchdog.items_checked`` — arrivals timed;
+    * ``resilience.watchdog.slow_solves`` — budget exceedances;
+    * ``resilience.watchdog.worst_seconds`` (gauge) — slowest arrival
+      seen since the last counter reset.
+
+    The watchdog never interferes with processing — it observes and
+    counts.  Routing slow keys away is the breaker's job; keeping the
+    two separate means a latency regression cannot change outputs.
+    """
+
+    def __init__(self, budget_s: float):
+        if budget_s <= 0:
+            raise ValueError("watchdog budget must be positive")
+        self.budget_s = budget_s
+        self.last_flagged: tuple[str, Hashable, float] | None = None
+        self._checked = get_counter("resilience.watchdog.items_checked")
+        self._flagged = get_counter("resilience.watchdog.slow_solves")
+        self._worst = get_gauge("resilience.watchdog.worst_seconds")
+
+    def check(self, query: str, key: Hashable, seconds: float) -> bool:
+        """Record one timed arrival; ``True`` when it blew the budget."""
+        self._checked.bump()
+        if seconds > self._worst.value:
+            self._worst.set(seconds)
+        if seconds <= self.budget_s:
+            return False
+        self._flagged.bump()
+        self.last_flagged = (query, key, seconds)
+        return True
+
+    @property
+    def slow_solves(self) -> int:
+        return self._flagged.value
+
+    @property
+    def items_checked(self) -> int:
+        return self._checked.value

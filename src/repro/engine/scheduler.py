@@ -27,6 +27,7 @@ On top of the seed runtime, two production disciplines:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -42,10 +43,11 @@ _ITEM_FAULTS = (PulseError, KeyError, ValueError, TypeError, ArithmeticError)
 from ..core.operators.sampler import OutputSampler
 from ..core.segment import Segment
 from ..core.transform import TransformedQuery
+from . import tracing
 from .lowering import LoweredQuery
-from .metrics import get_counter
+from .metrics import get_counter, get_histogram
 from .parallel import ParallelSolveDispatcher
-from .resilience import BreakerConfig, CircuitBreaker
+from .resilience import BreakerConfig, CircuitBreaker, SlowSolveWatchdog
 from .tuples import StreamTuple
 
 #: Valid back-pressure policies for :class:`QueryRuntime`.
@@ -126,6 +128,13 @@ class QueryRuntime:
         path inline in this process (debugging); ``"auto"`` (default)
         uses pools only on multi-core hosts — a single core still gets
         the batched-sweep amortization without paying process IPC.
+    slow_solve_budget_s:
+        Latency budget per processed arrival.  When set, every item is
+        timed and exceedances are flagged through the
+        :class:`~repro.engine.resilience.SlowSolveWatchdog` counters
+        (``resilience.watchdog.*``); ``None`` (the default) disables
+        the timing entirely.  Independent of the observability switch,
+        so production can watch latency without paying for tracing.
     """
 
     def __init__(
@@ -136,6 +145,7 @@ class QueryRuntime:
         breaker: CircuitBreaker | BreakerConfig | None = None,
         num_shards: int = 1,
         parallel: "bool | str" = "auto",
+        slow_solve_budget_s: float | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -178,6 +188,16 @@ class QueryRuntime:
         )
         self._fallback_errors_counter = get_counter("runtime.fallback_errors")
         self._fallback_items_counter = get_counter("runtime.fallback_items")
+        self._watchdog = (
+            SlowSolveWatchdog(slow_solve_budget_s)
+            if slow_solve_budget_s is not None
+            else None
+        )
+        # Handles bound once; observed only while observability is on
+        # (or the watchdog is set), so a plain run never touches them.
+        self._round_hist = get_histogram("runtime.round_seconds")
+        self._arrival_hist = get_histogram("runtime.arrival_seconds")
+        self._prime_hist = get_histogram("runtime.prime_seconds")
 
     # ------------------------------------------------------------------
     # registration
@@ -331,17 +351,123 @@ class QueryRuntime:
         use_dispatch = dispatcher is not None and isinstance(
             reg.query, TransformedQuery
         )
-        if use_dispatch:
-            self._prime_round(reg, drained)
-            dispatcher.activate()
-        try:
-            for stream, item in drained:
-                self._process_item(reg, stream, item)
-                reg.items_processed += 1
-        finally:
+        observing = tracing.observability_enabled()
+        watchdog = self._watchdog
+        if not observing and watchdog is None:
+            # The untouched fast path: zero instrumentation calls, zero
+            # clock reads (pinned by ``tests/engine/test_tracing.py``).
             if use_dispatch:
-                dispatcher.deactivate()
+                self._prime_round(reg, drained)
+                dispatcher.activate()
+            try:
+                for stream, item in drained:
+                    self._process_item(reg, stream, item)
+                    reg.items_processed += 1
+            finally:
+                if use_dispatch:
+                    dispatcher.deactivate()
+            return len(drained)
+        return self._step_observed(
+            reg, drained, dispatcher if use_dispatch else None,
+            observing, watchdog,
+        )
+
+    def _step_observed(
+        self,
+        reg: _Registration,
+        drained: list,
+        dispatcher: ParallelSolveDispatcher | None,
+        observing: bool,
+        watchdog: SlowSolveWatchdog | None,
+    ) -> int:
+        """The round's processing half with spans/timing enabled.
+
+        Same control flow as the fast path in :meth:`step`; split out so
+        the disabled case stays branch-minimal.  ``observing`` gates the
+        histograms and spans; ``watchdog`` the per-arrival budget check.
+        """
+        tracer = tracing.current_tracer() if observing else None
+        round_span = (
+            tracer.start(
+                "round", "round", query=reg.name, items=len(drained)
+            )
+            if tracer is not None
+            else None
+        )
+        t_round = time.perf_counter()
+        try:
+            if dispatcher is not None:
+                prime_span = (
+                    tracer.start("prime", "prime", query=reg.name)
+                    if tracer is not None
+                    else None
+                )
+                t_prime = time.perf_counter()
+                try:
+                    self._prime_round(reg, drained)
+                finally:
+                    if observing:
+                        self._prime_hist.observe(
+                            time.perf_counter() - t_prime
+                        )
+                    if prime_span is not None:
+                        tracer.finish(prime_span)
+                dispatcher.activate()
+            try:
+                for stream, item in drained:
+                    self._process_item_observed(
+                        reg, stream, item, tracer, observing, watchdog
+                    )
+                    reg.items_processed += 1
+            finally:
+                if dispatcher is not None:
+                    dispatcher.deactivate()
+        finally:
+            if observing:
+                self._round_hist.observe(time.perf_counter() - t_round)
+            if round_span is not None:
+                tracer.finish(round_span)
         return len(drained)
+
+    def _process_item_observed(
+        self,
+        reg: _Registration,
+        stream: str,
+        item: "Segment | StreamTuple",
+        tracer,
+        observing: bool,
+        watchdog: SlowSolveWatchdog | None,
+    ) -> None:
+        """One arrival with an arrival span, emit event and budget check."""
+        key = item.key if isinstance(item, Segment) else None
+        before = len(reg.outputs)
+        span = (
+            tracer.start(
+                "arrival", "arrival",
+                query=reg.name, stream=stream, key=key,
+            )
+            if tracer is not None
+            else None
+        )
+        t0 = time.perf_counter()
+        try:
+            self._process_item(reg, stream, item)
+        finally:
+            elapsed = time.perf_counter() - t0
+            emitted = len(reg.outputs) - before
+            flagged = watchdog is not None and watchdog.check(
+                reg.name, key, elapsed
+            )
+            if observing:
+                self._arrival_hist.observe(elapsed)
+            if tracer is not None:
+                tracer.event("emit", "emit", outputs=emitted)
+                if flagged:
+                    tracer.event(
+                        "slow_solve", "watchdog",
+                        seconds=elapsed, budget_s=watchdog.budget_s,
+                    )
+                tracer.finish(span, outputs=emitted)
 
     def _prime_round(
         self,
@@ -527,6 +653,12 @@ class QueryRuntime:
         if self.breaker is not None:
             stats["breaker"] = self.breaker.snapshot()
             stats["recovered_fraction"] = self.breaker.recovered_fraction()
+        if self._watchdog is not None:
+            stats["watchdog"] = {
+                "budget_s": self._watchdog.budget_s,
+                "items_checked": self._watchdog.items_checked,
+                "slow_solves": self._watchdog.slow_solves,
+            }
         return stats
 
     def parallel_stats(self) -> Mapping[str, object] | None:

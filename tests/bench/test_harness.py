@@ -1,0 +1,118 @@
+"""The result-recording harness: provenance stamping must never fail.
+
+``git_revision`` degrades ("unknown" / "-dirty") instead of raising so
+a benchmark can always record its artifact — from an exported tarball,
+a broken git environment, or a dirty working tree — and a recorded
+number is never wrongly attributed to a clean revision.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+import harness  # noqa: E402
+from harness import git_revision, record_result  # noqa: E402
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    (tmp_path / "f.txt").write_text("one\n")
+    _git(tmp_path, "add", "f.txt")
+    _git(tmp_path, "commit", "-q", "-m", "init")
+    return tmp_path
+
+
+class TestGitRevision:
+    def test_clean_checkout_reports_bare_rev(self, git_repo):
+        rev = git_revision(git_repo)
+        assert len(rev) == 40 and not rev.endswith("-dirty")
+        int(rev, 16)  # a hex SHA, not a message
+
+    def test_dirty_tree_gets_suffix(self, git_repo):
+        (git_repo / "f.txt").write_text("two\n")
+        assert git_revision(git_repo).endswith("-dirty")
+
+    def test_untracked_file_counts_as_dirty(self, git_repo):
+        (git_repo / "new.txt").write_text("x\n")
+        assert git_revision(git_repo).endswith("-dirty")
+
+    def test_outside_a_checkout_is_unknown(self, tmp_path):
+        assert git_revision(tmp_path) == "unknown"
+
+    def test_repo_without_commits_is_unknown(self, tmp_path):
+        _git(tmp_path, "init", "-q")
+        assert git_revision(tmp_path) == "unknown"
+
+    def test_unprovable_cleanliness_reports_dirty(
+        self, git_repo, monkeypatch
+    ):
+        # rev-parse succeeds but `git status` blows up: the revision is
+        # known, its cleanliness is not — never claim a clean rev.
+        real_run = subprocess.run
+
+        def failing_status(cmd, **kwargs):
+            if "status" in cmd:
+                raise OSError("no git for you")
+            return real_run(cmd, **kwargs)
+
+        monkeypatch.setattr(harness.subprocess, "run", failing_status)
+        assert git_revision(git_repo).endswith("-dirty")
+
+    def test_git_binary_missing_is_unknown(self, git_repo, monkeypatch):
+        def no_git(cmd, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(harness.subprocess, "run", no_git)
+        assert git_revision(git_repo) == "unknown"
+
+
+class TestRecordResult:
+    def test_writes_artifact_with_provenance(self, tmp_path):
+        path = record_result(
+            "unit_test", {"wall_time_s": 1.5, "custom": 3},
+            results_dir=tmp_path,
+        )
+        doc = json.loads(path.read_text())
+        assert path.name == "BENCH_unit_test.json"
+        assert doc["name"] == "unit_test"
+        assert doc["git_rev"]  # never empty, even if "unknown"
+        assert doc["wall_time_s"] == 1.5  # promoted to top level
+        assert doc["metrics"]["custom"] == 3
+        assert "metrics_snapshot" in doc
+
+    def test_promotes_short_aliases(self, tmp_path):
+        doc = json.loads(
+            record_result(
+                "alias", {"wall_time": 2.0, "throughput": 10.0},
+                results_dir=tmp_path,
+            ).read_text()
+        )
+        assert doc["wall_time_s"] == 2.0
+        assert doc["throughput_items_per_s"] == 10.0
+
+    def test_snapshot_carries_histograms(self, tmp_path):
+        from repro.engine.metrics import get_histogram
+
+        get_histogram("harness_test.latency").observe(0.25)
+        doc = json.loads(
+            record_result("snap", {}, results_dir=tmp_path).read_text()
+        )
+        hists = doc["metrics_snapshot"]["histograms"]
+        assert hists["harness_test.latency"]["count"] >= 1
+
+    @pytest.mark.parametrize("bad", ["", "no/slash", "no space", "a.b"])
+    def test_rejects_unsafe_names(self, bad, tmp_path):
+        with pytest.raises(ValueError):
+            record_result(bad, {}, results_dir=tmp_path)

@@ -1,0 +1,57 @@
+"""Shared test configuration: determinism pins and golden updates.
+
+Tier-1 must be fast and deterministic, so this conftest removes the two
+ambient sources of nondeterminism:
+
+* Hypothesis runs derandomized (examples derive from the test body, not
+  a per-run entropy source), so a property failure on one machine is a
+  failure on every machine.
+* The module-level :mod:`random` RNG is re-seeded around every test.
+  Tests that want variation construct their own ``random.Random(seed)``
+  (all the trace generators already do); nothing may depend on ambient
+  RNG state left behind by an earlier test.
+
+It also registers ``--update-goldens`` for the golden-trace regression
+suite (``tests/integration/test_golden_traces.py``): run with the flag
+to rewrite ``tests/golden/*`` from current engine output after an
+intentional observability-layer change, then commit the diff.
+"""
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("repro-deterministic", derandomize=True)
+    settings.load_profile("repro-deterministic")
+except ImportError:  # hypothesis is a dev extra; tier-1 core runs without
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/* from current engine output "
+        "instead of asserting against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should rewrite golden artifacts."""
+    return request.config.getoption("--update-goldens")
+
+
+@pytest.fixture(autouse=True)
+def _pin_ambient_rng():
+    """Seed (and afterwards restore) the module-level RNG per test."""
+    state = random.getstate()
+    random.seed(0xC0FFEE)
+    try:
+        yield
+    finally:
+        random.setstate(state)

@@ -1,10 +1,16 @@
-"""Tests for the measurement primitives (stopwatch, run metrics, runner)."""
+"""Tests for the measurement primitives (stopwatch, run metrics, runner)
+and the observability exports (histograms, snapshots)."""
 
+import json
 import time
 
 import pytest
 
 from repro.engine.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    CounterRegistry,
+    Histogram,
+    MetricsSnapshot,
     QueueingModel,
     RunMetrics,
     Stopwatch,
@@ -65,6 +71,161 @@ class TestMeasureHelpers:
         m = measure_service_time(process, list(range(10)))
         assert m.items_in == 10
         assert m.items_out == 10  # five even items, two outputs each
+
+
+class TestHistogram:
+    def test_observe_buckets_and_overflow(self):
+        h = Histogram("h", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.05 + 0.5 + 0.5 + 5.0) / 4)
+
+    def test_bound_value_lands_in_its_bucket(self):
+        # Bounds are upper bounds (Prometheus ``le`` semantics).
+        h = Histogram("h", bounds=(0.1, 1.0))
+        h.observe(0.1)
+        assert h.counts == [1, 0, 0]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_merge_adds_counts_exactly(self):
+        a = Histogram("h", bounds=(0.1, 1.0))
+        b = Histogram("h", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5):
+            a.observe(v)
+        for v in (0.5, 5.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.counts == [1, 2, 1]
+        assert a.count == 4
+        assert a.total == pytest.approx(0.05 + 0.5 + 0.5 + 5.0)
+
+    def test_merge_accepts_as_dict_form(self):
+        # The shard-worker payload path: a worker ships ``as_dict()``
+        # home and the parent merges the mapping directly.
+        a = Histogram("h")
+        b = Histogram("h")
+        b.observe(0.002)
+        a.merge(b.as_dict())
+        assert a.count == 1
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram("h", bounds=(0.1, 1.0))
+        b = Histogram("h", bounds=(0.2, 1.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dict_round_trip(self):
+        h = Histogram("h")
+        for v in (1e-6, 1e-3, 0.3, 42.0):
+            h.observe(v)
+        back = Histogram.from_dict("h", json.loads(json.dumps(h.as_dict())))
+        assert back.counts == h.counts
+        assert back.bounds == h.bounds
+        assert back.total == pytest.approx(h.total)
+
+    def test_from_dict_rejects_malformed_counts(self):
+        h = Histogram("h", bounds=(1.0,))
+        bad = h.as_dict()
+        bad["counts"] = [0]  # must be len(bounds) + 1
+        with pytest.raises(ValueError):
+            Histogram.from_dict("h", bad)
+
+    def test_quantile_interpolates(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 2.6):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) <= 1.0
+        assert 2.0 <= h.quantile(1.0) <= 3.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_overflow_reports_last_bound(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_default_bounds_are_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+
+
+class TestMetricsSnapshot:
+    def _registry(self):
+        reg = CounterRegistry()
+        reg.counter("solver.row_solves").bump(7)
+        reg.gauge("cache.entries").set(12.0)
+        h = reg.histogram("solver.latency", bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_collect_and_as_dict(self):
+        snap = MetricsSnapshot.collect(registry=self._registry())
+        d = snap.as_dict()
+        assert d["counters"]["solver.row_solves"] == 7
+        assert d["gauges"]["cache.entries"] == 12.0
+        assert d["histograms"]["solver.latency"]["count"] == 2
+
+    def test_collect_prefix_restricts(self):
+        snap = MetricsSnapshot.collect(
+            prefix="solver.", registry=self._registry()
+        )
+        assert "cache.entries" not in snap.gauges
+        assert "solver.row_solves" in snap.counters
+
+    def test_json_round_trips(self):
+        snap = MetricsSnapshot.collect(registry=self._registry())
+        assert json.loads(snap.to_json()) == snap.as_dict()
+
+    def test_prometheus_exposition_shape(self):
+        text = MetricsSnapshot.collect(
+            registry=self._registry()
+        ).to_prometheus()
+        assert "# TYPE repro_solver_row_solves counter" in text
+        assert "repro_solver_row_solves 7" in text
+        assert "# TYPE repro_cache_entries gauge" in text
+        assert 'repro_solver_latency_bucket{le="0.1"} 1' in text
+        # Cumulative buckets: the +Inf bucket equals the total count.
+        assert 'repro_solver_latency_bucket{le="+Inf"} 2' in text
+        assert "repro_solver_latency_count 2" in text
+        assert text.endswith("\n")
+
+    def test_write_json_and_prom(self, tmp_path):
+        snap = MetricsSnapshot.collect(registry=self._registry())
+        jpath = tmp_path / "m.json"
+        ppath = tmp_path / "m.prom"
+        snap.write(jpath)
+        snap.write(ppath)
+        assert json.loads(jpath.read_text()) == snap.as_dict()
+        assert ppath.read_text().startswith("# TYPE")
+
+
+class TestRegistryReset:
+    def test_reset_clears_histograms_too(self):
+        reg = CounterRegistry()
+        reg.counter("c").bump()
+        reg.gauge("g").set(3.0)
+        reg.histogram("h").observe(0.5)
+        reg.reset()
+        assert reg.value("c") == 0
+        assert reg.gauge_snapshot()["g"] == 0.0
+        assert reg.histogram_snapshot()["h"]["count"] == 0
+
+    def test_named_reset_leaves_others(self):
+        reg = CounterRegistry()
+        reg.counter("a").bump()
+        reg.counter("b").bump()
+        reg.reset("a")
+        assert reg.value("a") == 0
+        assert reg.value("b") == 1
 
 
 class TestQueueingModelEdges:

@@ -381,6 +381,11 @@ FILT_SQL = "select * from ticks where x > 1"
 JOIN_SQL = (
     "select from ticks T join quotes Q on (T.sym = Q.sym and T.x > Q.y)"
 )
+#: Windowed group-by aggregate: exercises per-key window state, which
+#: priming must never mutate and sharding must never reorder.
+AGG_SQL = (
+    "select sym, avg(x) as ax from ticks [size 4 advance 2] group by sym"
+)
 
 
 def random_trace(seed, keys=("a", "b", "c"), rows_per_key=6, degree=4):
@@ -422,6 +427,9 @@ def drive(num_shards, events, fault_rate=0.0, breaker=None):
         rt.register(
             "join", to_continuous_plan(plan_query(parse_query(JOIN_SQL)))
         )
+        rt.register(
+            "agg", to_continuous_plan(plan_query(parse_query(AGG_SQL)))
+        )
         for stream, seg in events:
             rt.enqueue(stream, seg)
         if fault_rate:
@@ -441,7 +449,13 @@ def drive(num_shards, events, fault_rate=0.0, breaker=None):
         rt.run_until_idle()
         outputs = {
             name: [
-                (s.key, s.t_start, s.t_end, sorted(s.constants.items()))
+                (
+                    s.key, s.t_start, s.t_end,
+                    sorted(s.constants.items()),
+                    # Model coefficients included so aggregate parity
+                    # compares computed values, not just window bounds.
+                    sorted((a, repr(p)) for a, p in s.models.items()),
+                )
                 for s in rt.outputs(name)
             ]
             for name in rt.query_names
@@ -479,6 +493,32 @@ class TestSerialShardParity:
             num_shards, events, fault_rate=1.0, breaker=breaker
         )
         assert serial_counters["resilience.breaker.opened"] > 0
+        assert shard_out == serial_out
+        assert shard_counters == serial_counters
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_aggregate_group_by_parity_is_not_vacuous(self, num_shards):
+        # The group-by windows must actually fire on this trace, and
+        # the per-key averages must be bit-identical across shardings.
+        events = random_trace(5, rows_per_key=8)
+        serial_out, _ = drive(1, events)
+        shard_out, _ = drive(num_shards, events)
+        assert serial_out["agg"], "aggregate produced no output segments"
+        assert shard_out["agg"] == serial_out["agg"]
+
+    def test_aggregate_breaker_trip_parity(self):
+        events = random_trace(13, rows_per_key=4)
+        breaker = BreakerConfig(
+            failure_threshold=2, backoff=3, probe_successes=1
+        )
+        serial_out, serial_counters = drive(
+            1, events, fault_rate=1.0, breaker=breaker
+        )
+        shard_out, shard_counters = drive(
+            3, events, fault_rate=1.0, breaker=breaker
+        )
+        assert serial_counters["resilience.breaker.opened"] > 0
+        assert serial_out["agg"]
         assert shard_out == serial_out
         assert shard_counters == serial_counters
 

@@ -36,6 +36,7 @@ class TestExamples:
         assert "pulse historical mode:" in out
         assert "validated execution:" in out
 
+    @pytest.mark.slow  # ~20s: full AIS trace through both engines
     def test_vessel_following(self, capsys):
         out = run_example("vessel_following.py", capsys)
         assert "discrete: 2/2" in out

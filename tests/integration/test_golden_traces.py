@@ -1,0 +1,202 @@
+"""Golden-trace regression suite: the observability layer's lock.
+
+Each scenario runs a fixed, fully deterministic workload through the
+traced engine and compares the resulting span stream — **exactly** —
+against a committed golden file in ``tests/golden/``.  The comparison
+covers everything the engine controls (span ids, parent edges, names,
+kinds, attributes, ordering) and drops only the wall-clock fields,
+which are the one nondeterministic part of a trace.
+
+Because span ids are allocated in execution order, these goldens pin
+not just the *shape* of the instrumentation but the engine's entire
+observable execution order: a change to operator cascade order, solve
+batching, prime scheduling, or span parenting shows up as a golden
+diff.  That is the point — such changes must be deliberate.
+
+After an intentional change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_traces.py \
+        --update-goldens
+
+and commit the rewritten files.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.solve_cache import (
+    reset_global_solve_cache,
+    reset_worker_root_cache,
+)
+from repro.core.transform import to_continuous_plan
+from repro.engine import tracing
+from repro.engine.metrics import reset_counters
+from repro.engine.scheduler import QueryRuntime
+from repro.engine.tracing import TraceError, build_span_tree, read_trace
+from repro.query import parse_query, plan_query
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: Fields compared against the golden.  Wall-clock fields (``t_start``,
+#: ``t_end``) are excluded — everything else must match exactly.
+_STABLE_FIELDS = ("span_id", "parent_id", "name", "kind", "attrs")
+
+
+def _trace_events():
+    """A fixed two-stream workload: no RNG, pure literals."""
+    events = []
+    for k, bias in (("aapl", 0.0), ("ibm", 0.5)):
+        for i in range(4):
+            start = 1.25 * i
+            events.append(
+                ("ticks",
+                 Segment((k,), start, start + 2.0,
+                         {"x": Polynomial([bias - 1.0 + 0.5 * i, 1.0])},
+                         constants={"sym": k}))
+            )
+            events.append(
+                ("quotes",
+                 Segment((k,), start, start + 2.0,
+                         {"y": Polynomial([bias + 0.25 * i, -0.5])},
+                         constants={"sym": k}))
+            )
+    return events
+
+
+SCENARIOS = {
+    "filter": ("select * from ticks where x > 0", 1),
+    "join": (
+        "select from ticks T join quotes Q "
+        "on (T.sym = Q.sym and T.x > Q.y)",
+        1,
+    ),
+    "aggregate": (
+        "select sym, avg(x) as ax from ticks [size 4 advance 2] "
+        "group by sym",
+        1,
+    ),
+    "join_sharded": (
+        "select from ticks T join quotes Q "
+        "on (T.sym = Q.sym and T.x > Q.y)",
+        2,
+    ),
+}
+
+
+def run_traced_scenario(sql: str, num_shards: int, trace_path) -> list[dict]:
+    """Run one scenario's workload traced; return normalized records."""
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    planned = plan_query(parse_query(sql))
+    consumed = set(planned.stream_sources)
+    with tracing.observability(str(trace_path)):
+        rt = QueryRuntime(num_shards=num_shards)
+        try:
+            rt.register("q", to_continuous_plan(planned))
+            for stream, seg in _trace_events():
+                if stream in consumed:
+                    rt.enqueue(stream, seg)
+            rt.run_until_idle()
+        finally:
+            rt.close()
+    spans = read_trace(trace_path)
+    build_span_tree(spans)  # every golden trace must be a valid tree
+    return [normalize(s.to_record()) for s in spans]
+
+
+def normalize(record: dict) -> dict:
+    return {f: record.get(f) for f in _STABLE_FIELDS}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_trace_matches_golden(scenario, tmp_path, update_goldens):
+    sql, num_shards = SCENARIOS[scenario]
+    actual = run_traced_scenario(
+        sql, num_shards, tmp_path / "trace.jsonl"
+    )
+    golden_path = GOLDEN_DIR / f"trace_{scenario}.json"
+    if update_goldens:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(actual, indent=1) + "\n")
+        return
+    assert golden_path.exists(), (
+        f"missing golden {golden_path.name}; generate with "
+        f"--update-goldens and commit it"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert actual == golden, (
+        f"trace for scenario {scenario!r} diverged from "
+        f"{golden_path.name}; if the change is intentional, rerun with "
+        f"--update-goldens and commit the diff"
+    )
+
+
+def test_goldens_have_no_strays():
+    """Every committed golden corresponds to a scenario (and exists)."""
+    expected = {f"trace_{name}.json" for name in SCENARIOS}
+    present = {p.name for p in GOLDEN_DIR.glob("trace_*.json")}
+    assert present == expected
+
+
+class TestSuiteCatchesPerturbations:
+    """Negative control: a perturbed trace must fail the comparison.
+
+    A regression suite that cannot fail is decoration; these tests
+    mutate a real trace the way plausible engine bugs would and assert
+    the suite's own checks reject each mutation.
+    """
+
+    @pytest.fixture(scope="class")
+    def filter_run(self, tmp_path_factory):
+        sql, num_shards = SCENARIOS["filter"]
+        tmp = tmp_path_factory.mktemp("perturb")
+        return run_traced_scenario(sql, num_shards, tmp / "trace.jsonl")
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(
+            (GOLDEN_DIR / "trace_filter.json").read_text()
+        )
+
+    def test_reparented_span_detected(self, filter_run, golden):
+        mutated = [dict(r) for r in filter_run]
+        victim = next(
+            r for r in mutated if r["parent_id"] is not None
+        )
+        victim["parent_id"] = None  # orphan an inner span
+        assert mutated != golden
+
+    def test_dropped_span_detected(self, filter_run, golden):
+        mutated = [r for r in filter_run if r["kind"] != "emit"]
+        assert len(mutated) < len(filter_run)
+        assert mutated != golden
+
+    def test_renamed_span_detected(self, filter_run, golden):
+        mutated = [dict(r) for r in filter_run]
+        mutated[0]["name"] = "renamed"
+        assert mutated != golden
+
+    def test_attr_change_detected(self, filter_run, golden):
+        mutated = [dict(r) for r in filter_run]
+        victim = next(r for r in mutated if r["attrs"])
+        key = next(iter(victim["attrs"]))
+        victim["attrs"] = {**victim["attrs"], key: "tampered"}
+        assert mutated != golden
+
+    def test_dangling_parent_fails_tree_validation(self, tmp_path):
+        sql, num_shards = SCENARIOS["filter"]
+        path = tmp_path / "trace.jsonl"
+        run_traced_scenario(sql, num_shards, path)
+        lines = path.read_text().splitlines()
+        recs = [json.loads(line) for line in lines]
+        victim = next(r for r in recs if r["parent_id"] is not None)
+        victim["parent_id"] = 10 ** 9  # points at a span never emitted
+        from repro.engine.tracing import Span
+
+        with pytest.raises(TraceError, match="unknown parent"):
+            build_span_tree(Span.from_record(r) for r in recs)

@@ -1,0 +1,100 @@
+"""Stdlib line-coverage measurement for the tier-1 suite.
+
+CI enforces a coverage floor via pytest-cov (``--cov-fail-under``); this
+tool exists to *recalibrate* that floor from an environment that has no
+coverage packages installed.  It traces only files under ``src/repro``
+(the tracer returns ``None`` for every other code object, so third-party
+and test code pay nothing per line), then reports::
+
+    executed lines / executable lines
+
+where the denominator is every line that appears in a line table of a
+code object compiled from the package's sources — close to coverage.py's
+statement universe, so the two numbers track within a point or two.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+
+Prints a per-package summary and the total percentage; the CI floor in
+``.github/workflows/ci.yml`` should be this total minus a two-point
+regression allowance.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_PREFIX = str(REPO / "src" / "repro") + os.sep
+
+_executed: dict[str, set[int]] = {}
+
+
+def _tracer(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(SRC_PREFIX):
+        return None  # never pay per-line cost outside the package
+    if event == "line":
+        _executed.setdefault(filename, set()).add(frame.f_lineno)
+    return _tracer
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """Every line in any code object compiled from ``path``."""
+    try:
+        code = compile(path.read_text(), str(path), "exec")
+    except SyntaxError:
+        return set()
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(
+            line for _, _, line in obj.co_lines() if line is not None
+        )
+        stack.extend(
+            c for c in obj.co_consts if hasattr(c, "co_lines")
+        )
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    threading.settrace(_tracer)
+    sys.settrace(_tracer)
+    try:
+        exit_code = pytest.main(["-x", "-q", *argv])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print("test run failed; coverage numbers would be meaningless")
+        return int(exit_code)
+
+    total_exec = total_possible = 0
+    rows = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        possible = _executable_lines(path)
+        if not possible:
+            continue
+        hit = _executed.get(str(path), set()) & possible
+        rows.append((str(path.relative_to(REPO)), len(hit), len(possible)))
+        total_exec += len(hit)
+        total_possible += len(possible)
+
+    width = max(len(r[0]) for r in rows)
+    for name, hit, possible in rows:
+        print(f"{name:<{width}}  {hit:>5}/{possible:<5} "
+              f"{100.0 * hit / possible:6.1f}%")
+    pct = 100.0 * total_exec / total_possible
+    print(f"\nTOTAL {total_exec}/{total_possible} lines = {pct:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
