@@ -1,0 +1,161 @@
+"""Server ingest throughput: rate-controlled load over loopback TCP.
+
+A :class:`~repro.server.server.ServerThread` hosts one standing query;
+a load generator drives moving-object tuples through
+:class:`~repro.server.client.PulseClient` in batches, first unthrottled
+(peak ingest throughput) and then at a target rate (sustained-rate
+check with backpressure counters).  After the run the client's results
+are compared against an in-process reference execution of the same
+query over the same tuples — the benchmark *fails* on any parity
+mismatch, so a recorded throughput number always describes a correct
+server.
+
+Headline metrics recorded to ``BENCH_server_throughput.json``:
+
+* ``throughput`` — peak accepted tuples/second over loopback;
+* ``sustained_rate_target`` / ``sustained_rate_achieved`` — the
+  rate-controlled pass;
+* ``shed`` / ``blocked`` / ``results_dropped`` — backpressure counters
+  observed during the runs (exported via the metrics snapshot too).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload for CI (the server-smoke
+job runs exactly this and uploads the artifact).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import record_result  # noqa: E402
+
+from repro.engine.lowering import to_discrete_plan
+from repro.query import parse_query, plan_query
+from repro.server import PulseClient, ServerConfig, ServerThread
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+QUERY = "select * from objects where x > 0"
+STREAM = "objects"
+N_TUPLES = 2_000 if SMOKE else 50_000
+BATCH = 200 if SMOKE else 500
+TARGET_RATE = 10_000.0  # tuples/s the acceptance criterion pins
+SEED = 7
+
+
+def generate(n: int) -> list[dict]:
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(rate=float(n), seed=SEED)
+    )
+    return [dict(t) for t in gen.tuples(n)]
+
+
+def reference_results(tuples: list[dict]) -> list[dict]:
+    """The same query executed in-process (discrete path)."""
+    from repro.engine.tuples import StreamTuple
+
+    query = to_discrete_plan(plan_query(parse_query(QUERY)))
+    outputs = []
+    for tup in tuples:
+        outputs.extend(query.push(STREAM, StreamTuple(tup)))
+    outputs.extend(query.flush())
+    return [dict(t) for t in outputs]
+
+
+def run_pass(
+    port: int, tuples: list[dict], rate: float | None
+) -> dict:
+    """One client session: subscribe, ingest, flush, drain, verify."""
+    with PulseClient("127.0.0.1", port) as client:
+        client.connect()
+        sub = client.subscribe("bench", mode="discrete")
+        t0 = time.perf_counter()
+        totals = client.ingest_iter(
+            STREAM, tuples, batch_size=BATCH, rate=rate
+        )
+        client.flush()
+        elapsed = time.perf_counter() - t0
+        results = client.drain_results(sub["subscription"])
+        notices = client.drain_notices("backpressure")
+        client.unsubscribe(sub["subscription"])
+    expected = reference_results(tuples)
+    if results != expected:
+        raise SystemExit(
+            f"PARITY FAILURE: server returned {len(results)} results, "
+            f"reference produced {len(expected)}"
+        )
+    return {
+        "elapsed_s": elapsed,
+        "throughput": totals["accepted"] / elapsed,
+        "accepted": totals["accepted"],
+        "shed": totals["shed"],
+        "blocked": totals["blocked"],
+        "results": len(results),
+        "dropped_result_notices": sum(
+            n.get("dropped_results", 0) for n in notices
+        ),
+    }
+
+
+def main() -> int:
+    tuples = generate(N_TUPLES)
+    config = ServerConfig(backpressure="block")
+    queries = [("bench", QUERY, None)]
+    with ServerThread(config, queries) as handle:
+        print(
+            f"server on :{handle.port}; {N_TUPLES} tuples, "
+            f"batch {BATCH}{' (smoke)' if SMOKE else ''}"
+        )
+        peak = run_pass(handle.port, tuples, rate=None)
+        print(
+            f"peak: {peak['throughput']:,.0f} t/s "
+            f"({peak['accepted']} accepted, {peak['results']} results, "
+            f"parity ok)"
+        )
+        sustained = run_pass(handle.port, tuples, rate=TARGET_RATE)
+        achieved = sustained["accepted"] / sustained["elapsed_s"]
+        print(
+            f"sustained @ {TARGET_RATE:,.0f} t/s target: "
+            f"{achieved:,.0f} t/s achieved (parity ok)"
+        )
+        stats_client = PulseClient("127.0.0.1", handle.port)
+        try:
+            stats_client.connect()
+            engine = stats_client.stats()["engine"]
+        finally:
+            stats_client.close()
+
+    ok = peak["throughput"] >= TARGET_RATE
+    record_result(
+        "server_throughput",
+        {
+            "throughput": peak["throughput"],
+            "wall_time_s": peak["elapsed_s"],
+            "tuples": N_TUPLES,
+            "batch_size": BATCH,
+            "smoke": SMOKE,
+            "peak_accepted": peak["accepted"],
+            "peak_results": peak["results"],
+            "sustained_rate_target": TARGET_RATE,
+            "sustained_rate_achieved": achieved,
+            "shed": peak["shed"] + sustained["shed"],
+            "blocked": peak["blocked"] + sustained["blocked"],
+            "results_dropped": peak["dropped_result_notices"]
+            + sustained["dropped_result_notices"],
+            "items_enqueued": engine["items_enqueued"],
+            "parity": "exact",
+            "meets_10k_floor": ok,
+        },
+    )
+    print(f"recorded BENCH_server_throughput.json (10k floor: {ok})")
+    if not ok and not SMOKE:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

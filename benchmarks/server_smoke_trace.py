@@ -1,0 +1,129 @@
+"""CI server smoke: replay a CSV trace through the socket, check parity.
+
+Writes a 200-tuple moving-objects trace to disk with
+:func:`~repro.workloads.write_trace` (plus a few deliberately damaged
+rows appended), replays it through a live server with
+:func:`~repro.workloads.read_trace` feeding
+:class:`~repro.server.client.PulseClient`, and asserts:
+
+* the damaged rows were skipped at the CSV boundary (never sent);
+* the server's results are bit-exact against an in-process execution
+  of the same query over the same replayed tuples, in both modes;
+* the server and engine threads shut down cleanly.
+
+Exit code 0 on success; any failure raises.  This is the CI
+``server-smoke`` job's entry point, kept importless of pytest so it
+doubles as a local sanity command::
+
+    PYTHONPATH=src python benchmarks/server_smoke_trace.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.engine.metrics import get_counter
+from repro.engine.tuples import StreamTuple
+from repro.fitting.model_builder import StreamModelBuilder
+from repro.query import parse_query, plan_query
+from repro.server import PulseClient, ServerConfig, ServerThread
+from repro.server.protocol import serialize_results
+from repro.workloads import (
+    MovingObjectConfig,
+    MovingObjectGenerator,
+    read_trace,
+    write_trace,
+)
+
+QUERY = "select * from objects where x > 0"
+STREAM = "objects"
+FIT = {"attrs": ["x", "y"], "key_fields": ["id"]}
+N = 200
+BOUND = 0.05
+
+
+def build_trace(path: Path) -> None:
+    gen = MovingObjectGenerator(MovingObjectConfig(rate=float(N), seed=7))
+    write_trace(path, gen.tuples(N), ("time", "id", "x", "y"))
+    with path.open("a") as f:  # damage the tail: replay must shrug
+        f.write("9.0,objX,nan,1.0\n")
+        f.write("9.1,objX,inf,1.0\n")
+        f.write("9.2,objX\n")
+
+
+def main() -> int:
+    skipped = get_counter("replay.skipped_rows")
+    nonfinite = get_counter("replay.nonfinite_rows")
+    skipped.reset()
+    nonfinite.reset()
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "smoke.csv"
+        build_trace(trace_path)
+        tuples = [dict(t) for t in read_trace(trace_path)]
+    assert len(tuples) == N, f"expected {N} clean tuples, got {len(tuples)}"
+    assert skipped.value == 3 and nonfinite.value == 2, (
+        f"damage counters wrong: skipped={skipped.value} "
+        f"nonfinite={nonfinite.value}"
+    )
+
+    # in-process references
+    dq = to_discrete_plan(plan_query(parse_query(QUERY)))
+    d_ref = []
+    for tup in tuples:
+        d_ref.extend(dq.push(STREAM, StreamTuple(tup)))
+    d_ref.extend(dq.flush())
+    d_ref = serialize_results(d_ref)
+
+    builder = StreamModelBuilder(
+        tuple(FIT["attrs"]), BOUND,
+        key_fields=tuple(FIT["key_fields"]),
+        constants=tuple(FIT["key_fields"]),
+    )
+    cq = to_continuous_plan(plan_query(parse_query(QUERY)))
+    c_ref = []
+    for tup in tuples:
+        for seg in builder.add(StreamTuple(tup)):
+            c_ref.extend(cq.push(STREAM, seg))
+    for seg in builder.finish():
+        c_ref.extend(cq.push(STREAM, seg))
+    c_ref = serialize_results(c_ref)
+
+    with ServerThread(ServerConfig(), [("q", QUERY, None)]) as handle:
+        with PulseClient("127.0.0.1", handle.port) as client:
+            client.connect()
+            client.register("qc", QUERY, fit=FIT)
+            d_sub = client.subscribe("q", mode="discrete")
+            c_sub = client.subscribe("qc", mode="continuous",
+                                     error_bound=BOUND)
+            ack = client.ingest(STREAM, tuples)
+            assert ack["accepted"] == N, ack
+            assert ack["rejected"] == 0, ack
+            client.flush()
+            d_got = client.drain_results(d_sub["subscription"])
+            c_got = client.drain_results(c_sub["subscription"])
+    # exiting both context managers IS the clean-shutdown assertion:
+    # ServerThread.stop raises if either thread fails to join
+
+    assert d_got == d_ref, (
+        f"discrete parity failure: {len(d_got)} vs {len(d_ref)} results"
+    )
+    assert c_got == c_ref, (
+        f"continuous parity failure: {len(c_got)} vs {len(c_ref)} segments"
+    )
+    print(
+        f"server smoke ok: {N} tuples replayed from trace "
+        f"(3 damaged rows skipped at the CSV boundary), "
+        f"{len(d_got)} discrete results and {len(c_got)} segments "
+        f"bit-exact, clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

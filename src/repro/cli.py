@@ -5,6 +5,10 @@ Usage::
     python -m repro explain --query "select * from objects where x > 0"
     python -m repro run --query "..." --workload moving --tuples 2000 \
         --mode both
+    python -m repro serve --query "q1=select * from objects where x > 0" \
+        --workload moving --port 7433
+    python -m repro ingest --port 7433 --stream objects --workload moving \
+        --tuples 2000 --subscribe q1
     python -m repro params
 
 ``run`` generates the chosen synthetic workload, executes the query on
@@ -171,6 +175,119 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _workload_fit(name: str):
+    """Fit spec implied by a workload preset (modeled attrs + keys)."""
+    from .server import FitSpec
+
+    _label, attrs, key_fields = _WORKLOADS[name]
+    return FitSpec(attrs=attrs, key_fields=key_fields)
+
+
+def cmd_serve(args) -> int:
+    from .server import ServerConfig, ServerThread
+
+    queries = []
+    for spec in args.query or ():
+        name, sep, text = spec.partition("=")
+        if not sep or not name or not text:
+            raise ValueError(
+                f"--query must look like NAME=QUERY_TEXT, got {spec!r}"
+            )
+        queries.append((name.strip(), text.strip(), None))
+    default_fit = _workload_fit(args.workload) if args.workload else None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        backpressure=args.backpressure,
+        queue_capacity=args.queue_capacity,
+        num_shards=args.shards,
+        slow_solve_budget_s=(
+            args.slow_solve_ms / 1e3
+            if args.slow_solve_ms is not None
+            else None
+        ),
+        default_tolerance=args.tolerance,
+        default_fit=default_fit,
+    )
+    if args.trace_out:
+        from .engine import tracing
+
+        tracing.enable_observability(args.trace_out)
+    handle = ServerThread(config, queries).start()
+    names = ", ".join(n for n, _t, _f in queries) or "(none)"
+    print(
+        f"pulse server listening on {args.host}:{handle.port} "
+        f"(queries: {names}); Ctrl-C to stop"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping...")
+    finally:
+        handle.stop()
+        if args.trace_out:
+            from .engine import tracing
+
+            tracing.disable_observability()
+            print(f"trace written to {args.trace_out}")
+    print("server stopped")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    from .server import PulseClient
+
+    if args.trace is None and args.workload is None:
+        raise ValueError("pass --trace PATH or --workload NAME")
+    with PulseClient(args.host, args.port) as client:
+        hello = client.connect(backpressure=args.backpressure)
+        print(
+            f"connected to {hello['server']} protocol {hello['protocol']}; "
+            f"queries: {hello['queries']}"
+        )
+        sub_id = None
+        if args.subscribe:
+            ack = client.subscribe(
+                args.subscribe, mode=args.mode, error_bound=args.error_bound
+            )
+            sub_id = ack["subscription"]
+            print(
+                f"subscribed #{sub_id} to {args.subscribe!r} "
+                f"({ack['mode']}, bound {ack['error_bound']})"
+            )
+        if args.trace is not None:
+            from .workloads import read_trace
+
+            tuples = read_trace(args.trace)
+        else:
+            gen = _make_generator(args.workload, args.rate, args.seed)
+            tuples = gen.tuples(args.tuples)
+        totals = client.ingest_iter(
+            args.stream,
+            tuples,
+            batch_size=args.batch,
+            rate=args.limit_rate,
+        )
+        ack = client.flush()
+        elapsed = totals.pop("elapsed_s")
+        sent = totals.pop("sent")
+        print(
+            f"ingested {sent} tuples in {elapsed:.2f} s "
+            f"({sent / max(elapsed, 1e-9):,.0f} t/s): {totals}"
+        )
+        print(f"flush: {ack['flushed_segments']} trailing segments")
+        if sub_id is not None:
+            results = client.drain_results(sub_id)
+            print(f"received {len(results)} results")
+            for row in results[: args.show]:
+                print(f"  {row}")
+        notices = client.drain_notices()
+        for notice in notices[: args.show]:
+            print(f"  notice: {notice}")
+    return 0
+
+
 def cmd_params(args) -> int:
     from .bench.params import format_params_table
 
@@ -221,6 +338,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag arrivals that take longer than MS milliseconds via "
         "the resilience watchdog counters")
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the network ingest/subscribe server"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7433,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument(
+        "--query", action="append", metavar="NAME=TEXT",
+        help="pre-register a query (repeatable)")
+    p_serve.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default=None,
+        help="derive the default fit spec (modeled attrs, key fields) "
+        "from this workload preset")
+    p_serve.add_argument("--tolerance", type=float, default=0.05,
+                         help="default fitting tolerance")
+    p_serve.add_argument(
+        "--backpressure", choices=("block", "shed-oldest", "shed-newest"),
+        default="block")
+    p_serve.add_argument("--queue-capacity", type=int, default=None)
+    p_serve.add_argument("--shards", type=int, default=1)
+    p_serve.add_argument("--slow-solve-ms", type=float, default=None,
+                         metavar="MS")
+    p_serve.add_argument("--trace-out", default=None, metavar="PATH")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="stream tuples into a running server"
+    )
+    p_ingest.add_argument("--host", default="127.0.0.1")
+    p_ingest.add_argument("--port", type=int, default=7433)
+    p_ingest.add_argument("--stream", default="objects",
+                          help="target stream name")
+    p_ingest.add_argument("--trace", default=None, metavar="PATH",
+                          help="replay a CSV trace file")
+    p_ingest.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default=None,
+        help="generate tuples instead of replaying a trace")
+    p_ingest.add_argument("--tuples", type=int, default=2000)
+    p_ingest.add_argument("--rate", type=float, default=1000.0,
+                          help="workload generator tuple rate")
+    p_ingest.add_argument("--seed", type=int, default=7)
+    p_ingest.add_argument("--batch", type=int, default=256,
+                          help="tuples per ingest request")
+    p_ingest.add_argument(
+        "--limit-rate", type=float, default=None, metavar="TPS",
+        help="cap the send rate (tuples/second)")
+    p_ingest.add_argument(
+        "--subscribe", default=None, metavar="QUERY",
+        help="also subscribe to this query and print its results")
+    p_ingest.add_argument(
+        "--mode", choices=("continuous", "discrete"), default="continuous")
+    p_ingest.add_argument("--error-bound", type=float, default=None)
+    p_ingest.add_argument(
+        "--backpressure", choices=("block", "shed-oldest", "shed-newest"),
+        default=None, help="per-connection ingest back-pressure policy")
+    p_ingest.add_argument("--show", type=int, default=3)
+    p_ingest.set_defaults(func=cmd_ingest)
 
     p_params = sub.add_parser(
         "params", help="print the paper's experimental-parameter table (Fig. 6)"

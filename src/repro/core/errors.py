@@ -89,14 +89,16 @@ class QuerySyntaxError(PulseError):
 
 
 class TraceError(PulseError):
-    """A replayed trace row is malformed (strict replay mode).
+    """A trace row is malformed (strict replay, or a write-side gap).
 
     Carries the 1-based data-row number so operators can locate the bad
-    row in the CSV trace.
+    row in the CSV trace, and — for write-side failures — the name of
+    the declared field the tuple was missing.
     """
 
-    def __init__(self, message: str, row: int = 0):
+    def __init__(self, message: str, row: int = 0, field: str = ""):
         self.row = row
+        self.field = field
         if row:
             message = f"{message} (trace row {row})"
         super().__init__(message)

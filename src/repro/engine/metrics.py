@@ -22,6 +22,7 @@ the shapes:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
@@ -44,16 +45,31 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 
 @dataclass
 class Counter:
-    """A named, resettable event counter."""
+    """A named, resettable event counter.
+
+    Thread-safe: the network server's event-loop thread bumps the same
+    registry objects (``server.*``, ``replay.*``) that the engine
+    thread reads and resets, and ``value += by`` is a read-modify-write
+    that loses increments under that interleaving.  A per-counter lock
+    makes :meth:`bump`/:meth:`reset` linearizable; the uncontended
+    acquire is ~100 ns, which every bump site already dwarfs.  Reads of
+    ``value`` stay lock-free — a snapshot may be one bump stale, never
+    torn (ints swap atomically under the GIL).
+    """
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def bump(self, by: int = 1) -> None:
-        self.value += by
+        with self._lock:
+            self.value += by
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 @dataclass
@@ -62,20 +78,28 @@ class Gauge:
 
     Counters only accumulate; gauges report a current state that can go
     down as well as up, which is what the resilience layer exports for
-    breaker occupancy and queue depths.
+    breaker occupancy and queue depths.  Locked like :class:`Counter`
+    (:meth:`add` is the racy read-modify-write; :meth:`set` takes the
+    lock too so a concurrent ``add`` is never half-applied over it).
     """
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, by: float = 1.0) -> None:
-        self.value += by
+        with self._lock:
+            self.value += by
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
@@ -92,6 +116,19 @@ class Histogram:
     ``observe`` is a single bisect plus three integer adds, cheap enough
     for per-solve instrumentation; the observability layer still guards
     every call site so a disabled run pays nothing at all.
+
+    **Single-writer invariant (unlocked by design).**  Unlike
+    :class:`Counter`/:class:`Gauge`, histograms are *not* locked:
+    ``observe`` sits on the traced solve hot path and its three-field
+    update would pay a lock per solve.  Instead every histogram has
+    exactly one writer thread — the engine thread owns the ``runtime.*``
+    and ``solver.*`` histograms (shard workers ship *snapshots* home
+    and the parent merges them on the engine thread), and the network
+    server's event-loop thread owns the ``server.*`` histograms it
+    creates.  Cross-thread readers (``MetricsSnapshot.collect``) may
+    see a snapshot mid-update — one observation's count/sum skew, never
+    a torn bucket list.  Creating a histogram that two threads observe
+    is a bug; give each thread its own and merge.
     """
 
     __slots__ = ("name", "bounds", "counts", "total", "count")
@@ -208,19 +245,29 @@ class CounterRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Guards get-or-create only: without it, two threads resolving
+        # the same name for the first time each build an object and one
+        # thread keeps bumping an orphan the registry never reports.
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Get or create the named counter."""
         found = self._counters.get(name)
         if found is None:
-            found = self._counters[name] = Counter(name)
+            with self._create_lock:
+                found = self._counters.get(name)
+                if found is None:
+                    found = self._counters[name] = Counter(name)
         return found
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the named gauge."""
         found = self._gauges.get(name)
         if found is None:
-            found = self._gauges[name] = Gauge(name)
+            with self._create_lock:
+                found = self._gauges.get(name)
+                if found is None:
+                    found = self._gauges[name] = Gauge(name)
         return found
 
     def histogram(
@@ -229,7 +276,10 @@ class CounterRegistry:
         """Get or create the named histogram (bounds fixed on creation)."""
         found = self._histograms.get(name)
         if found is None:
-            found = self._histograms[name] = Histogram(name, bounds)
+            with self._create_lock:
+                found = self._histograms.get(name)
+                if found is None:
+                    found = self._histograms[name] = Histogram(name, bounds)
         return found
 
     def value(self, name: str) -> int:

@@ -64,6 +64,8 @@ SPAN_KINDS = (
     "emit",
     "cache",
     "watchdog",
+    "session",
+    "ingest",
 )
 
 
@@ -225,6 +227,46 @@ class Tracer:
         pending.append(span)
         if len(pending) >= self._buffer_limit:
             self._drain()
+
+    # ------------------------------------------------------------------
+    # detached spans: explicit parents, no stack participation
+    # ------------------------------------------------------------------
+    def start_detached(
+        self, name: str, kind: str, parent_id: int | None = None, **attrs
+    ) -> Span:
+        """Open a span with an explicit parent, outside the stack.
+
+        The stack models strictly nested work on one thread; the network
+        server's ``session`` spans are long-lived and *overlap* (many
+        connections at once), and its ``ingest`` spans must parent to
+        their session rather than to whatever engine work happens to be
+        on the stack.  Detached spans carry their parent explicitly and
+        never touch the stack, so they cannot corrupt the nesting of
+        the engine's own spans.  Finish with :meth:`finish_detached`
+        (``finish`` would pop the stack down past unrelated spans).
+        """
+        span = Span(
+            self._next_id, parent_id, name, kind, self._now(), None, attrs
+        )
+        self._next_id += 1
+        return span
+
+    def finish_detached(self, span: Span, **attrs) -> None:
+        """Close a detached span and emit its record (stack untouched)."""
+        span.t_end = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+        self._emit(span)
+
+    def event_under(
+        self, parent_id: int | None, name: str, kind: str, **attrs
+    ) -> None:
+        """A zero-duration span under an explicit parent."""
+        now = self._now()
+        self._emit(
+            Span(self._next_id, parent_id, name, kind, now, now, attrs)
+        )
+        self._next_id += 1
 
     @contextmanager
     def span(self, name: str, kind: str, **attrs) -> Iterator[Span]:

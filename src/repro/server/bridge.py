@@ -1,0 +1,644 @@
+"""Thread-safe bridge between the network layer and the query runtime.
+
+The :class:`~repro.engine.scheduler.QueryRuntime` (and everything below
+it: solve caches, the tracer, the shard dispatcher) is single-threaded
+by design.  The server keeps it that way: one dedicated **engine
+thread** owns the runtime, the fitting builders and all tracer access;
+the asyncio event loop submits commands through a queue and awaits
+their futures.  Nothing engine-side is ever touched from the loop
+thread, so none of the hot-path structures grow locks.
+
+Ordering guarantee: each command *pumps* the runtime (drains every
+queue) and delivers outputs through ``on_outputs`` **before** its
+future resolves.  Both the delivery callbacks and the future
+resolution cross into the event loop via ``call_soon_threadsafe``,
+which is FIFO — so by the time a client sees the ``ack`` for a
+``flush``, every result that flush produced has already been written
+ahead of it.  That is what makes the loopback parity tests exact
+rather than eventually-consistent.
+
+Query instances
+---------------
+A ``register`` stores the *parsed* query once.  Subscriptions then
+instantiate it per ``(mode, error_bound)``:
+
+* **discrete** — one instance per query; ingested tuples push straight
+  through the lowered plan.
+* **continuous** — one instance per ``(query, error_bound)``; each
+  instance owns its own per-stream
+  :class:`~repro.fitting.model_builder.StreamModelBuilder` with the
+  subscription's bound as the fitting tolerance, so two subscribers
+  asking for different precision get independently fitted segment
+  streams (the paper's error bound is a model-precision knob, and here
+  it is honoured per subscription).
+
+Every instance registers with the runtime under a *namespaced* stream
+name (``<instance>/<stream>``), so segments fitted at one tolerance
+can never leak into an instance fitted at another.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.errors import PlanError, PulseError
+from ..core.transform import TransformedQuery, to_continuous_plan
+from ..engine import tracing
+from ..engine.lowering import LoweredQuery, to_discrete_plan
+from ..engine.metrics import get_counter, get_histogram
+from ..engine.scheduler import QueryRuntime
+from ..engine.tuples import StreamTuple
+from ..fitting.model_builder import StreamModelBuilder
+from ..query import parse_query, plan_query
+from .protocol import ProtocolError
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class FitSpec:
+    """How to fit arriving tuples into segments for a continuous query.
+
+    ``attrs`` are the modeled attributes; ``key_fields`` identify the
+    entity; ``constants`` ride along unmodeled (defaulting to the key
+    fields, which is what every workload preset wants).
+    """
+
+    attrs: tuple[str, ...]
+    key_fields: tuple[str, ...] = ()
+    constants: tuple[str, ...] | None = None
+
+    @property
+    def effective_constants(self) -> tuple[str, ...]:
+        return self.key_fields if self.constants is None else self.constants
+
+    @classmethod
+    def from_wire(cls, obj: object) -> "FitSpec":
+        if not isinstance(obj, dict):
+            raise ProtocolError("'fit' must be a JSON object")
+        attrs = obj.get("attrs")
+        if not isinstance(attrs, list) or not all(
+            isinstance(a, str) for a in attrs
+        ) or not attrs:
+            raise ProtocolError("'fit.attrs' must be a list of field names")
+        key_fields = obj.get("key_fields", [])
+        constants = obj.get("constants")
+        for name, value in (("key_fields", key_fields), ("constants", constants)):
+            if value is not None and (
+                not isinstance(value, list)
+                or not all(isinstance(v, str) for v in value)
+            ):
+                raise ProtocolError(
+                    f"'fit.{name}' must be a list of field names"
+                )
+        return cls(
+            attrs=tuple(attrs),
+            key_fields=tuple(key_fields),
+            constants=None if constants is None else tuple(constants),
+        )
+
+
+@dataclass
+class _QueryEntry:
+    """One registered logical query (parsed once, instantiated lazily)."""
+
+    name: str
+    text: str
+    planned: object
+    fit: FitSpec | None
+
+
+@dataclass
+class _Instance:
+    """One runtime-registered (query, mode, bound) execution instance."""
+
+    runtime_name: str
+    entry: _QueryEntry
+    mode: str
+    bound: float | None
+    #: Original (wire-visible) stream names this instance consumes.
+    streams: tuple[str, ...]
+    #: ``wire stream -> namespaced runtime stream``.
+    stream_map: dict[str, str]
+    #: Continuous only: per-stream incremental fitters.
+    builders: dict[str, StreamModelBuilder] = field(default_factory=dict)
+    subscribers: list[int] = field(default_factory=list)
+    seq: int = 0
+    fit_rejects: int = 0
+
+    def info(self) -> dict:
+        return {
+            "query": self.entry.name,
+            "mode": self.mode,
+            "error_bound": self.bound,
+            "instance": self.runtime_name,
+        }
+
+
+class EngineBridge:
+    """Owns the runtime on a dedicated thread; commands cross a queue.
+
+    Parameters
+    ----------
+    runtime_kwargs:
+        Passed to :class:`~repro.engine.scheduler.QueryRuntime`
+        (``queue_capacity``, ``backpressure``, ``num_shards``,
+        ``slow_solve_budget_s``, ...).
+    default_tolerance:
+        Fitting tolerance for continuous subscriptions that specify no
+        error bound and whose query text carries none.
+    default_fit:
+        Fallback :class:`FitSpec` for queries registered without one
+        (the CLI derives it from the ``--workload`` preset).
+    on_outputs:
+        ``(sub_ids, instance_info, outputs) -> None``, called on the
+        engine thread; the server trampolines it into the loop.
+    on_notify:
+        ``(kind, payload) -> None`` for watchdog / backpressure /
+        breaker pushes, same threading rule.
+    """
+
+    def __init__(
+        self,
+        runtime_kwargs: Mapping | None = None,
+        *,
+        default_tolerance: float = 0.05,
+        default_fit: FitSpec | None = None,
+        on_outputs: Callable[[list[int], dict, list], None] | None = None,
+        on_notify: Callable[[str, dict], None] | None = None,
+    ):
+        self.runtime = QueryRuntime(**dict(runtime_kwargs or {}))
+        self.default_tolerance = default_tolerance
+        self.default_fit = default_fit
+        self.on_outputs = on_outputs
+        self.on_notify = on_notify
+        self._commands: queue.Queue = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._entries: dict[str, _QueryEntry] = {}
+        self._instances: dict[tuple, _Instance] = {}
+        self._subs: dict[int, tuple[_Instance, int]] = {}
+        self._session_spans: dict[int, object] = {}
+        self._last_shed = 0
+        self._last_dropped = 0
+        self._last_slow = 0
+        self._last_open: frozenset = frozenset()
+        self._ingest_hist = get_histogram("server.ingest_batch_seconds")
+        self._ingested_counter = get_counter("server.ingested_tuples")
+        self._no_consumer_counter = get_counter("server.no_consumer_tuples")
+
+    # ------------------------------------------------------------------
+    # lifecycle (any thread)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("bridge already started")
+        self._thread = threading.Thread(
+            target=self._run, name="pulse-engine", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the engine thread and tear down the runtime."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._commands.put(_STOP)
+        thread.join(timeout)
+        if thread.is_alive():
+            raise RuntimeError("engine thread did not stop")
+        self._thread = None
+        self.runtime.close()
+
+    def submit(self, fn: Callable[[], object]) -> Future:
+        """Run ``fn`` on the engine thread; resolve the future after
+        the post-command pump has delivered all outputs."""
+        future: Future = Future()
+        self._commands.put((fn, future))
+        return future
+
+    # ------------------------------------------------------------------
+    # commands (construct on any thread, run on the engine thread)
+    # ------------------------------------------------------------------
+    def register_query(
+        self, name: str, text: str, fit: FitSpec | None = None
+    ) -> Future:
+        return self.submit(lambda: self._do_register(name, text, fit))
+
+    def subscribe(
+        self,
+        sub_id: int,
+        query: str,
+        mode: str,
+        bound: float | None,
+        session_id: int | None = None,
+    ) -> Future:
+        return self.submit(
+            lambda: self._do_subscribe(sub_id, query, mode, bound, session_id)
+        )
+
+    def unsubscribe(self, sub_id: int) -> Future:
+        return self.submit(lambda: self._do_unsubscribe(sub_id))
+
+    def ingest(
+        self,
+        session_id: int | None,
+        stream: str,
+        tuples: Sequence[StreamTuple],
+        policy: str | None = None,
+    ) -> Future:
+        return self.submit(
+            lambda: self._do_ingest(session_id, stream, tuples, policy)
+        )
+
+    def flush(self) -> Future:
+        return self.submit(self._do_flush)
+
+    def stats(self) -> Future:
+        return self.submit(self._do_stats)
+
+    def open_session(self, session_id: int, peer: str) -> Future:
+        return self.submit(lambda: self._do_open_session(session_id, peer))
+
+    def close_session(self, session_id: int) -> Future:
+        return self.submit(lambda: self._do_close_session(session_id))
+
+    # ------------------------------------------------------------------
+    # engine thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            cmd = self._commands.get()
+            if cmd is _STOP:
+                break
+            fn, future = cmd
+            try:
+                result = fn()
+                # Deliveries happen inside fn's pump; resolving after
+                # them is the results-before-ack ordering guarantee.
+                future.set_result(result)
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+
+    def _do_register(
+        self, name: str, text: str, fit: FitSpec | None
+    ) -> dict:
+        if name in self._entries:
+            raise PlanError(f"query {name!r} already registered")
+        planned = plan_query(parse_query(text))
+        entry = _QueryEntry(name, text, planned, fit or self.default_fit)
+        self._entries[name] = entry
+        return {
+            "registered": name,
+            "streams": sorted(planned.stream_sources),
+        }
+
+    def _resolve_bound(
+        self, entry: _QueryEntry, bound: float | None
+    ) -> float:
+        if bound is not None:
+            return float(bound)
+        spec = entry.planned.error_spec
+        if spec is not None:
+            return float(spec.bound)
+        return self.default_tolerance
+
+    def _do_subscribe(
+        self,
+        sub_id: int,
+        query: str,
+        mode: str,
+        bound: float | None,
+        session_id: int | None,
+    ) -> dict:
+        entry = self._entries.get(query)
+        if entry is None:
+            raise PlanError(
+                f"query {query!r} is not registered; "
+                f"known queries: {sorted(self._entries)}"
+            )
+        if mode == "continuous":
+            bound = self._resolve_bound(entry, bound)
+            key = (query, mode, bound)
+        else:
+            bound = None
+            key = (query, mode)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = self._make_instance(entry, mode, bound)
+            self._instances[key] = instance
+        instance.subscribers.append(sub_id)
+        self._subs[sub_id] = (instance, session_id)
+        return {
+            "subscription": sub_id,
+            "instance": instance.runtime_name,
+            "mode": mode,
+            "error_bound": bound,
+            "streams": list(instance.streams),
+        }
+
+    def _make_instance(
+        self, entry: _QueryEntry, mode: str, bound: float | None
+    ) -> _Instance:
+        streams = tuple(entry.planned.stream_sources)
+        if mode == "continuous":
+            runtime_name = f"{entry.name}~c@{bound:g}"
+            compiled = to_continuous_plan(entry.planned)
+        else:
+            runtime_name = f"{entry.name}~d"
+            compiled = to_discrete_plan(entry.planned)
+        stream_map = {s: f"{runtime_name}/{s}" for s in streams}
+        namespaced_sources = {
+            stream_map[s]: compiled.stream_sources[s] for s in streams
+        }
+        if mode == "continuous":
+            namespaced = TransformedQuery(
+                compiled.plan,
+                namespaced_sources,
+                sample_period=compiled.sample_period,
+                inferred_period=compiled.inferred_period,
+                error_bound=compiled.error_bound,
+            )
+        else:
+            namespaced = LoweredQuery(compiled.plan, namespaced_sources)
+        instance = _Instance(
+            runtime_name=runtime_name,
+            entry=entry,
+            mode=mode,
+            bound=bound,
+            streams=streams,
+            stream_map=stream_map,
+        )
+        if mode == "continuous":
+            fit = entry.fit
+            if fit is None:
+                raise PlanError(
+                    f"continuous subscription to {entry.name!r} needs a "
+                    f"fit spec (attrs/key_fields) and none was registered"
+                )
+            for s in streams:
+                instance.builders[s] = StreamModelBuilder(
+                    fit.attrs,
+                    bound,
+                    key_fields=fit.key_fields,
+                    constants=fit.effective_constants,
+                )
+        self.runtime.register(runtime_name, namespaced)
+        return instance
+
+    def _do_unsubscribe(self, sub_id: int) -> dict:
+        entry = self._subs.pop(sub_id, None)
+        if entry is None:
+            raise PlanError(f"unknown subscription {sub_id}")
+        instance, _session = entry
+        instance.subscribers.remove(sub_id)
+        # The instance stays registered: its fitted state (open
+        # segmenter windows, join buffers) is expensive to rebuild and
+        # a re-subscriber at the same bound reattaches to it.
+        return {"subscription": sub_id}
+
+    def _do_ingest(
+        self,
+        session_id: int | None,
+        stream: str,
+        tuples: Sequence[StreamTuple],
+        policy: str | None,
+    ) -> dict:
+        t0 = time.perf_counter()
+        tracer = tracing.current_tracer()
+        span = None
+        if tracer is not None:
+            parent = self._session_spans.get(session_id)
+            span = tracer.start_detached(
+                "ingest",
+                "ingest",
+                parent_id=parent.span_id if parent is not None else None,
+                stream=stream,
+                tuples=len(tuples),
+            )
+        counts = {
+            "accepted": 0,
+            "blocked": 0,
+            "shed": 0,
+            "no_consumer": 0,
+            "fit_rejected": 0,
+        }
+        consumers = [
+            inst
+            for inst in self._instances.values()
+            if stream in inst.stream_map
+        ]
+        previous_policy = self.runtime.backpressure
+        if policy is not None:
+            # Per-connection back-pressure: the policy rides with the
+            # batch and is restored afterwards — commands on the engine
+            # thread are serialized, so this cannot interleave.
+            self.runtime.backpressure = policy
+        try:
+            for tup in tuples:
+                if not consumers:
+                    counts["no_consumer"] += 1
+                    continue
+                admitted = True
+                for inst in consumers:
+                    if inst.mode == "discrete":
+                        if not self.runtime.enqueue(
+                            inst.stream_map[stream], tup
+                        ):
+                            admitted = False
+                    else:
+                        segments = self._fit(inst, stream, tup, counts)
+                        for seg in segments:
+                            if not self.runtime.enqueue(
+                                inst.stream_map[stream], seg
+                            ):
+                                admitted = False
+                if admitted:
+                    counts["accepted"] += 1
+                else:
+                    bp = self.runtime.backpressure
+                    counts["shed" if bp == "shed-newest" else "blocked"] += 1
+        finally:
+            self.runtime.backpressure = previous_policy
+        self._ingested_counter.bump(counts["accepted"])
+        if counts["no_consumer"]:
+            self._no_consumer_counter.bump(counts["no_consumer"])
+        self._pump()
+        self._ingest_hist.observe(time.perf_counter() - t0)
+        if tracer is not None and span is not None:
+            tracer.finish_detached(span, **counts)
+        return counts
+
+    def _fit(
+        self, inst: _Instance, stream: str, tup: StreamTuple, counts: dict
+    ) -> list:
+        """One tuple through the instance's segmenter; [] on rejection.
+
+        Fit preconditions (modeled attrs and key fields present and
+        numeric where modeled) are checked *before* the segmenter sees
+        the tuple: ``MultiAttributeSegmenter.add`` consumes the point
+        attribute-by-attribute, so letting it raise midway would leave
+        the per-attribute windows inconsistent.
+        """
+        fit = inst.entry.fit
+        for attr in fit.attrs:
+            value = tup.get(attr)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                counts["fit_rejected"] += 1
+                inst.fit_rejects += 1
+                return []
+        for key_field in fit.key_fields:
+            if key_field not in tup:
+                counts["fit_rejected"] += 1
+                inst.fit_rejects += 1
+                return []
+        return inst.builders[stream].add(tup)
+
+    def _do_flush(self) -> dict:
+        """End-of-stream barrier: close every open fitted segment,
+        drain the runtime, deliver everything."""
+        flushed = 0
+        for instance in self._instances.values():
+            for stream, builder in instance.builders.items():
+                for seg in builder.finish():
+                    # finish() is called at end of trace; admission uses
+                    # the server's standing policy, not any connection's.
+                    if self.runtime.enqueue(instance.stream_map[stream], seg):
+                        flushed += 1
+        processed = self._pump()
+        return {"flushed_segments": flushed, "processed": processed}
+
+    def _do_stats(self) -> dict:
+        stats: dict = {
+            "queries": sorted(self._entries),
+            "query_streams": {
+                name: sorted(entry.planned.stream_sources)
+                for name, entry in self._entries.items()
+            },
+            "instances": {
+                inst.runtime_name: {
+                    **inst.info(),
+                    "subscribers": len(inst.subscribers),
+                    "fit_rejected": inst.fit_rejects,
+                }
+                for inst in self._instances.values()
+            },
+            "queue_depths": dict(self.runtime.queue_depths()),
+            "total_pending": self.runtime.total_pending,
+            "items_enqueued": self.runtime.items_enqueued,
+            "items_shed": self.runtime.items_shed,
+            "items_dropped": self.runtime.items_dropped,
+            "resilience": _json_safe(self.runtime.resilience_stats()),
+        }
+        parallel = self.runtime.parallel_stats()
+        if parallel is not None:
+            stats["parallel"] = _json_safe(parallel)
+        return stats
+
+    def _do_open_session(self, session_id: int, peer: str) -> None:
+        tracer = tracing.current_tracer()
+        if tracer is not None:
+            self._session_spans[session_id] = tracer.start_detached(
+                "session", "session", peer=peer, session=session_id
+            )
+
+    def _do_close_session(self, session_id: int) -> None:
+        # Subscriptions owned by the session die with it.
+        for sub_id, (instance, sid) in list(self._subs.items()):
+            if sid == session_id:
+                instance.subscribers.remove(sub_id)
+                del self._subs[sub_id]
+        span = self._session_spans.pop(session_id, None)
+        if span is not None:
+            tracer = tracing.current_tracer()
+            if tracer is not None:
+                tracer.finish_detached(span)
+
+    # ------------------------------------------------------------------
+    # the pump: drain, deliver, notify
+    # ------------------------------------------------------------------
+    def _pump(self) -> int:
+        processed = self.runtime.run_until_idle()
+        tracer = tracing.current_tracer()
+        for instance in self._instances.values():
+            outputs = self.runtime.outputs(instance.runtime_name)
+            if not outputs:
+                continue
+            if not instance.subscribers:
+                continue  # drained and dropped: nobody is listening
+            if tracer is not None:
+                for sub_id in instance.subscribers:
+                    _inst, session_id = self._subs[sub_id]
+                    parent = self._session_spans.get(session_id)
+                    tracer.event_under(
+                        parent.span_id if parent is not None else None,
+                        "emit",
+                        "emit",
+                        subscription=sub_id,
+                        outputs=len(outputs),
+                    )
+            if self.on_outputs is not None:
+                self.on_outputs(
+                    list(instance.subscribers), instance.info(), outputs
+                )
+        self._emit_notifications()
+        return processed
+
+    def _emit_notifications(self) -> None:
+        if self.on_notify is None:
+            return
+        shed, dropped = self.runtime.items_shed, self.runtime.items_dropped
+        if shed > self._last_shed or dropped > self._last_dropped:
+            self.on_notify(
+                "backpressure",
+                {
+                    "policy": self.runtime.backpressure,
+                    "shed": shed - self._last_shed,
+                    "dropped": dropped - self._last_dropped,
+                },
+            )
+            self._last_shed, self._last_dropped = shed, dropped
+        watchdog = self.runtime.resilience_stats().get("watchdog")
+        if watchdog is not None and watchdog["slow_solves"] > self._last_slow:
+            self.on_notify(
+                "alert",
+                {
+                    "kind": "slow_solve",
+                    "count": watchdog["slow_solves"] - self._last_slow,
+                    "budget_s": watchdog["budget_s"],
+                },
+            )
+            self._last_slow = watchdog["slow_solves"]
+        breaker = self.runtime.breaker
+        if breaker is not None:
+            open_now = frozenset(breaker.open_keys())
+            if open_now != self._last_open:
+                self.on_notify(
+                    "breaker",
+                    {
+                        "open": sorted(
+                            [q, _json_safe(k)] for q, k in open_now
+                        ),
+                        "snapshot": breaker.snapshot(),
+                    },
+                )
+                self._last_open = open_now
+
+
+def _json_safe(value):
+    """Recursively coerce stats structures to JSON-encodable shapes."""
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, PulseError) or isinstance(value, Exception):
+        return repr(value)
+    return repr(value)

@@ -1,0 +1,213 @@
+"""Blocking client for the Pulse wire protocol.
+
+:class:`PulseClient` wraps a TCP socket with request/response matching
+over the NDJSON protocol: each request carries an ``id``, the client
+reads lines until the response with that ``id`` arrives, and every
+unsolicited push (results, alerts, backpressure, breaker transitions)
+read along the way lands in :attr:`PulseClient.pushed` in arrival
+order.  Because the server writes a flush's results *before* the flush
+ack (see :mod:`.bridge`), ``flush(); drain_results()`` observes every
+result the flush produced — no sleeping, no polling.
+
+The CLI (``repro ingest``), the loopback tests and the throughput
+benchmark all drive the server through this class.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from ..core.errors import PulseError
+from . import protocol
+
+
+class ServerError(PulseError):
+    """The server answered a request with an ``error`` response."""
+
+    def __init__(self, message: str, code: str = "server"):
+        self.code = code
+        super().__init__(message)
+
+
+class PulseClient:
+    """One blocking protocol session.
+
+    Usable as a context manager; ``close()`` sends EOF and the server
+    tears the session (and its subscriptions) down.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 1
+        #: Unsolicited pushes in arrival order (result/alert/
+        #: backpressure/breaker messages).
+        self.pushed: deque[dict] = deque()
+        self.hello: dict | None = None
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, op: str, **fields) -> dict:
+        req_id = self._next_id
+        self._next_id += 1
+        message = {"op": op, "id": req_id, **fields}
+        self._sock.sendall(protocol.encode(message))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServerError("connection closed by server", code="eof")
+            obj = protocol.decode_line(line)
+            if obj.get("id") == req_id:
+                if obj.get("type") == "error":
+                    raise ServerError(
+                        obj.get("error", "unknown error"),
+                        code=obj.get("code", "server"),
+                    )
+                return obj
+            self.pushed.append(obj)
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def connect(self, backpressure: str | None = None) -> dict:
+        """``hello`` handshake; optionally pins this connection's
+        ingest back-pressure policy."""
+        fields = {}
+        if backpressure is not None:
+            fields["backpressure"] = backpressure
+        self.hello = self._request("hello", **fields)
+        return self.hello
+
+    def register(
+        self, name: str, query: str, fit: Mapping | None = None
+    ) -> dict:
+        fields: dict = {"name": name, "query": query}
+        if fit is not None:
+            fields["fit"] = dict(fit)
+        return self._request("register", **fields)
+
+    def subscribe(
+        self,
+        query: str,
+        mode: str = "continuous",
+        error_bound: float | None = None,
+    ) -> dict:
+        fields: dict = {"query": query, "mode": mode}
+        if error_bound is not None:
+            fields["error_bound"] = error_bound
+        return self._request("subscribe", **fields)
+
+    def unsubscribe(self, subscription: int) -> dict:
+        return self._request("unsubscribe", subscription=subscription)
+
+    def ingest(self, stream: str, tuples: Sequence[Mapping]) -> dict:
+        """Send one batch of tuples; returns the admission counts ack."""
+        return self._request(
+            "ingest", stream=stream, tuples=[dict(t) for t in tuples]
+        )
+
+    def flush(self) -> dict:
+        """End-of-stream barrier: when this returns, every result the
+        flush produced is already in :attr:`pushed`."""
+        return self._request("flush")
+
+    def stats(self) -> dict:
+        return self._request("stats")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "PulseClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def drain_results(self, subscription: int | None = None) -> list[dict]:
+        """Pop buffered ``result`` pushes (optionally one subscription's)
+        and return their payloads flattened, in delivery order."""
+        results: list[dict] = []
+        keep: deque[dict] = deque()
+        while self.pushed:
+            msg = self.pushed.popleft()
+            if msg.get("type") == "result" and (
+                subscription is None or msg.get("subscription") == subscription
+            ):
+                results.extend(msg.get("results", ()))
+            else:
+                keep.append(msg)
+        self.pushed = keep
+        return results
+
+    def drain_notices(self, *kinds: str) -> list[dict]:
+        """Pop buffered non-result pushes (optionally filtered by type)."""
+        notices: list[dict] = []
+        keep: deque[dict] = deque()
+        while self.pushed:
+            msg = self.pushed.popleft()
+            kind = msg.get("type")
+            if kind != "result" and (not kinds or kind in kinds):
+                notices.append(msg)
+            else:
+                keep.append(msg)
+        self.pushed = keep
+        return notices
+
+    def ingest_iter(
+        self,
+        stream: str,
+        tuples: Iterable[Mapping],
+        batch_size: int = 256,
+        rate: float | None = None,
+    ) -> dict:
+        """Stream tuples in batches, optionally rate-limited.
+
+        ``rate`` is tuples/second across the whole call; pacing sleeps
+        between batches to hold it.  Returns summed admission counts.
+        """
+        totals: dict = {}
+        batch: list[dict] = []
+        sent = 0
+        t0 = time.perf_counter()
+
+        def _send(batch: list[dict]) -> None:
+            nonlocal sent
+            ack = self.ingest(stream, batch)
+            sent += len(batch)
+            for key, value in ack.items():
+                if (
+                    key != "id"
+                    and isinstance(value, int)
+                    and not isinstance(value, bool)
+                ):
+                    totals[key] = totals.get(key, 0) + value
+            if rate is not None:
+                ahead = sent / rate - (time.perf_counter() - t0)
+                if ahead > 0:
+                    time.sleep(ahead)
+
+        for tup in tuples:
+            batch.append(dict(tup))
+            if len(batch) >= batch_size:
+                _send(batch)
+                batch = []
+        if batch:
+            _send(batch)
+        totals["sent"] = sent
+        totals["elapsed_s"] = time.perf_counter() - t0
+        return totals

@@ -9,6 +9,7 @@ generation cost is excluded from the measured path.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -20,14 +21,32 @@ from ..engine.tuples import StreamTuple
 def write_trace(
     path: str | Path, tuples: Iterable[StreamTuple], fields: Sequence[str]
 ) -> int:
-    """Write tuples to a CSV trace; returns the row count."""
+    """Write tuples to a CSV trace; returns the row count.
+
+    A tuple lacking one of the declared ``fields`` raises a typed
+    :class:`TraceError` carrying the 1-based row number and the missing
+    field name.  Output written before the bad tuple is flushed to disk
+    deterministically first — the trace on disk is always exactly the
+    header plus every complete row that preceded the failure, so a
+    partial export is resumable and never ends mid-row.
+    """
     path = Path(path)
     count = 0
     with path.open("w", newline="") as f:
         writer = csv.writer(f)
         writer.writerow(fields)
         for tup in tuples:
-            writer.writerow([tup[field] for field in fields])
+            try:
+                row = [tup[field] for field in fields]
+            except KeyError as exc:
+                f.flush()
+                missing = exc.args[0] if exc.args else "?"
+                raise TraceError(
+                    f"tuple missing declared field {missing!r}",
+                    row=count + 1,
+                    field=str(missing),
+                ) from exc
+            writer.writerow(row)
             count += 1
     return count
 
@@ -50,9 +69,18 @@ def read_trace(
     one bad row cannot kill a replay mid-run.  With ``strict=True``
     the first malformed row raises a typed :class:`TraceError` carrying
     the 1-based data-row number instead.
+
+    Non-finite numerics (``nan`` / ``inf`` / ``-inf``) *parse* under
+    ``float()`` but poison segment fitting downstream of the solver's
+    coefficient guard, so they count as damage too: skipped (and
+    additionally counted in ``replay.nonfinite_rows``) by default,
+    :class:`TraceError` under ``strict=True``.  The network ingest path
+    applies the same finite-check in
+    :func:`repro.server.protocol.validate_tuple`.
     """
     path = Path(path)
     skipped = get_counter("replay.skipped_rows")
+    nonfinite = get_counter("replay.nonfinite_rows")
     with path.open(newline="") as f:
         reader = csv.reader(f)
         try:
@@ -63,10 +91,20 @@ def read_trace(
             numeric = [h for h in header if h not in ("id", "symbol")]
         else:
             numeric = list(numeric_fields)
+            unknown = [n for n in numeric if n not in header]
+            if unknown:
+                # A numeric field the header does not declare is a
+                # configuration error, not row damage: raise in both
+                # modes rather than silently parsing nothing.
+                raise TraceError(
+                    f"numeric fields {unknown} not in trace header "
+                    f"{header}"
+                )
         numeric_set = set(numeric)
         for number, row in enumerate(reader, start=1):
             if not row:
                 continue  # blank line, not data damage
+            finite_damage = False
             try:
                 if len(row) != len(header):
                     raise ValueError(
@@ -74,15 +112,25 @@ def read_trace(
                     )
                 values: dict[str, object] = {}
                 for field, raw in zip(header, row):
-                    values[field] = (
-                        float(raw) if field in numeric_set else raw
-                    )
+                    if field in numeric_set:
+                        parsed = float(raw)
+                        if not math.isfinite(parsed):
+                            finite_damage = True
+                            raise ValueError(
+                                f"non-finite value {raw!r} in "
+                                f"field {field!r}"
+                            )
+                        values[field] = parsed
+                    else:
+                        values[field] = raw
             except (ValueError, IndexError) as exc:
                 if strict:
                     raise TraceError(
                         f"malformed trace row: {exc}", row=number
                     ) from exc
                 skipped.bump()
+                if finite_damage:
+                    nonfinite.bump()
                 if on_skip is not None:
                     on_skip(number, row, exc)
                 continue

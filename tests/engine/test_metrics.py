@@ -257,3 +257,73 @@ class TestQueueingModelEdges:
         assert achieved[1] > achieved[0]
         assert max(achieved) <= 1000 * 1.01
         assert achieved[-1] < achieved[-2]
+
+
+class TestThreadSafety:
+    """Regression pin for cross-thread counter updates.
+
+    The server splits metric writers across two threads (event loop and
+    engine); ``Counter.bump`` is a read-modify-write, so without the
+    per-counter lock concurrent bumps lose increments.  Histograms stay
+    deliberately unlocked under a documented single-writer invariant —
+    see the :class:`~repro.engine.metrics.Histogram` docstring.
+    """
+
+    def test_concurrent_bumps_are_exact(self):
+        import threading
+
+        reg = CounterRegistry()
+        counter = reg.counter("hammered")
+        per_thread, threads = 20_000, 2
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.bump()
+
+        workers = [
+            threading.Thread(target=hammer) for _ in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert counter.value == per_thread * threads
+
+    def test_concurrent_gauge_adds_are_exact(self):
+        import threading
+
+        reg = CounterRegistry()
+        gauge = reg.gauge("g")
+        barrier = threading.Barrier(2)
+
+        def add():
+            barrier.wait()
+            for _ in range(10_000):
+                gauge.add(1.0)
+
+        workers = [threading.Thread(target=add) for _ in range(2)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert gauge.value == pytest.approx(20_000.0)
+
+    def test_concurrent_get_or_create_returns_one_object(self):
+        import threading
+
+        reg = CounterRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(reg.counter("shared"))
+
+        workers = [threading.Thread(target=create) for _ in range(8)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert all(c is seen[0] for c in seen)

@@ -1,0 +1,1 @@
+"""Tests for the network ingest/subscribe server."""

@@ -1,0 +1,173 @@
+"""Unit tests for the NDJSON wire protocol (framing + validation)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.errors import PulseError
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.server.protocol import (
+    ProtocolError,
+    decode_line,
+    encode,
+    error_response,
+    serialize_results,
+    serialize_segment,
+    serialize_tuple,
+    validate_request,
+    validate_tuple,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_line(self):
+        data = encode({"op": "hello", "id": 1})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"op": "hello", "id": 1}
+
+    def test_encode_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            encode({"x": float("nan")})
+        with pytest.raises(ValueError):
+            encode({"x": float("inf")})
+
+    def test_decode_roundtrip(self):
+        obj = {"op": "ingest", "tuples": [{"time": 0.1, "x": 1.5}]}
+        assert decode_line(encode(obj)) == obj
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1,2,3]\n")
+
+    def test_decode_rejects_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\xff\xfe{}\n")
+
+    def test_float_roundtrip_is_bit_exact(self):
+        values = [0.1, 1 / 3, 1e-17, 2.0000000000000013, math.pi]
+        out = decode_line(encode({"v": values}))
+        assert out["v"] == values  # exact equality, not approx
+
+
+class TestRequestEnvelope:
+    def test_valid_ops(self):
+        for op in ("hello", "register", "subscribe", "ingest", "flush"):
+            assert validate_request({"op": op}) == op
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"id": 1})
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "explode"})
+
+    def test_bad_id_type(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "hello", "id": [1]})
+
+
+class TestTupleValidation:
+    def test_accepts_flat_tuple(self):
+        tup = validate_tuple({"time": 0.5, "id": "a", "x": 1.0, "ok": True})
+        assert tup["time"] == 0.5
+        assert tup["id"] == "a"
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            validate_tuple([1, 2])
+
+    def test_rejects_missing_time(self):
+        with pytest.raises(ProtocolError):
+            validate_tuple({"x": 1.0})
+
+    def test_rejects_boolean_time(self):
+        with pytest.raises(ProtocolError):
+            validate_tuple({"time": True, "x": 1.0})
+
+    def test_rejects_nested_containers(self):
+        with pytest.raises(ProtocolError):
+            validate_tuple({"time": 0.0, "x": {"nested": 1}})
+        with pytest.raises(ProtocolError):
+            validate_tuple({"time": 0.0, "x": [1.0]})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_rejects_nonfinite_values(self, bad):
+        with pytest.raises(ProtocolError) as info:
+            validate_tuple({"time": 0.0, "x": bad})
+        assert info.value.code == "nonfinite"
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_time(self, bad):
+        with pytest.raises(ProtocolError) as info:
+            validate_tuple({"time": bad, "x": 1.0})
+        assert info.value.code == "nonfinite"
+
+    def test_wire_nan_literal_is_rejected_after_json_parse(self):
+        # json.loads admits the non-standard literals; the validator is
+        # the boundary that keeps them out of the engine.
+        obj = json.loads('{"time": 0.0, "x": NaN}')
+        assert math.isnan(obj["x"])  # it really did parse
+        with pytest.raises(ProtocolError):
+            validate_tuple(obj)
+
+
+class TestResultSerialization:
+    def test_tuple(self):
+        assert serialize_tuple({"time": 1.0, "x": 2.0}) == {
+            "time": 1.0,
+            "x": 2.0,
+        }
+
+    def test_segment(self):
+        seg = Segment(
+            ("a",),
+            0.0,
+            1.0,
+            {"x": Polynomial([2.0, 0.5])},
+            constants={"id": "a"},
+        )
+        out = serialize_segment(seg)
+        assert out == {
+            "key": ["a"],
+            "t_start": 0.0,
+            "t_end": 1.0,
+            "models": {"x": [2.0, 0.5]},
+            "constants": {"id": "a"},
+        }
+        # and it survives the encoder
+        decode_line(encode(out))
+
+    def test_mixed_results(self):
+        seg = Segment(("a",), 0.0, 1.0, {"x": Polynomial([1.0])})
+        out = serialize_results([seg, {"time": 0.0, "x": 1.0}])
+        assert "models" in out[0]
+        assert out[1]["x"] == 1.0
+
+
+class TestErrorMapping:
+    def test_protocol_error_keeps_code(self):
+        msg = error_response(7, ProtocolError("bad", code="nonfinite"))
+        assert msg == {
+            "type": "error",
+            "code": "nonfinite",
+            "error": "bad",
+            "id": 7,
+        }
+
+    def test_pulse_error_is_plan(self):
+        assert error_response(None, PulseError("x"))["code"] == "plan"
+
+    def test_other_is_server(self):
+        assert error_response(None, RuntimeError("x"))["code"] == "server"
+
+    def test_no_id_omitted(self):
+        assert "id" not in error_response(None, PulseError("x"))

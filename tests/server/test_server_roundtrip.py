@@ -1,0 +1,376 @@
+"""Loopback protocol round-trips: the server against an in-process run.
+
+The headline property is **parity**: tuples streamed through a real TCP
+socket produce bit-for-bit the results an in-process execution of the
+same query over the same tuples produces, in both engine modes.  JSON
+floats round-trip exactly (``repr`` precision), so plain ``==`` on the
+serialized forms is a bit-exact comparison, not an approximation.
+
+Everything runs over loopback against a :class:`ServerThread`; no test
+here sleeps or polls — the flush-ack ordering guarantee (results are
+written before the ack that produced them) makes drains deterministic.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.core.transform import to_continuous_plan
+from repro.engine import tracing
+from repro.engine.lowering import to_discrete_plan
+from repro.engine.metrics import get_counter
+from repro.engine.tuples import StreamTuple
+from repro.fitting.model_builder import StreamModelBuilder
+from repro.query import parse_query, plan_query
+from repro.server import (
+    PulseClient,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+)
+from repro.server.protocol import serialize_results
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+QUERY = "select * from objects where x > 0"
+STREAM = "objects"
+FIT = {"attrs": ["x", "y"], "key_fields": ["id"]}
+
+
+def moving_tuples(n=200, seed=7):
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(rate=float(n), seed=seed)
+    )
+    return [dict(t) for t in gen.tuples(n)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig()
+    with ServerThread(config, [(
+        "q", QUERY, None
+    )]) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with PulseClient("127.0.0.1", server.port) as c:
+        c.connect()
+        yield c
+
+
+def discrete_reference(tuples):
+    query = to_discrete_plan(plan_query(parse_query(QUERY)))
+    outputs = []
+    for tup in tuples:
+        outputs.extend(query.push(STREAM, StreamTuple(tup)))
+    outputs.extend(query.flush())
+    return serialize_results(outputs)
+
+
+def continuous_reference(tuples, bound):
+    builder = StreamModelBuilder(
+        tuple(FIT["attrs"]),
+        bound,
+        key_fields=tuple(FIT["key_fields"]),
+        constants=tuple(FIT["key_fields"]),
+    )
+    query = to_continuous_plan(plan_query(parse_query(QUERY)))
+    outputs = []
+    for tup in tuples:
+        for seg in builder.add(StreamTuple(tup)):
+            outputs.extend(query.push(STREAM, seg))
+    for seg in builder.finish():
+        outputs.extend(query.push(STREAM, seg))
+    return serialize_results(outputs)
+
+
+class TestHandshake:
+    def test_hello_reports_queries_and_streams(self, client):
+        assert client.hello["server"] == "pulse-repro"
+        assert client.hello["protocol"] == 1
+        assert "q" in client.hello["queries"]
+        assert STREAM in client.hello["streams"]
+
+    def test_bad_backpressure_policy_rejected(self, server):
+        with PulseClient("127.0.0.1", server.port) as c:
+            with pytest.raises(ServerError):
+                c.connect(backpressure="yolo")
+
+
+class TestDiscreteParity:
+    def test_bit_exact_roundtrip(self, client):
+        tuples = moving_tuples(200)
+        sub = client.subscribe("q", mode="discrete")
+        client.ingest(STREAM, tuples)
+        client.flush()
+        results = client.drain_results(sub["subscription"])
+        expected = discrete_reference(tuples)
+        assert len(results) == len(expected) > 0
+        assert results == expected  # bit-exact, including float bits
+        assert json.dumps(results, sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+        client.unsubscribe(sub["subscription"])
+
+    def test_results_arrive_before_flush_ack(self, client):
+        """The ordering guarantee itself: after ingest+flush return,
+        every result is already buffered — no sleep happened."""
+        sub = client.subscribe("q", mode="discrete")
+        client.ingest(STREAM, moving_tuples(50))
+        client.flush()
+        assert len(client.drain_results(sub["subscription"])) > 0
+        client.unsubscribe(sub["subscription"])
+
+
+class TestContinuousParity:
+    def test_bit_exact_roundtrip(self, server):
+        tuples = moving_tuples(300)
+        bound = 0.05
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.register("qc", QUERY, fit=FIT)
+            sub = c.subscribe("qc", mode="continuous", error_bound=bound)
+            assert sub["error_bound"] == bound
+            c.ingest(STREAM, tuples)
+            c.flush()
+            results = c.drain_results(sub["subscription"])
+        expected = continuous_reference(tuples, bound)
+        assert len(results) == len(expected) > 0
+        assert results == expected
+
+    def test_per_bound_instances_fit_independently(self, server):
+        """Two bounds, one stream: each instance matches its own
+        in-process reference — segments fitted at one tolerance never
+        leak into the other."""
+        tuples = moving_tuples(400)
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.register("qb", QUERY, fit=FIT)
+            tight = c.subscribe("qb", mode="continuous", error_bound=0.01)
+            loose = c.subscribe("qb", mode="continuous", error_bound=10.0)
+            assert tight["instance"] != loose["instance"]
+            c.ingest(STREAM, tuples)
+            c.flush()
+            tight_results = c.drain_results(tight["subscription"])
+            loose_results = c.drain_results(loose["subscription"])
+        assert tight_results == continuous_reference(tuples, 0.01)
+        assert loose_results == continuous_reference(tuples, 10.0)
+
+    def test_same_bound_shares_instance(self, server):
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.register("qs", QUERY, fit=FIT)
+            a = c.subscribe("qs", mode="continuous", error_bound=0.5)
+            b = c.subscribe("qs", mode="continuous", error_bound=0.5)
+            assert a["instance"] == b["instance"]
+
+    def test_continuous_without_fit_spec_errors(self, server):
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            with pytest.raises(ServerError) as info:
+                c.subscribe("q", mode="continuous")
+            assert info.value.code == "plan"
+
+
+class TestIngestBoundary:
+    def test_nonfinite_wire_literal_rejected_and_counted(self, server):
+        """NaN over the wire: json.loads admits it, the server rejects
+        it per-tuple, counts it, and the engine never sees it."""
+        counter = get_counter("server.rejected_nonfinite")
+        before = counter.value
+        raw = socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        )
+        try:
+            f = raw.makefile("rb")
+            raw.sendall(
+                b'{"op":"ingest","id":1,"stream":"objects","tuples":'
+                b'[{"time":0.0,"id":"a","x":NaN,"y":1.0},'
+                b'{"time":0.1,"id":"a","x":Infinity,"y":1.0},'
+                b'{"time":0.2,"id":"a","x":-Infinity,"y":1.0},'
+                b'{"time":0.3,"id":"a","x":1.0,"y":1.0}]}\n'
+            )
+            ack = json.loads(f.readline())
+        finally:
+            raw.close()
+        assert ack["type"] == "ack"
+        assert ack["rejected"] == 3
+        assert ack["rejected_nonfinite"] == 3
+        assert ack["accepted"] == 1
+        assert counter.value == before + 3
+
+    def test_malformed_tuples_rejected_not_fatal(self, client):
+        ack = client.ingest(
+            STREAM,
+            [
+                {"time": 0.0, "x": 1.0, "y": 1.0, "id": "a"},
+                {"x": 1.0},  # no time
+            ],
+        )
+        assert ack["rejected"] == 1
+        # the session is still alive
+        assert client.stats()["type"] == "stats"
+
+    def test_unknown_stream_counts_no_consumer(self, client):
+        ack = client.ingest("nowhere", [{"time": 0.0, "x": 1.0}])
+        assert ack["no_consumer"] == 1
+        assert ack["accepted"] == 0
+
+    def test_fit_rejection_counted(self, server):
+        """A tuple missing a modeled attr can't be fitted; it is
+        rejected by the fit precondition, not crashed on."""
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.register("qf", QUERY, fit=FIT)
+            c.subscribe("qf", mode="continuous", error_bound=0.5)
+            ack = c.ingest(
+                STREAM, [{"time": 0.0, "id": "a", "x": 1.0}]  # no 'y'
+            )
+            # counted once per continuous consumer instance of the
+            # stream, and at least by the one this test registered
+            assert ack["fit_rejected"] >= 1
+
+
+class TestErrors:
+    def test_unknown_query_subscribe(self, client):
+        with pytest.raises(ServerError) as info:
+            client.subscribe("nope", mode="discrete")
+        assert info.value.code == "plan"
+
+    def test_duplicate_register(self, client):
+        client.register("qd", QUERY)
+        with pytest.raises(ServerError):
+            client.register("qd", QUERY)
+
+    def test_unknown_op(self, server):
+        raw = socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        )
+        try:
+            f = raw.makefile("rb")
+            raw.sendall(b'{"op":"explode","id":9}\n')
+            msg = json.loads(f.readline())
+            assert msg["type"] == "error"
+            assert msg["code"] == "protocol"
+            assert msg["id"] == 9
+            # session survives a protocol error
+            raw.sendall(b'{"op":"stats","id":10}\n')
+            assert json.loads(f.readline())["id"] == 10
+        finally:
+            raw.close()
+
+    def test_invalid_json_line(self, server):
+        raw = socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        )
+        try:
+            f = raw.makefile("rb")
+            raw.sendall(b"{broken\n")
+            assert json.loads(f.readline())["type"] == "error"
+        finally:
+            raw.close()
+
+    def test_unsubscribe_foreign_subscription(self, client):
+        with pytest.raises(ServerError):
+            client.unsubscribe(999_999)
+
+
+class TestBackpressure:
+    def test_shed_newest_counts_and_notifies(self):
+        config = ServerConfig(queue_capacity=10)
+        with ServerThread(config, [("q", QUERY, None)]) as handle:
+            with PulseClient("127.0.0.1", handle.port) as c:
+                c.connect(backpressure="shed-newest")
+                sub = c.subscribe("q", mode="discrete")
+                # one big batch: all 100 enqueue before the pump runs,
+                # so the 10-deep queue must shed
+                ack = c.ingest(STREAM, moving_tuples(100))
+                assert ack["shed"] > 0
+                assert ack["accepted"] + ack["shed"] == 100
+                notices = c.drain_notices("backpressure")
+                assert notices and notices[0]["shed"] > 0
+                # accepted tuples still produced results
+                c.flush()
+                assert len(
+                    c.drain_results(sub["subscription"])
+                ) <= ack["accepted"]
+
+    def test_block_policy_counts_blocked(self):
+        config = ServerConfig(queue_capacity=10)
+        with ServerThread(config, [("q", QUERY, None)]) as handle:
+            with PulseClient("127.0.0.1", handle.port) as c:
+                c.connect(backpressure="block")
+                c.subscribe("q", mode="discrete")
+                ack = c.ingest(STREAM, moving_tuples(100))
+                assert ack["blocked"] > 0
+
+
+class TestSessionLifecycle:
+    def test_stats_reflect_session(self, server):
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.ingest("nowhere", [{"time": 0.0, "x": 1.0}])
+            stats = c.stats()
+            assert stats["session"]["requests"] >= 2
+            assert stats["engine"]["queries"]
+            assert "queue_depths" in stats["engine"]
+
+    def test_disconnect_removes_subscriptions(self, server):
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            c.register("qgone", QUERY, fit=FIT)
+            c.subscribe("qgone", mode="continuous", error_bound=0.3)
+        # session closed; a new session's ingest must not crash trying
+        # to deliver to the dead subscription
+        with PulseClient("127.0.0.1", server.port) as c:
+            c.connect()
+            ack = c.ingest(STREAM, moving_tuples(20))
+            assert ack["accepted"] == 20
+            assert c.stats()["type"] == "stats"
+
+    def test_clean_shutdown_under_load(self):
+        """Stopping a server with live sessions joins both threads."""
+        with ServerThread(ServerConfig(), [("q", QUERY, None)]) as handle:
+            c = PulseClient("127.0.0.1", handle.port)
+            c.connect()
+            c.subscribe("q", mode="discrete")
+            c.ingest(STREAM, moving_tuples(50))
+            # exit without closing the client: stop() must still join
+        c.close()
+
+
+class TestTraceSpans:
+    def test_session_and_ingest_spans_recorded(self):
+        records: list = []
+        tracing.enable_observability(records)
+        try:
+            with ServerThread(
+                ServerConfig(), [("q", QUERY, None)]
+            ) as handle:
+                with PulseClient("127.0.0.1", handle.port) as c:
+                    c.connect()
+                    sub = c.subscribe("q", mode="discrete")
+                    c.ingest(STREAM, moving_tuples(30))
+                    c.flush()
+                    c.drain_results(sub["subscription"])
+        finally:
+            tracing.disable_observability()
+        by_kind = {}
+        for rec in records:
+            by_kind.setdefault(rec["kind"], []).append(rec)
+        assert "session" in by_kind
+        assert "ingest" in by_kind
+        assert "emit" in by_kind
+        session_ids = {r["span_id"] for r in by_kind["session"]}
+        # ingest + emit spans parent into the session span
+        assert all(
+            r["parent_id"] in session_ids for r in by_kind["ingest"]
+        )
+        assert any(
+            r["parent_id"] in session_ids for r in by_kind["emit"]
+        )
+        ingest = by_kind["ingest"][0]
+        assert ingest["attrs"]["stream"] == STREAM
+        assert ingest["attrs"]["accepted"] == 30

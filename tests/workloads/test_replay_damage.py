@@ -1,0 +1,168 @@
+"""The trace-replay damage matrix: every failure class, both modes.
+
+Each damage class that can appear in a CSV trace gets a strict-mode
+expectation (typed :class:`TraceError` with the 1-based row number) and
+a lenient-mode expectation (skip + count + ``on_skip`` report).  The
+non-finite rows are the regression pin for the replay boundary bug:
+``float("nan")`` parses, so without the explicit finite-check those
+values sailed straight into segment fitting.
+"""
+
+import math
+
+import pytest
+
+from repro.core.errors import TraceError
+from repro.engine.metrics import get_counter
+from repro.engine.tuples import StreamTuple
+from repro.workloads import read_trace, write_trace
+
+
+def trace(tmp_path, body, header="time,id,x"):
+    path = tmp_path / "trace.csv"
+    path.write_text(header + "\n" + body)
+    return path
+
+
+def read_all(path, **kwargs):
+    return list(read_trace(path, **kwargs))
+
+
+class TestNonFiniteRows:
+    """nan/inf/-inf parse as floats but are damage, not data."""
+
+    BODY = (
+        "0.0,a,1.0\n"
+        "0.1,a,nan\n"
+        "0.2,a,inf\n"
+        "0.3,a,-inf\n"
+        "0.4,a,Infinity\n"
+        "0.5,a,2.0\n"
+    )
+
+    def test_lenient_skips_and_counts_each_variant(self, tmp_path):
+        skipped = get_counter("replay.skipped_rows")
+        nonfinite = get_counter("replay.nonfinite_rows")
+        skipped.reset()
+        nonfinite.reset()
+        rows = read_all(trace(tmp_path, self.BODY))
+        assert [r["x"] for r in rows] == [1.0, 2.0]
+        assert skipped.value == 4
+        assert nonfinite.value == 4
+
+    def test_lenient_reports_on_skip(self, tmp_path):
+        reported = []
+        read_all(
+            trace(tmp_path, self.BODY),
+            on_skip=lambda n, row, exc: reported.append((n, str(exc))),
+        )
+        assert [n for n, _ in reported] == [2, 3, 4, 5]
+        assert all("non-finite" in msg for _, msg in reported)
+
+    def test_strict_raises_typed_error_with_row(self, tmp_path):
+        with pytest.raises(TraceError) as info:
+            read_all(trace(tmp_path, self.BODY), strict=True)
+        assert info.value.row == 2
+        assert "non-finite" in str(info.value)
+
+    def test_nonfinite_time_field_also_rejected(self, tmp_path):
+        body = "nan,a,1.0\n0.1,a,2.0\n"
+        rows = read_all(trace(tmp_path, body))
+        assert len(rows) == 1
+        with pytest.raises(TraceError):
+            read_all(trace(tmp_path, body), strict=True)
+
+    def test_no_nonfinite_value_survives_replay(self, tmp_path):
+        rows = read_all(trace(tmp_path, self.BODY))
+        for row in rows:
+            for value in row.values():
+                if isinstance(value, float):
+                    assert math.isfinite(value)
+
+
+class TestShapeDamage:
+    def test_short_row(self, tmp_path):
+        path = trace(tmp_path, "0.0,a,1.0\n0.1,a\n0.2,a,2.0\n")
+        assert [r["x"] for r in read_all(path)] == [1.0, 2.0]
+        with pytest.raises(TraceError) as info:
+            read_all(path, strict=True)
+        assert info.value.row == 2
+
+    def test_long_row(self, tmp_path):
+        path = trace(tmp_path, "0.0,a,1.0\n0.1,a,2.0,extra\n0.2,a,3.0\n")
+        assert [r["x"] for r in read_all(path)] == [1.0, 3.0]
+        with pytest.raises(TraceError) as info:
+            read_all(path, strict=True)
+        assert info.value.row == 2
+
+    def test_blank_lines_are_not_damage(self, tmp_path):
+        skipped = get_counter("replay.skipped_rows")
+        skipped.reset()
+        path = trace(tmp_path, "0.0,a,1.0\n\n\n0.1,a,2.0\n")
+        assert len(read_all(path, strict=True)) == 2
+        assert skipped.value == 0
+
+    def test_unparsable_numeric(self, tmp_path):
+        nonfinite = get_counter("replay.nonfinite_rows")
+        nonfinite.reset()
+        path = trace(tmp_path, "0.0,a,not-a-float\n0.1,a,2.0\n")
+        assert [r["x"] for r in read_all(path)] == [2.0]
+        # text damage is skipped but NOT counted as non-finite
+        assert nonfinite.value == 0
+
+
+class TestHeaderDamage:
+    def test_empty_file_raises_both_modes(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_all(path)
+        with pytest.raises(TraceError):
+            read_all(path, strict=True)
+
+    def test_unknown_numeric_field_raises_both_modes(self, tmp_path):
+        path = trace(tmp_path, "0.0,a,1.0\n")
+        for strict in (False, True):
+            with pytest.raises(TraceError) as info:
+                read_all(path, numeric_fields=["nope"], strict=strict)
+            assert "nope" in str(info.value)
+
+
+class TestWriteDamage:
+    def test_missing_field_raises_typed_error(self, tmp_path):
+        path = tmp_path / "out.csv"
+        tuples = [
+            StreamTuple({"time": 0.0, "id": "a", "x": 1.0}),
+            StreamTuple({"time": 0.1, "id": "a", "x": 2.0}),
+            StreamTuple({"time": 0.2, "id": "a"}),  # no 'x'
+        ]
+        with pytest.raises(TraceError) as info:
+            write_trace(path, tuples, ("time", "id", "x"))
+        assert info.value.row == 3
+        assert info.value.field == "x"
+
+    def test_partial_output_is_flushed_and_complete(self, tmp_path):
+        path = tmp_path / "out.csv"
+        tuples = [
+            StreamTuple({"time": 0.0, "id": "a", "x": 1.0}),
+            StreamTuple({"time": 0.1, "id": "a"}),
+        ]
+        with pytest.raises(TraceError):
+            write_trace(path, tuples, ("time", "id", "x"))
+        # header + exactly the complete rows before the failure
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time,id,x"
+        assert lines[1:] == ["0.0,a,1.0"]
+        # and the partial trace replays cleanly
+        assert [r["x"] for r in read_all(path, strict=True)] == [1.0]
+
+    def test_partial_then_roundtrip(self, tmp_path):
+        """A resumed export (skip the bad tuple) replays bit-exact."""
+        path = tmp_path / "out.csv"
+        good = [
+            StreamTuple({"time": float(i), "id": "a", "x": i * 1.5})
+            for i in range(5)
+        ]
+        write_trace(path, good, ("time", "id", "x"))
+        replayed = read_all(path, strict=True)
+        assert [r["x"] for r in replayed] == [t["x"] for t in good]
