@@ -179,13 +179,14 @@ def _install_amplified_hooks(k: int) -> None:
     """Re-install the currently enabled span hooks at ``k``x volume."""
     from repro.core import batch_solver, equation_system, plan
 
-    solve_span, roots_span, eigen_observer = (
+    solve_span, roots_span, eigen_observer, degree_observer = (
         batch_solver.solver_instrumentation()
     )
     batch_solver.set_solver_instrumentation(
         solve_span=_amplified(solve_span, k),
         roots_span=_amplified(roots_span, k),
         eigen_observer=eigen_observer,
+        degree_observer=degree_observer,
     )
     system_span, batch_span = equation_system.system_instrumentation()
     equation_system.set_system_instrumentation(
@@ -397,9 +398,19 @@ def run_experiment(
         f"throughput_shards_{top}"
     ]
     metrics["max_shards"] = top
-    metrics["rows_dispatched"] = results[top]["parallel_stats"].get(
-        "rows_dispatched", 0
+    top_stats = results[top]["parallel_stats"]
+    metrics["rows_dispatched"] = top_stats.get("rows_dispatched", 0)
+    # Honesty fields for the harness: did the top-shard run actually
+    # execute on process-parallel workers, and over which transport?
+    # ``parallel_effective`` in the recorded JSON derives from these —
+    # a 1-core host reports false, so caching/batch-amortization
+    # speedups can't be misread as parallel scaling.
+    metrics["parallel_used"] = bool(top_stats.get("parallel", False)) and (
+        len(top_stats.get("inline_shards", [])) < top
     )
+    metrics["transport"] = top_stats.get("transport", "pickle")
+    metrics["shm_rounds"] = top_stats.get("shm_rounds", 0)
+    metrics["shm_bytes_shipped"] = top_stats.get("shm_bytes_shipped", 0)
     metrics.update(measure_observability_overhead(events))
     return metrics
 

@@ -46,6 +46,7 @@ import json
 import os
 import platform
 import subprocess
+import sys
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Mapping
@@ -131,11 +132,53 @@ def record_result(
             if alias in metrics:
                 doc[field] = metrics[alias]
                 break
+    effective = _parallel_effective(metrics, doc["cpu_count"])
+    if effective is not None:
+        doc["parallel_effective"] = effective
+        if not effective:
+            print(
+                f"[harness] WARNING: BENCH_{name} ran "
+                f"{metrics.get('max_shards')} shards on "
+                f"{doc['cpu_count']} CPU(s)"
+                + (
+                    " without process-parallel workers"
+                    if metrics.get("parallel_used") is False
+                    else ""
+                )
+                + " — any speedup is caching/batching, not parallel "
+                "scaling (parallel_effective=false).",
+                file=sys.stderr,
+            )
     doc["metrics"] = dict(metrics)
     doc["metrics_snapshot"] = _metrics_snapshot()
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
     return path
+
+
+def _parallel_effective(
+    metrics: Mapping[str, Any], cpu_count: int
+) -> bool | None:
+    """Whether a sharded run's speedup can honestly be called parallel.
+
+    ``None`` (field omitted) for benchmarks that don't report a
+    ``max_shards`` — the flag only means something for shard-scaling
+    runs.  ``False`` when the host has fewer CPUs than shards (the
+    shards time-slice one core, so any speedup is caching/batch
+    amortization) or when the run itself reports it executed without
+    process-parallel workers (``parallel_used: false`` — e.g. the
+    dispatcher's inline fallback on a 1-core host).
+    """
+    shards = metrics.get("max_shards")
+    if shards is None:
+        return None
+    try:
+        shards = int(shards)
+    except (TypeError, ValueError):
+        return None
+    if metrics.get("parallel_used") is False:
+        return False
+    return cpu_count >= shards
 
 
 def _metrics_snapshot() -> dict[str, Any] | None:

@@ -38,6 +38,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from .closed_form import cubic_candidates, quartic_candidates
 from .errors import SolverError, SolverFailure
 from .intervals import EPS, Interval, TimeSet
 from .polynomial import Polynomial
@@ -73,6 +74,13 @@ class SolverConfig:
         ``"batch"`` routes multi-row solves through the batched
         companion-matrix kernel; ``"scalar"`` forces the original
         row-at-a-time path (A/B parity testing).
+    closed_form:
+        Route degree-3/4 rows through the vectorized Cardano/Ferrari
+        kernels (:mod:`repro.core.closed_form`) instead of the stacked
+        companion eigensolve.  Rows whose closed-form branch hits a
+        non-finite intermediate fall back to the eigensolve per row.
+        Disable for A/B timing (``bench_ablation_roots``) and for the
+        closed-form-vs-companion parity fuzzing in CI.
     cache_enabled:
         Whether multi-use solve results are memoized in the global
         :class:`~repro.core.solve_cache.SolveCache`.
@@ -93,6 +101,7 @@ class SolverConfig:
     """
 
     kernel: str = "batch"
+    closed_form: bool = True
     cache_enabled: bool = True
     cache_size: int = 4096
     cache_mantissa_bits: int = 0
@@ -204,22 +213,29 @@ def roots_dispatch() -> RootsDispatch | None:
 _SPAN_SOLVE_TASKS: Callable | None = None
 _SPAN_ROOTS: Callable | None = None
 _EIGEN_OBSERVER: Callable | None = None
+#: Per-degree kernel observer: called as ``(degree, n_rows, seconds)``
+#: after each closed-form kernel call and each companion degree bucket,
+#: so the split between Cardano/Ferrari and eigensolve latency is
+#: visible per degree (``solver.roots_seconds.degree_<d>`` histograms).
+_DEGREE_OBSERVER: Callable | None = None
 
 
 def set_solver_instrumentation(
     solve_span: Callable | None = None,
     roots_span: Callable | None = None,
     eigen_observer: Callable | None = None,
+    degree_observer: Callable | None = None,
 ) -> None:
     """Install (or clear, the default) the solver instrumentation hooks."""
-    global _SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER
+    global _SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER, _DEGREE_OBSERVER
     _SPAN_SOLVE_TASKS = solve_span
     _SPAN_ROOTS = roots_span
     _EIGEN_OBSERVER = eigen_observer
+    _DEGREE_OBSERVER = degree_observer
 
 
 def solver_instrumentation() -> tuple:
-    return (_SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER)
+    return (_SPAN_SOLVE_TASKS, _SPAN_ROOTS, _EIGEN_OBSERVER, _DEGREE_OBSERVER)
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +446,18 @@ def real_roots_rows(
         return _real_roots_rows_impl(rows, failures, budget)
 
 
+#: Closed-form dispatch tallies for this process: rows solved by the
+#: Cardano/Ferrari kernels vs rows they handed back to the companion
+#: eigensolve (non-finite branch).  Cumulative; read by the ablation
+#: bench and the fallback-coverage tests.
+CLOSED_FORM_STATS = {"rows": 0, "fallback_rows": 0}
+
+
+def closed_form_stats() -> dict[str, int]:
+    """A snapshot of the cumulative closed-form dispatch tallies."""
+    return dict(CLOSED_FORM_STATS)
+
+
 def _real_roots_rows_impl(
     rows: Sequence[tuple[tuple[float, ...], float, float]],
     failures: dict[int, SolverError] | None = None,
@@ -441,7 +469,10 @@ def _real_roots_rows_impl(
     failed: set[int] = set()
     # inner companion length -> list of (item index, descending inner coeffs)
     buckets: dict[int, list[tuple[int, list[float]]]] = defaultdict(list)
+    # inner lengths 4/5 peel off to the closed-form kernels when enabled
+    cf_buckets: dict[int, list[tuple[int, list[float]]]] = defaultdict(list)
     needs_polish: set[int] = set()
+    use_closed_form = SOLVER_CONFIG.closed_form
 
     def record(j: int, exc: SolverError) -> None:
         if failures is None:
@@ -484,9 +515,37 @@ def _real_roots_rows_impl(
                 desc.pop()
                 candidates[j].append(0.0)
             if len(desc) >= 2:
-                buckets[len(desc)].append((j, desc))
+                if use_closed_form and len(desc) in (4, 5):
+                    cf_buckets[len(desc)].append((j, desc))
+                else:
+                    buckets[len(desc)].append((j, desc))
 
-    for _, jobs in sorted(buckets.items()):
+    # Closed-form ladder rung: degree-3/4 rows through the vectorized
+    # Cardano/Ferrari kernels.  A row whose kernel branch went
+    # non-finite (ok=False) drops into the companion bucket below —
+    # the per-row eigval fallback.
+    observer = _DEGREE_OBSERVER
+    for length, jobs in sorted(cf_buckets.items()):
+        kernel = cubic_candidates if length == 4 else quartic_candidates
+        desc_matrix = np.asarray([coeffs for _, coeffs in jobs], dtype=float)
+        if observer is None:
+            cand, ok = kernel(desc_matrix)
+        else:
+            t0 = time.perf_counter()
+            cand, ok = kernel(desc_matrix)
+            observer(length - 1, len(jobs), time.perf_counter() - t0)
+        finite = np.isfinite(cand)
+        for slot, (j, coeffs) in enumerate(jobs):
+            if ok[slot]:
+                CLOSED_FORM_STATS["rows"] += 1
+                candidates[j].extend(float(v) for v in cand[slot][finite[slot]])
+            else:
+                CLOSED_FORM_STATS["fallback_rows"] += 1
+                buckets[length].append((j, coeffs))
+
+    for length, jobs in sorted(buckets.items()):
+        if observer is not None:
+            t0 = time.perf_counter()
         try:
             eigen = _stacked_companion_eigvals([coeffs for _, coeffs in jobs])
         except (np.linalg.LinAlgError, ValueError):
@@ -510,6 +569,8 @@ def _real_roots_rows_impl(
                 continue
             keep = np.abs(row.imag) <= IMAG_TOL * np.maximum(1.0, np.abs(row.real))
             candidates[j].extend(float(v) for v in row.real[keep])
+        if observer is not None:
+            observer(length - 1, len(jobs), time.perf_counter() - t0)
 
     # One Newton polish across every candidate of every degree->=3 item.
     polish_items = [
@@ -604,8 +665,6 @@ def solve_rows_worker(payload: dict) -> dict:
     workers and, with ``cache=False``, is fully deterministic from its
     arguments alone.
     """
-    from .solve_cache import CacheStats, RootCache, worker_root_cache
-
     coeffs = np.ascontiguousarray(payload["coeffs"], dtype=float)
     lengths = np.asarray(payload["lengths"], dtype=np.int64)
     lo = np.asarray(payload["lo"], dtype=float)
@@ -615,6 +674,47 @@ def solve_rows_worker(payload: dict) -> dict:
     shard = int(payload.get("shard", 0))
     observe = bool(payload.get("observe", False))
 
+    flat, offsets, failures, stats, timings = solve_rows_arrays(
+        coeffs, lengths, lo, hi,
+        budget=budget, use_cache=use_cache, observe=observe,
+    )
+    result = {
+        "shard": shard,
+        "roots": flat,
+        "offsets": offsets,
+        "failures": failures,
+        "cache_stats": stats,
+    }
+    if timings is not None:
+        result["timings"] = timings
+    return result
+
+
+def solve_rows_arrays(
+    coeffs: np.ndarray,
+    lengths: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    budget: int | None = None,
+    use_cache: bool = True,
+    observe: bool = False,
+) -> tuple[np.ndarray, np.ndarray, list, dict, dict | None]:
+    """The array-in/array-out core shared by both worker transports.
+
+    ``solve_rows_worker`` (pickled-ndarray payloads) and the
+    shared-memory transport (:mod:`repro.engine.shm_transport`, arrays
+    attached zero-copy from a request segment) both funnel here, so
+    the transport cannot change arithmetic: rows in, one
+    :func:`real_roots_rows` sweep over the cache misses, flat roots
+    out.  Returns ``(flat_roots, offsets, failures, cache_stats_dict,
+    timings_dict_or_None)`` with the exact semantics documented on
+    :func:`solve_rows_worker`.
+    """
+    from .solve_cache import CacheStats, RootCache, worker_root_cache
+
+    if budget is None:
+        budget = SOLVER_CONFIG.max_roots_per_row
     cache = worker_root_cache() if use_cache else None
     base = cache.snapshot() if cache is not None else None
 
@@ -696,16 +796,7 @@ def solve_rows_worker(payload: dict) -> dict:
         )
     else:
         stats = CacheStats()
-    result = {
-        "shard": shard,
-        "roots": flat,
-        "offsets": offsets,
-        "failures": failures,
-        "cache_stats": stats.as_dict(),
-    }
-    if timings is not None:
-        result["timings"] = timings
-    return result
+    return flat, offsets, failures, stats.as_dict(), timings
 
 
 # ----------------------------------------------------------------------

@@ -238,6 +238,22 @@ def real_roots(
     c = _deflate(poly.coeffs, lo, hi)
     if len(c) == 1:
         return []
+    # Exact low-order zero coefficients factor out as roots at t = 0,
+    # so the kernel a row lands on is decided by the *inner* length
+    # after that popping (mirrors the batched bucketing).
+    lead_zeros = 0
+    while lead_zeros < len(c) - 1 and c[lead_zeros] == 0.0:
+        lead_zeros += 1
+    if len(c) - lead_zeros in (4, 5):
+        # Cubics and quartics funnel through the batched kernel as a
+        # one-row batch (closed-form Cardano/Ferrari when enabled, with
+        # its per-row companion fallback).  Every kernel step there is
+        # an elementwise ufunc, so a one-row batch computes exactly
+        # what the same row computes inside any larger batch — scalar
+        # and batched solves stay bit-identical by construction.
+        from .batch_solver import real_roots_rows
+
+        return real_roots_rows([(poly.coeffs, lo, hi)])[0]
     if len(c) == 2:
         roots = [-c[0] / c[1]]
     elif len(c) == 3:

@@ -51,8 +51,8 @@ from ..core.batch_solver import (
 from ..core.errors import SolverError
 from ..core.polynomial import Polynomial
 from ..core.solve_cache import CacheStats, RootCache
-from . import tracing
-from .metrics import absorb_cache_stats, get_histogram
+from . import shm_transport, tracing
+from .metrics import absorb_cache_stats, get_counter, get_histogram
 from .sharding import ShardRouter
 
 #: One predicted root query: trimmed ascending coefficients + domain.
@@ -114,6 +114,17 @@ class ParallelSolveDispatcher:
         shard, recorded in :attr:`inline_shards`.
     root_cache_size:
         Bound on the parent-side merged root store.
+    transport:
+        ``"shm"`` (the default) ships pool-shard row batches through
+        ``multiprocessing.shared_memory`` segments — the parent packs
+        contiguous blocks once, workers attach zero-copy, roots come
+        back through a shared result arena, and only scalar bookkeeping
+        crosses the pickle boundary.  ``"pickle"`` forces the legacy
+        ndarray-payload submits (the A/B baseline).  Inline shards
+        always use the in-process payload path: same address space,
+        nothing to ship.  A host where segment allocation fails
+        degrades the dispatcher to pickle transport permanently (the
+        round that hit the failure still completes).
     """
 
     def __init__(
@@ -121,13 +132,24 @@ class ParallelSolveDispatcher:
         num_shards: int,
         parallel: "bool | str" = "auto",
         root_cache_size: int = 65536,
+        transport: str = "shm",
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pickle', got {transport!r}"
+            )
         if parallel == "auto":
             parallel = (os.cpu_count() or 1) > 1
         self.num_shards = num_shards
         self.parallel = bool(parallel) and num_shards > 1
+        self.transport = transport
+        #: Set when a segment allocation failed; sticks for the run.
+        self._shm_broken = False
+        #: Shard rounds shipped via shared memory / bytes they mapped.
+        self.shm_rounds = 0
+        self.shm_bytes_shipped = 0
         self.router = ShardRouter(num_shards)
         self._root_cache = RootCache(maxsize=root_cache_size)
         self._executors: list[object | None] = [None] * num_shards
@@ -178,7 +200,8 @@ class ParallelSolveDispatcher:
         """
         if self._closed:
             raise RuntimeError("dispatcher is closed")
-        submissions: list[tuple[int, object, list]] = []
+        observe = tracing.observability_enabled()
+        submissions: list[tuple[int, object, list, tuple | None]] = []
         for shard in sorted(queries_by_shard):
             rows = queries_by_shard[shard]
             if not rows:
@@ -195,30 +218,38 @@ class ParallelSolveDispatcher:
                 fresh.append((tuple(coeffs), lo, hi))
             if not fresh:
                 continue
-            payload = self._build_payload(shard, fresh)
-            if tracing.observability_enabled():
-                # Workers time their kernel work and ship mergeable
-                # histogram snapshots home with the result payload.
-                payload["observe"] = True
-            future = self._executor(shard).submit(solve_rows_worker, payload)
-            submissions.append((shard, future, keys))
+            future, segments = self._submit(shard, fresh, observe)
+            submissions.append((shard, future, keys, segments))
             self.rows_dispatched += len(fresh)
 
         shipped = 0
-        for shard, future, keys in submissions:
+        for shard, future, keys, segments in submissions:
             try:
-                out = future.result()
-            except concurrent.futures.BrokenExecutor:
-                # The shard's worker died (e.g. OOM-killed).  Degrade
-                # this shard to inline for the rest of the run; the
-                # unprimed rows simply solve in-parent.
-                self.inline_shards.add(shard)
-                self._executors[shard] = None
-                continue
+                try:
+                    out = future.result()
+                except concurrent.futures.BrokenExecutor:
+                    # The shard's worker died (e.g. OOM-killed).
+                    # Degrade this shard to inline for the rest of the
+                    # run; the unprimed rows simply solve in-parent.
+                    self.inline_shards.add(shard)
+                    self._executors[shard] = None
+                    continue
+                if segments is not None:
+                    # Roots came back through the shared result arena;
+                    # only bookkeeping rode the future.
+                    offsets, flat = segments[1].read()
+                else:
+                    offsets = out["offsets"]
+                    flat = out["roots"]
+            finally:
+                # Parent owns the segment lifecycle: close + unlink on
+                # every exit path so a dead worker, a broken pool or a
+                # read error cannot strand /dev/shm segments.
+                if segments is not None:
+                    segments[0].destroy()
+                    segments[1].destroy()
             failed = {idx for idx, _, _ in out["failures"]}
             self.worker_failures += len(failed)
-            offsets = out["offsets"]
-            flat = out["roots"]
             for i, key in enumerate(keys):
                 if i in failed:
                     continue  # never cache failures
@@ -249,9 +280,66 @@ class ParallelSolveDispatcher:
         self.rows_primed += shipped
         return shipped
 
+    def _submit(
+        self, shard: int, rows: Sequence[RootQuery], observe: bool
+    ) -> tuple[object, tuple | None]:
+        """Ship one shard round; returns ``(future, segments_or_None)``.
+
+        Pool shards use the shared-memory transport (unless configured
+        or degraded to pickle); inline shards always take the direct
+        payload path — same process, nothing to serialize either way.
+        """
+        executor = self._executor(shard)
+        lengths, lo, hi, coeff_matrix = self._pack_arrays(rows)
+        if (
+            self.transport == "shm"
+            and not self._shm_broken
+            and not isinstance(executor, InlineExecutor)
+        ):
+            try:
+                request, arena = shm_transport.pack_round(
+                    lengths, lo, hi, coeff_matrix
+                )
+            except (OSError, ValueError):
+                # No usable shared memory on this host/container:
+                # degrade to pickled payloads for the rest of the run.
+                self._shm_broken = True
+            else:
+                meta = {
+                    "request": request.meta(),
+                    "result": arena.meta(),
+                    "root_budget": SOLVER_CONFIG.max_roots_per_row,
+                    "cache": True,
+                    "shard": shard,
+                    "observe": observe,
+                }
+                self.shm_rounds += 1
+                nbytes = request.nbytes + arena.nbytes
+                self.shm_bytes_shipped += nbytes
+                get_counter("parallel.shm_rounds").bump()
+                get_counter("parallel.shm_bytes_shipped").bump(nbytes)
+                future = executor.submit(
+                    shm_transport.solve_rows_shm_worker, meta
+                )
+                return future, (request, arena)
+        payload = {
+            "coeffs": coeff_matrix,
+            "lengths": lengths,
+            "lo": lo,
+            "hi": hi,
+            "root_budget": SOLVER_CONFIG.max_roots_per_row,
+            "cache": True,
+            "shard": shard,
+        }
+        if observe:
+            payload["observe"] = True
+        return executor.submit(solve_rows_worker, payload), None
+
     @staticmethod
-    def _build_payload(shard: int, rows: Sequence[RootQuery]) -> dict:
-        """Pack rows as the contiguous-ndarray worker payload."""
+    def _pack_arrays(
+        rows: Sequence[RootQuery],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pack rows as contiguous arrays (both transports' wire shape)."""
         n = len(rows)
         lengths = np.fromiter(
             (len(coeffs) for coeffs, _, _ in rows), dtype=np.int64, count=n
@@ -260,15 +348,9 @@ class ParallelSolveDispatcher:
         coeff_matrix = np.zeros((n, width))
         for i, (coeffs, _, _) in enumerate(rows):
             coeff_matrix[i, : len(coeffs)] = coeffs
-        return {
-            "coeffs": coeff_matrix,
-            "lengths": lengths,
-            "lo": np.fromiter((lo for _, lo, _ in rows), dtype=float, count=n),
-            "hi": np.fromiter((hi for _, _, hi in rows), dtype=float, count=n),
-            "root_budget": SOLVER_CONFIG.max_roots_per_row,
-            "cache": True,
-            "shard": shard,
-        }
+        lo = np.fromiter((lo for _, lo, _ in rows), dtype=float, count=n)
+        hi = np.fromiter((hi for _, _, hi in rows), dtype=float, count=n)
+        return lengths, lo, hi, coeff_matrix
 
     # ------------------------------------------------------------------
     # the roots dispatch served to the kernel
@@ -341,6 +423,13 @@ class ParallelSolveDispatcher:
         return {
             "num_shards": self.num_shards,
             "parallel": self.parallel,
+            "transport": (
+                "pickle"
+                if self.transport == "pickle" or self._shm_broken
+                else "shm"
+            ),
+            "shm_rounds": self.shm_rounds,
+            "shm_bytes_shipped": self.shm_bytes_shipped,
             "inline_shards": sorted(self.inline_shards),
             "rows_dispatched": self.rows_dispatched,
             "rows_primed": self.rows_primed,

@@ -1,0 +1,273 @@
+"""Zero-copy shared-memory transport for shard-worker row batches.
+
+The pickled-ndarray payload path (:func:`~repro.core.batch_solver.
+solve_rows_worker`) serializes every coefficient block twice per round:
+once into the submit pickle, once back out in the worker.  This module
+replaces that copy pair with two ``multiprocessing.shared_memory``
+segments per shard per round:
+
+* a **request segment** the parent packs once — ``lengths`` (int64),
+  ``lo``/``hi`` (float64) and the ``(n, width)`` float64 coefficient
+  block at fixed offsets — and the worker maps zero-copy (the solver
+  core reads rows straight out of the mapping);
+* a **result arena** sized for the algebraic worst case (a degree-``d``
+  row has at most ``d`` real roots, so ``sum(lengths - 1)`` slots
+  always suffice) that the worker fills with the ``(n + 1)`` int64
+  offset table followed by the flat float64 roots.
+
+What still crosses the pickle boundary is a dict of *scalars and small
+lists* — segment names, failures, cache-stat deltas, optional timing
+histograms — never row data.
+
+Lifecycle (the part that leaks when done casually):
+
+* the **parent** creates both segments, submits the worker, reads the
+  result views, and — in a ``finally`` — closes **and unlinks** both,
+  so a worker crash, a ``BrokenExecutor`` or a mid-read exception
+  cannot strand segments in ``/dev/shm``
+  (:func:`active_segments` gives tests a leak probe);
+* the **worker** attaches by name and closes its mappings in a
+  ``finally`` after dropping every ndarray view (a live view holds an
+  exported memoryview and ``close()`` would raise ``BufferError``).
+  Python < 3.13 registers mere attachments with the resource tracker
+  (no ``track=False`` yet), which is benign under the fork start
+  method these pools use — parent and children share one tracker, so
+  the attach-register is a set dedupe and the parent's ``unlink`` is
+  the single deregistration.  (Under a spawn context each worker's
+  private tracker would log spurious leaked-segment warnings at
+  worker exit; the segments themselves are already unlinked by then.)
+
+The transport moves bytes, never arithmetic: the worker funnels into
+:func:`~repro.core.batch_solver.solve_rows_arrays`, the same core the
+pickle path uses, so results are bit-identical across transports (the
+serial-vs-shard parity suite runs against both).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.batch_solver import solve_rows_arrays
+
+#: ``/dev/shm`` name prefix for this engine's segments (leak scanning).
+SEGMENT_PREFIX = "pulse_shm_"
+
+_FLOAT = np.dtype(np.float64)
+_INT = np.dtype(np.int64)
+
+
+class RequestSegment:
+    """Parent-side packed request block (owns the segment)."""
+
+    def __init__(
+        self,
+        lengths: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        coeffs: np.ndarray,
+    ):
+        n = int(lengths.shape[0])
+        width = int(coeffs.shape[1]) if n else 1
+        nbytes = _request_nbytes(n, width)
+        self.shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(nbytes, 8),
+            name=_fresh_name("req"),
+        )
+        views = _request_views(self.shm, n, width)
+        views["lengths"][:] = lengths
+        views["lo"][:] = lo
+        views["hi"][:] = hi
+        views["coeffs"][:] = coeffs
+        del views
+        self.n = n
+        self.width = width
+        self.nbytes = nbytes
+
+    def meta(self) -> dict:
+        return {"name": self.shm.name, "n": self.n, "width": self.width}
+
+    def destroy(self) -> None:
+        _destroy(self.shm)
+
+
+class ResultArena:
+    """Parent-side result arena (owns the segment)."""
+
+    def __init__(self, lengths: np.ndarray):
+        n = int(lengths.shape[0])
+        # A degree-d row yields at most d real roots, and the exact
+        # trailing-zero candidates stay within the same bound, so the
+        # arena can never overflow for rows the solver accepts.
+        capacity = int(np.maximum(lengths - 1, 0).sum()) if n else 0
+        nbytes = _result_nbytes(n, capacity)
+        self.shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(nbytes, 8),
+            name=_fresh_name("res"),
+        )
+        self.n = n
+        self.capacity = capacity
+        self.nbytes = nbytes
+
+    def meta(self) -> dict:
+        return {"name": self.shm.name, "n": self.n, "capacity": self.capacity}
+
+    def read(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copy out ``(offsets, flat_roots)`` (safe past ``destroy``)."""
+        offsets_view, roots_view = _result_views(
+            self.shm, self.n, self.capacity
+        )
+        offsets = offsets_view.copy()
+        flat = roots_view[: int(offsets[-1])].copy()
+        del offsets_view, roots_view
+        return offsets, flat
+
+    def destroy(self) -> None:
+        _destroy(self.shm)
+
+
+def _fresh_name(kind: str) -> str:
+    # pid + random suffix from urandom: collision-free across forked
+    # workers without consuming the (seeded) global RNG state.
+    return f"{SEGMENT_PREFIX}{kind}_{os.getpid()}_{os.urandom(4).hex()}"
+
+
+def _request_nbytes(n: int, width: int) -> int:
+    return n * _INT.itemsize + 2 * n * _FLOAT.itemsize + n * width * _FLOAT.itemsize
+
+
+def _result_nbytes(n: int, capacity: int) -> int:
+    return (n + 1) * _INT.itemsize + capacity * _FLOAT.itemsize
+
+
+def _request_views(
+    shm: shared_memory.SharedMemory, n: int, width: int
+) -> dict[str, np.ndarray]:
+    off = 0
+    lengths = np.ndarray((n,), dtype=_INT, buffer=shm.buf, offset=off)
+    off += n * _INT.itemsize
+    lo = np.ndarray((n,), dtype=_FLOAT, buffer=shm.buf, offset=off)
+    off += n * _FLOAT.itemsize
+    hi = np.ndarray((n,), dtype=_FLOAT, buffer=shm.buf, offset=off)
+    off += n * _FLOAT.itemsize
+    coeffs = np.ndarray((n, width), dtype=_FLOAT, buffer=shm.buf, offset=off)
+    return {"lengths": lengths, "lo": lo, "hi": hi, "coeffs": coeffs}
+
+
+def _result_views(
+    shm: shared_memory.SharedMemory, n: int, capacity: int
+) -> tuple[np.ndarray, np.ndarray]:
+    offsets = np.ndarray((n + 1,), dtype=_INT, buffer=shm.buf, offset=0)
+    roots = np.ndarray(
+        (capacity,),
+        dtype=_FLOAT,
+        buffer=shm.buf,
+        offset=(n + 1) * _INT.itemsize,
+    )
+    return offsets, roots
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink, tolerating an already-gone segment."""
+    try:
+        shm.close()
+    except BufferError:
+        # A live view still pins the mapping; unlink below still
+        # removes the name so nothing leaks past process exit.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def pack_round(
+    lengths: np.ndarray, lo: np.ndarray, hi: np.ndarray, coeffs: np.ndarray
+) -> tuple[RequestSegment, ResultArena]:
+    """Allocate and fill one round's request + result segments."""
+    request = RequestSegment(lengths, lo, hi, coeffs)
+    try:
+        arena = ResultArena(lengths)
+    except Exception:
+        request.destroy()
+        raise
+    return request, arena
+
+
+def solve_rows_shm_worker(meta: dict) -> dict:
+    """Shard-worker entry point for the shared-memory transport.
+
+    ``meta`` carries the segment descriptors plus the scalar knobs of
+    :func:`~repro.core.batch_solver.solve_rows_worker` (``root_budget``,
+    ``cache``, ``observe``, ``shard``).  Row data is read from the
+    request segment and roots are written to the result arena; the
+    returned dict holds only scalars and small lists (``n_roots`` is
+    the flat root count, for parent-side sanity checking).
+    """
+    req_meta = meta["request"]
+    res_meta = meta["result"]
+    req = shared_memory.SharedMemory(name=req_meta["name"])
+    try:
+        res = shared_memory.SharedMemory(name=res_meta["name"])
+    except BaseException:
+        req.close()
+        raise
+    views: dict[str, np.ndarray] | None = None
+    out_offsets = out_roots = None
+    try:
+        views = _request_views(req, int(req_meta["n"]), int(req_meta["width"]))
+        flat, offsets, failures, stats, timings = solve_rows_arrays(
+            views["coeffs"],
+            views["lengths"],
+            views["lo"],
+            views["hi"],
+            budget=int(meta.get("root_budget") or 0) or None,
+            use_cache=bool(meta.get("cache", True)),
+            observe=bool(meta.get("observe", False)),
+        )
+        n_roots = int(offsets[-1])
+        capacity = int(res_meta["capacity"])
+        if n_roots > capacity:  # algebraically unreachable; be loud
+            raise RuntimeError(
+                f"result arena overflow: {n_roots} roots > {capacity} slots"
+            )
+        out_offsets, out_roots = _result_views(
+            res, int(res_meta["n"]), capacity
+        )
+        out_offsets[:] = offsets
+        out_roots[:n_roots] = flat
+        result = {
+            "shard": int(meta.get("shard", 0)),
+            "n_roots": n_roots,
+            "failures": failures,
+            "cache_stats": stats,
+        }
+        if timings is not None:
+            result["timings"] = timings
+        return result
+    finally:
+        del views, out_offsets, out_roots
+        req.close()
+        res.close()
+
+
+def active_segments() -> list[str]:
+    """Names of this engine's segments currently live in ``/dev/shm``.
+
+    The leak probe for tests: after a dispatcher shuts down — cleanly
+    or through a broken executor — this must be empty.  Returns ``[]``
+    on platforms without a ``/dev/shm`` (the transport itself still
+    works; only the probe is Linux-shaped).
+    """
+    try:
+        return sorted(
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        )
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []

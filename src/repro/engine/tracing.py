@@ -604,6 +604,7 @@ def enable_observability(trace_sink=None) -> Tracer | None:
         eigen_observer=_eigen_observer(
             get_histogram("solver.eigensolve_seconds")
         ),
+        degree_observer=_degree_observer(),
     )
     equation_system.set_system_instrumentation(
         system_span=_timed_span_hook(
@@ -637,7 +638,10 @@ def disable_observability() -> None:
     from ..core import batch_solver, equation_system, plan, solve_cache
 
     batch_solver.set_solver_instrumentation(
-        solve_span=None, roots_span=None, eigen_observer=None
+        solve_span=None,
+        roots_span=None,
+        eigen_observer=None,
+        degree_observer=None,
     )
     equation_system.set_system_instrumentation(
         system_span=None, batch_span=None
@@ -662,6 +666,28 @@ def observability(trace_sink=None) -> Iterator[Tracer | None]:
 
 def _eigen_observer(hist: Histogram) -> Callable[[int, float], None]:
     def observe(n_matrices: int, seconds: float) -> None:
+        hist.observe(seconds)
+
+    return observe
+
+
+def _degree_observer() -> Callable[[int, int, float], None]:
+    """Per-degree root-kernel latency: one histogram per degree bucket.
+
+    The solver calls this with ``(degree, n_rows, seconds)`` after each
+    closed-form kernel call and each companion degree bucket, so
+    ``solver.roots_seconds.degree_3`` (Cardano) is separable from
+    ``degree_5``+ (eigensolve fallback) in snapshots and BENCH JSON.
+    Histogram handles are cached per degree — steady state pays one
+    dict lookup per call, no registry traffic.
+    """
+    hists: dict[int, Histogram] = {}
+
+    def observe(degree: int, n_rows: int, seconds: float) -> None:
+        hist = hists.get(degree)
+        if hist is None:
+            hist = get_histogram(f"solver.roots_seconds.degree_{degree}")
+            hists[degree] = hist
         hist.observe(seconds)
 
     return observe

@@ -272,7 +272,7 @@ class TestEndToEndTrace:
         # to t2, so the first enable's state is fully torn down.
         assert hook.tracer is t2
         tracing.disable_observability()
-        assert batch_solver.solver_instrumentation() == (None, None, None)
+        assert batch_solver.solver_instrumentation() == (None, None, None, None)
 
     def test_reentrant_site_falls_back_to_allocated_cm(self):
         records = []
@@ -296,7 +296,7 @@ class TestZeroCostWhenDisabled:
     def test_hooks_are_none_after_disable(self):
         tracing.enable_observability(None)
         tracing.disable_observability()
-        assert batch_solver.solver_instrumentation() == (None, None, None)
+        assert batch_solver.solver_instrumentation() == (None, None, None, None)
         assert equation_system.system_instrumentation() == (None, None)
         assert plan.operator_trace() is None
 

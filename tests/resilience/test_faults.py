@@ -27,11 +27,11 @@ def tasks(n, lo=0.0, hi=10.0):
     ]
 
 
-def cubics(n):
-    """Distinct cubics with real roots (degree >= 3 hits the eigensolver;
-    quadratics take the closed form and never touch it)."""
+def quintics(n):
+    """Distinct quintics with real roots (degree >= 5 hits the
+    eigensolver; degrees 1-4 take closed forms and never touch it)."""
     return [
-        (Polynomial([-(i + 1.0), 0.0, 0.0, 1.0]), -100.0, 100.0)
+        (Polynomial([-(i + 1.0), 0.0, 0.0, 0.0, 0.0, 1.0]), -100.0, 100.0)
         for i in range(n)
     ]
 
@@ -121,7 +121,7 @@ class TestEigvalsFaultInjector:
     def test_total_failure_yields_typed_eigvals_failures(self):
         failures = {}
         with force_eigvals_failures(rate=1.0) as stats:
-            results = real_roots_batch(cubics(4), failures)
+            results = real_roots_batch(quintics(4), failures)
         assert stats.injected > 0
         assert set(failures) == set(range(4))
         for exc in failures.values():
@@ -131,7 +131,7 @@ class TestEigvalsFaultInjector:
 
     def test_stacked_only_failure_falls_back_row_by_row(self):
         """One poisoned stacked call cannot sink its degree bucket."""
-        items = cubics(6)
+        items = quintics(6)
         failures = {}
         with force_eigvals_failures(rate=1.0, only_stacked=True) as stats:
             results = real_roots_batch(items, failures)

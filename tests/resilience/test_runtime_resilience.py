@@ -68,13 +68,14 @@ class TestFaultContainment:
 
     def test_eigvals_faults_contained(self):
         rt = runtime()
-        # Cubic models force the companion-matrix eigensolve.
+        # Quintic models force the companion-matrix eigensolve
+        # (degrees 1-4 take the closed-form kernels).
         for i, key in enumerate(KEYS[:4]):
             rt.enqueue(
                 "s",
                 Segment(
                     key, 0.0, 10.0,
-                    {"x": Polynomial([-(i + 1.0), 0.0, 0.0, 1.0])},
+                    {"x": Polynomial([-(i + 1.0), 0.0, 0.0, 0.0, 0.0, 1.0])},
                 ),
             )
         with force_eigvals_failures(rate=1.0):
