@@ -1,0 +1,136 @@
+"""WAL overhead: ingest throughput with durability on vs. off.
+
+The acceptance bar for the durability subsystem: with batched fsyncs
+(``fsync_every=32``, the default), WAL-on ingest throughput must stay
+within 20% of WAL-off — durability is a tax, not a wall.  The sweep
+also records per-fsync-policy numbers (every record / batched / OS-
+deferred) so a regression in one policy is attributable, plus the
+checkpoint write cost, which sits on the same ingest path when
+``checkpoint_every`` fires.
+
+Method: the same segment trace is pushed through ``QueryRuntime.enqueue``
++ ``run_until_idle`` with and without an attached ``Durability``; WAL
+files land on a tmpdir (same filesystem the tests use).  Best-of-3,
+whole-trace wall time.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import record_result  # noqa: E402
+
+from repro.core.transform import to_continuous_plan
+from repro.engine.durability import Durability
+from repro.engine.scheduler import QueryRuntime
+from repro.fitting import build_segments
+from repro.query import parse_query, plan_query
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+N_TUPLES = 60_000
+TUPLES_PER_SEGMENT = 50
+REPEATS = 5
+QUERY = "select * from objects where x > 0"
+
+
+def _segments():
+    gen = MovingObjectGenerator(
+        MovingObjectConfig(
+            num_objects=5,
+            rate=10_000.0,
+            tuples_per_segment=TUPLES_PER_SEGMENT,
+            seed=42,
+        )
+    )
+    tuples = list(gen.tuples(N_TUPLES))
+    return build_segments(
+        tuples,
+        attrs=("x", "y"),
+        tolerance=1e-6,
+        key_fields=("id",),
+        constants=("id",),
+    )
+
+
+def _run(segments, fsync_every=None, checkpoint_every=None) -> float:
+    """One full ingest pass; returns wall seconds (best caller picks)."""
+    wal_dir = (
+        tempfile.mkdtemp(prefix="bench-wal-") if fsync_every is not None
+        else None
+    )
+    try:
+        durability = (
+            Durability(wal_dir, fsync_every=fsync_every)
+            if wal_dir is not None
+            else None
+        )
+        runtime = QueryRuntime(batch_size=64, durability=durability)
+        runtime.register(
+            "q", to_continuous_plan(plan_query(parse_query(QUERY)))
+        )
+        start = time.perf_counter()
+        for i, seg in enumerate(segments):
+            runtime.enqueue("objects", seg)
+            if checkpoint_every and (i + 1) % checkpoint_every == 0:
+                runtime.run_until_idle()
+                runtime.checkpoint()
+        runtime.run_until_idle()
+        elapsed = time.perf_counter() - start
+        runtime.close()
+        return elapsed
+    finally:
+        if wal_dir is not None:
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def best_throughput(segments, **kw) -> float:
+    best = min(_run(segments, **kw) for _ in range(REPEATS))
+    return N_TUPLES / best
+
+
+def main() -> None:
+    segments = list(_segments())
+    print(f"{len(segments)} segments from {N_TUPLES} tuples")
+
+    baseline = best_throughput(segments)
+    batched = best_throughput(segments, fsync_every=32)
+    every = best_throughput(segments, fsync_every=1)
+    deferred = best_throughput(segments, fsync_every=0)
+    with_ckpt = best_throughput(
+        segments, fsync_every=32, checkpoint_every=200
+    )
+
+    metrics = {
+        "tuples": N_TUPLES,
+        "segments": len(segments),
+        "tuples_per_segment": TUPLES_PER_SEGMENT,
+        "repeats": REPEATS,
+        "wal_off_tuples_per_s": round(baseline, 1),
+        "wal_batched_tuples_per_s": round(batched, 1),
+        "wal_every_record_tuples_per_s": round(every, 1),
+        "wal_os_deferred_tuples_per_s": round(deferred, 1),
+        "wal_batched_checkpointing_tuples_per_s": round(with_ckpt, 1),
+        "batched_fraction_of_baseline": round(batched / baseline, 4),
+        "every_record_fraction_of_baseline": round(every / baseline, 4),
+        "throughput_tps": round(batched, 1),
+    }
+    for key, value in metrics.items():
+        print(f"  {key}: {value}")
+    ok = metrics["batched_fraction_of_baseline"] >= 0.8
+    metrics["meets_80pct_bar"] = ok
+    path = record_result("wal_overhead", metrics)
+    print(f"wrote {path}")
+    print(
+        "PASS: batched WAL ≥ 80% of baseline"
+        if ok
+        else "FAIL: batched WAL below 80% of baseline"
+    )
+
+
+if __name__ == "__main__":
+    main()

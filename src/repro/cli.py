@@ -208,6 +208,9 @@ def cmd_serve(args) -> int:
         ),
         default_tolerance=args.tolerance,
         default_fit=default_fit,
+        wal_dir=args.wal_dir,
+        checkpoint_every=args.checkpoint_every,
+        fsync_every=args.fsync_every,
     )
     if args.trace_out:
         from .engine import tracing
@@ -219,6 +222,14 @@ def cmd_serve(args) -> int:
         f"pulse server listening on {args.host}:{handle.port} "
         f"(queries: {names}); Ctrl-C to stop"
     )
+    if args.wal_dir:
+        recovery = handle.server.bridge.recovery_report or {}
+        print(
+            f"durability on: wal_dir={args.wal_dir} "
+            f"recovered_seq={recovery.get('recovered_seq', 0)} "
+            f"replayed={recovery.get('replayed', 0)} "
+            f"corrupt_frames={recovery.get('wal', {}).get('corrupt_frames', 0)}"
+        )
     try:
         while True:
             time.sleep(3600)
@@ -362,6 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slow-solve-ms", type=float, default=None,
                          metavar="MS")
     p_serve.add_argument("--trace-out", default=None, metavar="PATH")
+    p_serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="durability directory (WAL + checkpoints); restores on start",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="auto-checkpoint after N ingested tuples (default: manual)",
+    )
+    p_serve.add_argument(
+        "--fsync-every", type=int, default=32, metavar="N",
+        help="WAL fsync batching: records per fsync (1 = every record)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_ingest = sub.add_parser(

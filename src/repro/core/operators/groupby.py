@@ -16,6 +16,15 @@ from ..segment import Key, Segment
 from .base import ContinuousOperator
 
 
+def segment_key(segment: Segment) -> Key:
+    """Default grouping key: the segment's own key attributes.
+
+    A module-level function (not a lambda) so plans holding a group-by
+    stay picklable for durability snapshots.
+    """
+    return segment.key
+
+
 class ContinuousGroupBy(ContinuousOperator):
     """Per-group fan-out of an aggregate operator.
 
@@ -42,7 +51,7 @@ class ContinuousGroupBy(ContinuousOperator):
         name: str = "group-by",
     ):
         self.factory = factory
-        self.group_key = group_key or (lambda seg: seg.key)
+        self.group_key = group_key or segment_key
         self.name = name
         self._groups: dict[Key, ContinuousOperator] = {}
 

@@ -46,6 +46,11 @@ class Polynomial:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Polynomial is immutable")
 
+    def __reduce__(self):
+        # The immutable ``__setattr__`` blocks the default slots pickle
+        # protocol; durability snapshots round-trip models through here.
+        return (Polynomial, (self.coeffs,))
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

@@ -26,6 +26,29 @@ _segment_ids = itertools.count(1)
 Key = tuple
 
 
+def segment_id_watermark() -> int:
+    """The most recently issued segment id (0 before any segment).
+
+    Durability snapshots record this so a restored process can
+    guarantee id uniqueness; reading it burns one id, which is
+    harmless — ids only need to be unique, not dense.
+    """
+    return next(_segment_ids) - 1
+
+
+def ensure_segment_ids_above(watermark: int) -> None:
+    """Advance the global id counter past ``watermark``.
+
+    Called on snapshot restore: restored segments keep their original
+    ``seg_id`` (identity-keyed operator memos and signature caches rely
+    on per-process uniqueness), so ids issued after the restore must
+    start above everything the snapshot carried.
+    """
+    global _segment_ids
+    current = next(_segment_ids)
+    _segment_ids = itertools.count(max(current, watermark + 1))
+
+
 class Segment:
     """One piece of a piecewise polynomial model.
 
@@ -82,6 +105,25 @@ class Segment:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Segment is immutable")
+
+    def __reduce__(self):
+        """Explicit pickling: the immutable ``__setattr__`` blocks the
+        default slots protocol, and ``models``/``constants`` are
+        mapping proxies.  Durability snapshots round-trip segments
+        through here; ``seg_id`` is preserved so identity-keyed memos
+        survive a restore (see :func:`ensure_segment_ids_above`)."""
+        return (
+            Segment,
+            (
+                self.key,
+                self.t_start,
+                self.t_end,
+                dict(self.models),
+                dict(self.constants),
+                self.lineage,
+                self.seg_id,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # temporal accessors

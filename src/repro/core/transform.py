@@ -202,32 +202,55 @@ def to_continuous_plan(
     )
 
 
-def _build_groupby(node) -> ContinuousOperator:
-    """Per-group continuous aggregate for a LogicalAggregate node."""
-    func = node.func
-    attr = node.attr
-    window = node.window
-    slide = node.slide
-    output_attr = node.output_attr
-    group_fields = node.group_fields
+class AggregateFactory:
+    """Picklable zero-arg factory building one aggregate instance.
 
-    def factory() -> ContinuousOperator:
+    Plans are pickled wholesale by the durability snapshot, so the
+    group-by's per-group factory cannot be a closure — this class
+    carries the aggregate parameters as plain attributes instead.
+    """
+
+    def __init__(self, func, attr, window, slide, output_attr):
+        self.func = func
+        self.attr = attr
+        self.window = window
+        self.slide = slide
+        self.output_attr = output_attr
+
+    def __call__(self) -> ContinuousOperator:
         return make_aggregate(
-            func, attr, window=window, slide=slide, output_attr=output_attr
+            self.func,
+            self.attr,
+            window=self.window,
+            slide=self.slide,
+            output_attr=self.output_attr,
         )
 
-    if group_fields:
 
-        def group_key(segment: Segment):
-            return tuple(
-                resolve_constant(segment, f) for f in group_fields
-            )
+class ConstantFieldsKey:
+    """Picklable grouping key over a segment's unmodeled constants."""
 
-    else:
+    def __init__(self, group_fields: tuple[str, ...]):
+        self.group_fields = tuple(group_fields)
 
-        def group_key(segment: Segment):
-            return segment.key
+    def __call__(self, segment: Segment):
+        return tuple(
+            resolve_constant(segment, f) for f in self.group_fields
+        )
 
+
+def _build_groupby(node) -> ContinuousOperator:
+    """Per-group continuous aggregate for a LogicalAggregate node."""
+    factory = AggregateFactory(
+        node.func, node.attr, node.window, node.slide, node.output_attr
+    )
+    group_key = (
+        ConstantFieldsKey(tuple(node.group_fields))
+        if node.group_fields
+        else None
+    )
     return ContinuousGroupBy(
-        factory, group_key=group_key, name=f"group-by({func}({attr}))"
+        factory,
+        group_key=group_key,
+        name=f"group-by({node.func}({node.attr}))",
     )

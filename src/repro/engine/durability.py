@@ -1,0 +1,327 @@
+"""Atomic snapshots + WAL coordination: the engine's durability story.
+
+A checkpoint is one file written atomically (write temp → flush →
+fsync → rename) carrying a versioned, CRC-guarded pickle of the
+engine's *incrementally-maintained* state: fitted segments sitting in
+operator buffers, scheduler queues, circuit-breaker health, and the
+segment-id watermark.  Derived caches (solve cache, signature memos)
+are deliberately *not* checkpointed — they repopulate during replay,
+and persisting them would only widen the surface a corrupt file can
+poison.
+
+Recovery is "newest valid snapshot wins": snapshot files are tried
+newest-first and a damaged one (bad magic, CRC mismatch, unpicklable
+body) is *skipped with accounting*, falling back to the next older —
+a half-written snapshot must never brick recovery when an older good
+one plus a longer WAL replay reaches the same state.
+
+The replay contract is the paper-level determinism property the
+parity tests pin: the engine's output is a pure function of arrival
+order, so ``snapshot(seq=k)`` + WAL records ``k+1..n`` reconverges
+bit-exactly with a process that never died.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from .metrics import get_counter, get_histogram
+from .tracing import current_tracer
+from .wal import (
+    WalCorruption,
+    WalError,
+    WalReadStats,
+    WriteAheadLog,
+    read_wal,
+)
+
+SNAPSHOT_MAGIC = b"PSNAPV01"
+SNAPSHOT_VERSION = 1
+
+_SNAP_HEADER = struct.Struct("<IQQI")  # version, seq, payload len, crc32
+
+
+class SnapshotError(WalError):
+    """A snapshot file failed validation (callers fall back to older)."""
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+def _snapshot_name(seq: int) -> str:
+    return f"snapshot-{seq:016d}.snap"
+
+
+def _is_snapshot_name(name: str) -> bool:
+    return (
+        name.startswith("snapshot-")
+        and name.endswith(".snap")
+        and name[9:-5].isdigit()
+    )
+
+
+def write_snapshot(directory: str | os.PathLike, seq: int, state: object) -> str:
+    """Atomically persist ``state`` as the checkpoint at sequence ``seq``.
+
+    Write-temp + fsync + rename: a crash at any instant leaves either
+    the complete new file or no new file — never a half-snapshot under
+    the final name.  Returns the snapshot path.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    blob = (
+        SNAPSHOT_MAGIC
+        + _SNAP_HEADER.pack(SNAPSHOT_VERSION, seq, len(payload), crc)
+        + payload
+    )
+    final = os.path.join(directory, _snapshot_name(seq))
+    tmp = final + ".tmp"
+    start = time.perf_counter()
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    get_histogram("checkpoint.write_seconds").observe(
+        time.perf_counter() - start
+    )
+    get_counter("checkpoint.snapshots").bump()
+    get_counter("checkpoint.bytes").bump(len(blob))
+    return final
+
+
+def read_snapshot(path: str | os.PathLike) -> tuple[int, object]:
+    """Load and validate one snapshot file → ``(seq, state)``.
+
+    Raises :class:`SnapshotError` on any damage; callers iterate
+    newest-first and fall back.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if blob[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise SnapshotError("bad snapshot magic", path=path)
+    off = len(SNAPSHOT_MAGIC)
+    if len(blob) < off + _SNAP_HEADER.size:
+        raise SnapshotError("snapshot header cut short", path=path)
+    version, seq, length, crc = _SNAP_HEADER.unpack(
+        blob[off : off + _SNAP_HEADER.size]
+    )
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version}", path=path
+        )
+    payload = blob[off + _SNAP_HEADER.size :]
+    if len(payload) != length:
+        raise SnapshotError("snapshot payload cut short", path=path)
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise SnapshotError("snapshot crc mismatch", path=path)
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:
+        raise SnapshotError(
+            f"snapshot decode failed: {exc}", path=path
+        ) from exc
+    return seq, state
+
+
+def load_latest_snapshot(
+    directory: str | os.PathLike,
+) -> tuple[int, object, str] | None:
+    """Newest *valid* snapshot → ``(seq, state, path)``, or ``None``.
+
+    Damaged snapshots are skipped with ``recovery.bad_snapshots``
+    counted; only when every candidate is bad (or none exist) does
+    recovery start from genesis.
+    """
+    directory = os.fspath(directory)
+    try:
+        names = sorted(
+            (n for n in os.listdir(directory) if _is_snapshot_name(n)),
+            reverse=True,
+        )
+    except FileNotFoundError:
+        return None
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            seq, state = read_snapshot(path)
+        except SnapshotError:
+            get_counter("recovery.bad_snapshots").bump()
+            continue
+        return seq, state, path
+    return None
+
+
+def prune_snapshots(directory: str | os.PathLike, keep: int = 2) -> int:
+    """Delete all but the ``keep`` newest snapshot files."""
+    directory = os.fspath(directory)
+    try:
+        names = sorted(
+            (n for n in os.listdir(directory) if _is_snapshot_name(n)),
+            reverse=True,
+        )
+    except FileNotFoundError:
+        return 0
+    removed = 0
+    for name in names[max(1, keep) :]:
+        os.remove(os.path.join(directory, name))
+        removed += 1
+    return removed
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and replayed — surfaced, not logged."""
+
+    snapshot_seq: int = 0
+    snapshot_path: str | None = None
+    replayed: int = 0
+    #: Highest sequence number durably recovered (snapshot or replay);
+    #: clients resume ingest from here (records past it were lost with
+    #: the un-fsynced tail — the at-least-once contract).
+    recovered_seq: int = 0
+    wal_stats: WalReadStats = field(default_factory=WalReadStats)
+    duration_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "snapshot_path": self.snapshot_path,
+            "replayed": self.replayed,
+            "recovered_seq": self.recovered_seq,
+            "duration_s": self.duration_s,
+            "wal": self.wal_stats.as_dict(),
+        }
+
+
+class Durability:
+    """One engine's WAL + snapshot directory, with checkpoint/recover.
+
+    Layout under ``directory``::
+
+        wal-<firstseq>.log        append-only ingest frames
+        snapshot-<seq>.snap       atomic checkpoints
+
+    The coordinator is deliberately engine-agnostic: callers hand it
+    opaque records to log and an opaque state object to snapshot, and
+    drive replay themselves from :meth:`recover`'s record iterator —
+    the scheduler and the network bridge log different record shapes
+    (segments vs. raw tuples) through the same machinery.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fsync_every: int = 32,
+        snapshots_keep: int = 2,
+        start_seq: int = 0,
+    ):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.snapshots_keep = snapshots_keep
+        self.wal = WriteAheadLog(
+            self.directory, fsync_every=fsync_every, start_seq=start_seq
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self.wal.last_seq
+
+    def log(self, record: object) -> int:
+        """WAL one ingest record; returns its sequence number."""
+        return self.wal.append(record)
+
+    def checkpoint(self, state: object, seq: int | None = None) -> dict:
+        """Atomic snapshot at ``seq`` (default: the WAL's last sequence).
+
+        Fsyncs the WAL first (the snapshot must never be *ahead* of the
+        durable log), writes the snapshot, rotates the WAL, and prunes
+        old snapshots.  Returns checkpoint info (path, seq, duration,
+        size, files pruned).
+        """
+        tracer = current_tracer()
+        span = (
+            tracer.start_detached("checkpoint", "checkpoint")
+            if tracer
+            else None
+        )
+        start = time.perf_counter()
+        seq = self.wal.last_seq if seq is None else int(seq)
+        self.wal.sync()
+        path = write_snapshot(self.directory, seq, state)
+        wal_removed = self.wal.rotate(seq)
+        snaps_removed = prune_snapshots(
+            self.directory, keep=self.snapshots_keep
+        )
+        info = {
+            "path": path,
+            "seq": seq,
+            "bytes": os.path.getsize(path),
+            "duration_s": time.perf_counter() - start,
+            "wal_files_removed": wal_removed,
+            "snapshots_removed": snaps_removed,
+        }
+        if tracer and span is not None:
+            tracer.finish_detached(
+                span, seq=seq, bytes=info["bytes"]
+            )
+        return info
+
+    def recover(self):
+        """Yield the recovery plan: ``(state, report, records)``.
+
+        ``state`` is the newest valid snapshot's payload (``None`` for
+        genesis), ``records`` an iterator of ``(seq, record)`` WAL
+        frames strictly after the snapshot.  The caller applies the
+        state, replays the records, then calls
+        :meth:`finish_recovery` with the report so counters and the
+        WAL append position line up.
+        """
+        report = RecoveryReport()
+        loaded = load_latest_snapshot(self.directory)
+        state = None
+        if loaded is not None:
+            report.snapshot_seq, state, report.snapshot_path = loaded
+        report.recovered_seq = report.snapshot_seq
+
+        def records():
+            for seq, record in read_wal(
+                self.directory,
+                after_seq=report.snapshot_seq,
+                stats=report.wal_stats,
+            ):
+                report.replayed += 1
+                report.recovered_seq = seq
+                yield seq, record
+
+        return state, report, records()
+
+    def finish_recovery(self, report: RecoveryReport) -> None:
+        """Align the appender past everything replayed and count it."""
+        if report.recovered_seq > self.wal.last_seq:
+            # New records must never reuse a replayed sequence number.
+            self.wal.advance_seq(report.recovered_seq)
+        get_counter("recovery.runs").bump()
+        get_counter("recovery.replayed_records").bump(report.replayed)
+        get_counter("recovery.corrupt_frames").bump(
+            report.wal_stats.corrupt_frames
+        )
+        get_counter("recovery.torn_tails").bump(report.wal_stats.torn_tails)
+
+    def close(self) -> None:
+        self.wal.close()

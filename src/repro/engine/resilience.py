@@ -31,10 +31,11 @@ for the quarantined key, so replays and tests are deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator
+from typing import Hashable, Iterator, Mapping
 
 from .metrics import get_counter, get_gauge
 
@@ -239,6 +240,52 @@ class CircuitBreaker:
                 if h.state is not BreakerState.CLOSED
             )
         )
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Plain-data serialization of config + every key's health.
+
+        Everything the breaker's routing decisions depend on is
+        captured — state, consecutive failures, the violation window
+        contents, quarantine tick count (arrival-counted backoff
+        progress), probe successes mid-HALF_OPEN, and times_opened —
+        so a restored breaker makes the *same* next decision the
+        original would have (pinned by the round-trip tests).
+        """
+        return {
+            "config": dataclasses.asdict(self.config),
+            "health": [
+                {
+                    "query": query,
+                    "key": key,
+                    "state": health.state.value,
+                    "consecutive_failures": health.consecutive_failures,
+                    "violations": list(health.violations),
+                    "quarantine_ticks": health.quarantine_ticks,
+                    "probe_successes": health.probe_successes,
+                    "times_opened": health.times_opened,
+                }
+                for (query, key), health in self._health.items()
+            ],
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        """Restore from :meth:`state_dict` (replaces current health)."""
+        self.config = BreakerConfig(**dict(state["config"]))
+        self._health = {}
+        for entry in state["health"]:
+            health = _KeyHealth(
+                state=BreakerState(entry["state"]),
+                consecutive_failures=entry["consecutive_failures"],
+                violations=deque(entry["violations"]),
+                quarantine_ticks=entry["quarantine_ticks"],
+                probe_successes=entry["probe_successes"],
+                times_opened=entry["times_opened"],
+            )
+            self._health[(entry["query"], entry["key"])] = health
+        self._sync_gauge()
 
     # ------------------------------------------------------------------
     # observation

@@ -41,14 +41,23 @@ from ..core.errors import PlanError, PulseError
 #: these classes still propagate.
 _ITEM_FAULTS = (PulseError, KeyError, ValueError, TypeError, ArithmeticError)
 from ..core.operators.sampler import OutputSampler
-from ..core.segment import Segment
+from ..core.segment import (
+    Segment,
+    ensure_segment_ids_above,
+    segment_id_watermark,
+)
 from ..core.transform import TransformedQuery
 from . import tracing
+from .durability import Durability, RecoveryReport
 from .lowering import LoweredQuery
 from .metrics import get_counter, get_histogram
 from .parallel import ParallelSolveDispatcher
 from .resilience import BreakerConfig, CircuitBreaker, SlowSolveWatchdog
 from .tuples import StreamTuple
+
+#: Version stamp inside runtime checkpoint payloads; bumped when the
+#: state-dict shape changes incompatibly.
+RUNTIME_SNAPSHOT_VERSION = 1
 
 #: Valid back-pressure policies for :class:`QueryRuntime`.
 BACKPRESSURE_POLICIES = ("block", "shed-oldest", "shed-newest")
@@ -135,6 +144,14 @@ class QueryRuntime:
         (``resilience.watchdog.*``); ``None`` (the default) disables
         the timing entirely.  Independent of the observability switch,
         so production can watch latency without paying for tracing.
+    durability:
+        A :class:`~repro.engine.durability.Durability` coordinator.
+        When set, every :meth:`enqueue` is WAL-logged *before* it can
+        touch operator state, :meth:`checkpoint` snapshots the whole
+        runtime atomically, and :meth:`restore` rebuilds state from
+        the newest valid snapshot plus a WAL-tail replay.  ``None``
+        (the default) is the ephemeral runtime, byte-for-byte the
+        pre-durability hot path.
     """
 
     def __init__(
@@ -146,6 +163,7 @@ class QueryRuntime:
         num_shards: int = 1,
         parallel: "bool | str" = "auto",
         slow_solve_budget_s: float | None = None,
+        durability: Durability | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -169,6 +187,11 @@ class QueryRuntime:
             self._dispatcher = ParallelSolveDispatcher(
                 num_shards, parallel=parallel
             )
+        self._durability = durability
+        #: Sequence number of the most recent WAL-logged arrival; the
+        #: durable resume point exposed to clients after recovery.
+        self.ingest_seq = durability.last_seq if durability else 0
+        self._replaying = False
         self._queries: dict[str, _Registration] = {}
         self._round_robin: deque[str] = deque()
         self._streams: set[str] = set()
@@ -263,6 +286,11 @@ class QueryRuntime:
                 f"stream {stream!r} is not consumed by any registered "
                 f"query; known streams: {sorted(self._streams)}"
             )
+        if self._durability is not None and not self._replaying:
+            # Write-ahead: the arrival is durable before any operator
+            # state can change.  Replay re-runs the same admission
+            # logic, so back-pressure decisions are not re-logged.
+            self.ingest_seq = self._durability.log((stream, item))
         want_segment = isinstance(item, Segment)
         targets = [
             reg
@@ -601,13 +629,177 @@ class QueryRuntime:
         return total
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """The runtime's incrementally-maintained state as one dict.
+
+        Captures exactly what replay cannot cheaply rebuild: compiled
+        plans *with* their operator state (segment buffers, window
+        accumulators, group maps — the plan object graph is pickled
+        wholesale by the snapshot writer), queued-but-unprocessed
+        arrivals, undelivered outputs, per-query and runtime counters,
+        breaker health, the round-robin cursor, and the global
+        segment-id watermark.  Derived caches (solve cache, signature
+        memos keyed off live objects) are rebuilt by replay instead.
+        """
+        return {
+            "version": RUNTIME_SNAPSHOT_VERSION,
+            "registrations": [
+                {
+                    "name": reg.name,
+                    "query": reg.query,
+                    "fallback": reg.fallback,
+                    "fallback_period": reg.fallback_period,
+                    "queues": {
+                        stream: list(q) for stream, q in reg.queues.items()
+                    },
+                    "outputs": list(reg.outputs),
+                    "items_processed": reg.items_processed,
+                    "errors": reg.errors,
+                    "fallback_items": reg.fallback_items,
+                }
+                for reg in self._queries.values()
+            ],
+            "round_robin": list(self._round_robin),
+            "counters": {
+                "items_enqueued": self.items_enqueued,
+                "items_dropped": self.items_dropped,
+                "items_shed": self.items_shed,
+                "step_errors": self.step_errors,
+                "ingest_seq": self.ingest_seq,
+            },
+            "breaker": (
+                self.breaker.state_dict() if self.breaker else None
+            ),
+            "seg_id_watermark": segment_id_watermark(),
+        }
+
+    def restore_state(self, state: Mapping) -> None:
+        """Load a :meth:`checkpoint_state` dict, replacing all state.
+
+        The runtime's *configuration* (batch size, capacity, policy,
+        shards) is not part of the snapshot — build the runtime with
+        the desired knobs, then restore into it.  Advances the global
+        segment-id counter past the snapshot's watermark so ids issued
+        after the restore never collide with restored segments (the
+        identity-keyed operator memos rely on uniqueness).
+        """
+        version = state.get("version")
+        if version != RUNTIME_SNAPSHOT_VERSION:
+            raise PlanError(
+                f"unsupported runtime snapshot version {version!r}"
+            )
+        self._queries.clear()
+        self._round_robin.clear()
+        self._streams.clear()
+        self._total_pending = 0
+        for entry in state["registrations"]:
+            reg = _Registration(
+                entry["name"],
+                entry["query"],
+                tuple(entry["query"].stream_sources),
+                fallback=entry["fallback"],
+                fallback_period=entry["fallback_period"],
+            )
+            for stream, items in entry["queues"].items():
+                reg.queues[stream] = deque(items)
+            reg.outputs = list(entry["outputs"])
+            reg.items_processed = entry["items_processed"]
+            reg.errors = entry["errors"]
+            reg.fallback_items = entry["fallback_items"]
+            reg.pending = sum(len(q) for q in reg.queues.values())
+            self._queries[reg.name] = reg
+            self._streams.update(reg.streams)
+            self._total_pending += reg.pending
+        self._round_robin.extend(
+            name for name in state["round_robin"] if name in self._queries
+        )
+        counters = state["counters"]
+        self.items_enqueued = counters["items_enqueued"]
+        self.items_dropped = counters["items_dropped"]
+        self.items_shed = counters["items_shed"]
+        self.step_errors = counters["step_errors"]
+        self.ingest_seq = counters["ingest_seq"]
+        if state.get("breaker") is not None:
+            if self.breaker is None:
+                self.breaker = CircuitBreaker()
+            self.breaker.load_state(state["breaker"])
+        ensure_segment_ids_above(state["seg_id_watermark"])
+
+    def checkpoint(self) -> dict:
+        """Atomically snapshot the runtime at its current ingest seq.
+
+        Requires an attached durability coordinator; the WAL is
+        fsynced first, the snapshot written (temp + rename), the WAL
+        rotated and old files pruned.  Returns checkpoint info
+        (path, seq, bytes, duration).
+        """
+        if self._durability is None:
+            raise PlanError("checkpoint requires a durability coordinator")
+        return self._durability.checkpoint(
+            self.checkpoint_state(), seq=self.ingest_seq
+        )
+
+    def restore(self) -> RecoveryReport:
+        """Recover from the durability directory: snapshot + WAL tail.
+
+        Loads the newest valid snapshot (genesis when none), replays
+        every intact WAL record after it through the normal
+        :meth:`enqueue` path, and processes to idle.  Outputs produced
+        by the replay are discarded — everything up to the recovered
+        sequence number counts as delivered (or lost with the dead
+        process); consumers resume from ``ingest_seq``.  Damaged WAL
+        frames are skipped with accounting in the returned report,
+        never raised.
+        """
+        if self._durability is None:
+            raise PlanError("restore requires a durability coordinator")
+        tracer = tracing.current_tracer()
+        span = (
+            tracer.start_detached("recovery", "recovery") if tracer else None
+        )
+        start = time.perf_counter()
+        state, report, records = self._durability.recover()
+        if state is not None:
+            self.restore_state(state)
+        self._replaying = True
+        try:
+            for seq, (stream, item) in records:
+                if not self.enqueue(stream, item) and (
+                    self.backpressure == "block"
+                ):
+                    # A blocked producer would have retried; drain and
+                    # re-offer so replay never loses a durable record.
+                    self.run_until_idle()
+                    self.enqueue(stream, item)
+                self.ingest_seq = seq
+            self.run_until_idle()
+        finally:
+            self._replaying = False
+        for reg in self._queries.values():
+            reg.outputs.clear()
+        self._durability.finish_recovery(report)
+        report.duration_s = time.perf_counter() - start
+        if tracer and span is not None:
+            tracer.finish_detached(
+                span,
+                snapshot_seq=report.snapshot_seq,
+                replayed=report.replayed,
+                recovered_seq=report.recovered_seq,
+            )
+        return report
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down the shard workers (no-op for the serial runtime)."""
+        """Tear down the shard workers and durability appender."""
         if self._dispatcher is not None:
             self._dispatcher.shutdown()
             self._dispatcher = None
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "QueryRuntime":
         return self

@@ -66,6 +66,8 @@ SPAN_KINDS = (
     "watchdog",
     "session",
     "ingest",
+    "checkpoint",
+    "recovery",
 )
 
 

@@ -49,6 +49,7 @@ from typing import Callable, Mapping, Sequence
 from ..core.errors import PlanError, PulseError
 from ..core.transform import TransformedQuery, to_continuous_plan
 from ..engine import tracing
+from ..engine.durability import Durability
 from ..engine.lowering import LoweredQuery, to_discrete_plan
 from ..engine.metrics import get_counter, get_histogram
 from ..engine.scheduler import QueryRuntime
@@ -58,6 +59,18 @@ from ..query import parse_query, plan_query
 from .protocol import ProtocolError
 
 _STOP = object()
+
+#: Version stamp for bridge-level snapshot payloads.
+BRIDGE_SNAPSHOT_VERSION = 1
+
+
+class BridgeClosed(PulseError):
+    """Command submitted to (or stranded in) a shut-down bridge.
+
+    Typed so callers can tell "the server is going away" from an engine
+    failure; futures rejected at shutdown carry this instead of hanging
+    forever.
+    """
 
 
 @dataclass(frozen=True)
@@ -161,6 +174,20 @@ class EngineBridge:
     on_notify:
         ``(kind, payload) -> None`` for watchdog / backpressure /
         breaker pushes, same threading rule.
+    wal_dir:
+        Directory for the ingest WAL + checkpoints.  When set, every
+        state-changing command (register / instance creation / ingest
+        batch / flush) is logged *before* it executes, and
+        :meth:`start` recovers from the newest valid snapshot plus a
+        WAL-tail replay before the first command runs.  The WAL sits
+        at the tuple boundary — *raw* tuples are logged, before model
+        fitting — because the fitting builders are part of the state
+        that must reconverge.
+    checkpoint_every:
+        Auto-checkpoint after this many WAL-logged ingest tuples
+        (``None`` = manual ``checkpoint`` commands only).
+    fsync_every:
+        WAL fsync batching (records per fsync; 1 = every record).
     """
 
     def __init__(
@@ -171,12 +198,28 @@ class EngineBridge:
         default_fit: FitSpec | None = None,
         on_outputs: Callable[[list[int], dict, list], None] | None = None,
         on_notify: Callable[[str, dict], None] | None = None,
+        wal_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        fsync_every: int = 32,
     ):
         self.runtime = QueryRuntime(**dict(runtime_kwargs or {}))
         self.default_tolerance = default_tolerance
         self.default_fit = default_fit
         self.on_outputs = on_outputs
         self.on_notify = on_notify
+        self._durability = (
+            Durability(wal_dir, fsync_every=fsync_every)
+            if wal_dir
+            else None
+        )
+        self.checkpoint_every = checkpoint_every
+        #: Cumulative WAL-logged ingest tuples (survives restarts via
+        #: the snapshot); the client-facing durable resume offset.
+        self.ingest_tuples = 0
+        self._tuples_at_checkpoint = 0
+        self._replaying = False
+        self.recovery_report = None
+        self._closed = False
         self._commands: queue.Queue = queue.Queue()
         self._thread: threading.Thread | None = None
         self._entries: dict[str, _QueryEntry] = {}
@@ -197,27 +240,72 @@ class EngineBridge:
     def start(self) -> None:
         if self._thread is not None:
             raise RuntimeError("bridge already started")
+        if self._closed:
+            raise BridgeClosed("bridge was shut down")
         self._thread = threading.Thread(
             target=self._run, name="pulse-engine", daemon=True
         )
         self._thread.start()
+        if self._durability is not None:
+            # Recovery runs as the first engine-thread command, so no
+            # client command can observe pre-recovery state; waiting on
+            # the future keeps start() synchronous for callers that
+            # immediately advertise readiness.
+            self.submit(self._do_restore).result()
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop the engine thread and tear down the runtime."""
+        """Graceful shutdown: drain queued commands, then reject late ones.
+
+        Commands already queued are processed (with their outputs
+        delivered) before the engine thread exits; a final checkpoint
+        is taken when durability is on, so a clean shutdown needs no
+        replay on the next start.  Anything submitted after shutdown
+        begins — or still queued if the drain deadline expires — gets
+        a typed :class:`BridgeClosed` instead of a hanging future.
+        """
         thread = self._thread
         if thread is None:
+            self._closed = True
+            self._reject_pending()
             return
+        if self._durability is not None and thread.is_alive():
+            self._commands.put((self._do_checkpoint, Future()))
         self._commands.put(_STOP)
+        self._closed = True
         thread.join(timeout)
-        if thread.is_alive():
+        alive = thread.is_alive()
+        self._reject_pending()
+        if alive:
             raise RuntimeError("engine thread did not stop")
         self._thread = None
         self.runtime.close()
+        if self._durability is not None:
+            self._durability.close()
+
+    def _reject_pending(self) -> None:
+        """Fail every still-queued future with :class:`BridgeClosed`."""
+        while True:
+            try:
+                cmd = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            if cmd is _STOP:
+                continue
+            _fn, future = cmd
+            if not future.done():
+                future.set_exception(
+                    BridgeClosed("bridge shut down before command ran")
+                )
 
     def submit(self, fn: Callable[[], object]) -> Future:
         """Run ``fn`` on the engine thread; resolve the future after
-        the post-command pump has delivered all outputs."""
+        the post-command pump has delivered all outputs.  After
+        :meth:`stop` begins, the future fails immediately with
+        :class:`BridgeClosed`."""
         future: Future = Future()
+        if self._closed:
+            future.set_exception(BridgeClosed("bridge is shut down"))
+            return future
         self._commands.put((fn, future))
         return future
 
@@ -258,6 +346,9 @@ class EngineBridge:
     def flush(self) -> Future:
         return self.submit(self._do_flush)
 
+    def checkpoint(self) -> Future:
+        return self.submit(self._do_checkpoint)
+
     def stats(self) -> Future:
         return self.submit(self._do_stats)
 
@@ -284,12 +375,19 @@ class EngineBridge:
             except BaseException as exc:  # noqa: BLE001 — future carries it
                 future.set_exception(exc)
 
+    def _log(self, record: tuple) -> int:
+        """WAL one state-changing command (no-op when ephemeral)."""
+        if self._durability is None or self._replaying:
+            return 0
+        return self._durability.log(record)
+
     def _do_register(
         self, name: str, text: str, fit: FitSpec | None
     ) -> dict:
         if name in self._entries:
             raise PlanError(f"query {name!r} already registered")
         planned = plan_query(parse_query(text))
+        self._log(("register", name, text, fit))
         entry = _QueryEntry(name, text, planned, fit or self.default_fit)
         self._entries[name] = entry
         return {
@@ -329,6 +427,11 @@ class EngineBridge:
             key = (query, mode)
         instance = self._instances.get(key)
         if instance is None:
+            # Instance creation (not the subscription itself) is
+            # durable state: fitted builders and plan buffers hang off
+            # it.  Subscribers are connection-scoped and die with the
+            # process; clients re-subscribe after a restart.
+            self._log(("instance", entry.name, mode, bound))
             instance = self._make_instance(entry, mode, bound)
             self._instances[key] = instance
         instance.subscribers.append(sub_id)
@@ -427,6 +530,11 @@ class EngineBridge:
             "no_consumer": 0,
             "fit_rejected": 0,
         }
+        if self._durability is not None and not self._replaying:
+            # Write-ahead at the tuple boundary: raw tuples go to disk
+            # before fitting can fold them into builder state.
+            self._log(("ingest", stream, list(tuples), policy))
+            self.ingest_tuples += len(tuples)
         consumers = [
             inst
             for inst in self._instances.values()
@@ -471,6 +579,14 @@ class EngineBridge:
         self._ingest_hist.observe(time.perf_counter() - t0)
         if tracer is not None and span is not None:
             tracer.finish_detached(span, **counts)
+        if (
+            self.checkpoint_every
+            and self._durability is not None
+            and not self._replaying
+            and self.ingest_tuples - self._tuples_at_checkpoint
+            >= self.checkpoint_every
+        ):
+            self._do_checkpoint()
         return counts
 
     def _fit(
@@ -503,6 +619,9 @@ class EngineBridge:
     def _do_flush(self) -> dict:
         """End-of-stream barrier: close every open fitted segment,
         drain the runtime, deliver everything."""
+        # Flush mutates builder state (open windows close), so it is a
+        # WAL event like any other state-changing command.
+        self._log(("flush",))
         flushed = 0
         for instance in self._instances.values():
             for stream, builder in instance.builders.items():
@@ -513,6 +632,156 @@ class EngineBridge:
                         flushed += 1
         processed = self._pump()
         return {"flushed_segments": flushed, "processed": processed}
+
+    # ------------------------------------------------------------------
+    # durability (engine thread)
+    # ------------------------------------------------------------------
+    def _do_checkpoint(self) -> dict:
+        """Atomic snapshot of entries, instances, builders and runtime."""
+        if self._durability is None:
+            raise PlanError("server has no WAL directory configured")
+        state = {
+            "version": BRIDGE_SNAPSHOT_VERSION,
+            "entries": [
+                (e.name, e.text, e.fit) for e in self._entries.values()
+            ],
+            "instances": [
+                {
+                    "key": key,
+                    "runtime_name": inst.runtime_name,
+                    "query": inst.entry.name,
+                    "mode": inst.mode,
+                    "bound": inst.bound,
+                    "builders": inst.builders,
+                    "seq": inst.seq,
+                    "fit_rejects": inst.fit_rejects,
+                }
+                for key, inst in self._instances.items()
+            ],
+            "runtime": self.runtime.checkpoint_state(),
+            "ingest_tuples": self.ingest_tuples,
+        }
+        info = self._durability.checkpoint(state)
+        self._tuples_at_checkpoint = self.ingest_tuples
+        return {
+            "seq": info["seq"],
+            "bytes": info["bytes"],
+            "duration_s": info["duration_s"],
+            "ingest_tuples": self.ingest_tuples,
+        }
+
+    def _load_snapshot(self, state: Mapping) -> None:
+        version = state.get("version")
+        if version != BRIDGE_SNAPSHOT_VERSION:
+            raise PlanError(
+                f"unsupported bridge snapshot version {version!r}"
+            )
+        self._entries = {}
+        for name, text, fit in state["entries"]:
+            # Query plans are re-derived from text (deterministic and
+            # robust across code changes); operator *state* rides in
+            # the runtime snapshot's pickled plan graph instead.
+            planned = plan_query(parse_query(text))
+            self._entries[name] = _QueryEntry(name, text, planned, fit)
+        self.runtime.restore_state(state["runtime"])
+        self._instances = {}
+        for item in state["instances"]:
+            entry = self._entries[item["query"]]
+            streams = tuple(entry.planned.stream_sources)
+            runtime_name = item["runtime_name"]
+            instance = _Instance(
+                runtime_name=runtime_name,
+                entry=entry,
+                mode=item["mode"],
+                bound=item["bound"],
+                streams=streams,
+                stream_map={
+                    s: f"{runtime_name}/{s}" for s in streams
+                },
+                builders=item["builders"],
+                seq=item["seq"],
+                fit_rejects=item["fit_rejects"],
+            )
+            self._instances[item["key"]] = instance
+        self.ingest_tuples = state["ingest_tuples"]
+
+    def _apply_record(self, record: tuple) -> None:
+        """Replay one WAL record through the normal command paths."""
+        kind = record[0]
+        if kind == "register":
+            _, name, text, fit = record
+            if name not in self._entries:
+                self._do_register(name, text, fit)
+        elif kind == "instance":
+            _, qname, mode, bound = record
+            key = (
+                (qname, mode, bound)
+                if mode == "continuous"
+                else (qname, mode)
+            )
+            entry = self._entries.get(qname)
+            if entry is not None and key not in self._instances:
+                self._instances[key] = self._make_instance(
+                    entry, mode, bound
+                )
+        elif kind == "ingest":
+            _, stream, tuples, policy = record
+            self.ingest_tuples += len(tuples)
+            self._do_ingest(None, stream, tuples, policy)
+        elif kind == "flush":
+            self._do_flush()
+        # Unknown kinds: skip (forward compatibility), never crash.
+
+    def _do_restore(self) -> dict:
+        """Recover on start: newest valid snapshot + WAL-tail replay.
+
+        Replayed outputs are discarded naturally — no subscriptions
+        exist yet, so the pump drains and drops them; clients that
+        reconnect resume from ``ingest_tuples``.  Damaged WAL frames
+        are skipped with accounting in the returned report.
+        """
+        tracer = tracing.current_tracer()
+        span = (
+            tracer.start_detached("recovery", "recovery") if tracer else None
+        )
+        start = time.perf_counter()
+        state, report, records = self._durability.recover()
+        self._replaying = True
+        try:
+            if state is not None:
+                self._load_snapshot(state)
+            for _seq, record in records:
+                self._apply_record(record)
+        finally:
+            self._replaying = False
+        self._durability.finish_recovery(report)
+        report.duration_s = time.perf_counter() - start
+        self.recovery_report = report.as_dict()
+        self._sync_notification_baseline()
+        if report.replayed:
+            # Fold the replayed tail into a fresh checkpoint so a
+            # crash loop never replays the same tail twice.
+            self._do_checkpoint()
+        else:
+            self._tuples_at_checkpoint = self.ingest_tuples
+        if tracer and span is not None:
+            tracer.finish_detached(
+                span,
+                snapshot_seq=report.snapshot_seq,
+                replayed=report.replayed,
+                recovered_seq=report.recovered_seq,
+            )
+        return self.recovery_report
+
+    def _sync_notification_baseline(self) -> None:
+        """Replay re-trips sheds/breakers; don't re-notify history."""
+        self._last_shed = self.runtime.items_shed
+        self._last_dropped = self.runtime.items_dropped
+        watchdog = self.runtime.resilience_stats().get("watchdog")
+        if watchdog is not None:
+            self._last_slow = watchdog["slow_solves"]
+        if self.runtime.breaker is not None:
+            self._last_open = frozenset(self.runtime.breaker.open_keys())
 
     def _do_stats(self) -> dict:
         stats: dict = {
@@ -539,6 +808,15 @@ class EngineBridge:
         parallel = self.runtime.parallel_stats()
         if parallel is not None:
             stats["parallel"] = _json_safe(parallel)
+        if self._durability is not None:
+            stats["durability"] = _json_safe(
+                {
+                    "wal_dir": self._durability.directory,
+                    "ingest_tuples": self.ingest_tuples,
+                    "wal_seq": self._durability.last_seq,
+                    "recovery": self.recovery_report,
+                }
+            )
         return stats
 
     def _do_open_session(self, session_id: int, peer: str) -> None:
@@ -591,7 +869,7 @@ class EngineBridge:
         return processed
 
     def _emit_notifications(self) -> None:
-        if self.on_notify is None:
+        if self.on_notify is None or self._replaying:
             return
         shed, dropped = self.runtime.items_shed, self.runtime.items_dropped
         if shed > self._last_shed or dropped > self._last_dropped:

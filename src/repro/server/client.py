@@ -15,6 +15,7 @@ benchmark all drive the server through this class.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import deque
@@ -32,6 +33,22 @@ class ServerError(PulseError):
         super().__init__(message)
 
 
+class ReconnectExhausted(PulseError):
+    """Every reconnect attempt failed; carries the attempt count.
+
+    Raised by :meth:`PulseClient.reconnect` after its bounded retry
+    budget is spent, so callers can distinguish "the server is really
+    gone" from the transient outage of a restart-in-progress.
+    """
+
+    def __init__(self, attempts: int, last_error: Exception | None):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"reconnect failed after {attempts} attempts: {last_error!r}"
+        )
+
+
 class PulseClient:
     """One blocking protocol session.
 
@@ -44,7 +61,18 @@ class PulseClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        reconnect_attempts: int = 5,
+        reconnect_base_s: float = 0.05,
+        reconnect_max_s: float = 2.0,
     ):
+        self._addr = (host, port)
+        self._timeout = timeout
+        #: Bounded retry budget for :meth:`reconnect` (per call).
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_base_s = reconnect_base_s
+        self.reconnect_max_s = reconnect_max_s
+        self._rng = random.Random()
+        self._backpressure: str | None = None
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
         self._next_id = 1
@@ -81,11 +109,50 @@ class PulseClient:
     def connect(self, backpressure: str | None = None) -> dict:
         """``hello`` handshake; optionally pins this connection's
         ingest back-pressure policy."""
+        self._backpressure = backpressure
         fields = {}
         if backpressure is not None:
             fields["backpressure"] = backpressure
         self.hello = self._request("hello", **fields)
         return self.hello
+
+    def reconnect(self, attempts: int | None = None) -> dict:
+        """Bounded reconnect with exponential backoff and full jitter.
+
+        Closes the dead socket and retries the TCP connect up to
+        ``attempts`` times (default: the constructor's budget), sleeping
+        ``min(base * 2^i, max) * U(1, 2)`` between tries — exponential
+        backoff with jitter, so a fleet of subscribers doesn't stampede
+        a server that is still mid-recovery.  On success, performs a
+        fresh ``hello`` (restoring the pinned back-pressure policy) and
+        returns it.  **Subscriptions do not survive**: the new session
+        has none, and buffered pushes from the old session stay in
+        :attr:`pushed`; callers re-subscribe and resume ingest from the
+        server's recovered durable offset.
+
+        Raises :class:`ReconnectExhausted` when the budget is spent.
+        """
+        attempts = self.reconnect_attempts if attempts is None else attempts
+        try:
+            self.close()
+        except OSError:
+            pass
+        last_error: Exception | None = None
+        for i in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    self._addr, timeout=self._timeout
+                )
+                self._file = self._sock.makefile("rb")
+                return self.connect(self._backpressure)
+            except OSError as exc:
+                last_error = exc
+                delay = min(
+                    self.reconnect_max_s,
+                    self.reconnect_base_s * (2.0**i),
+                )
+                time.sleep(delay * (1.0 + self._rng.random()))
+        raise ReconnectExhausted(attempts, last_error)
 
     def register(
         self, name: str, query: str, fit: Mapping | None = None

@@ -74,6 +74,7 @@ OPS = (
     "unsubscribe",
     "ingest",
     "flush",
+    "checkpoint",
     "stats",
 )
 

@@ -31,7 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..core.errors import PulseError
+from ..core.errors import PlanError, PulseError
 from ..engine.metrics import get_counter, get_histogram
 from ..engine.resilience import BreakerConfig
 from . import protocol
@@ -59,6 +59,12 @@ class ServerConfig:
     default_fit: FitSpec | None = None
     #: Outbound messages buffered per connection before result shedding.
     outbound_limit: int = 1024
+    #: Durability: WAL + checkpoint directory (``None`` = ephemeral).
+    wal_dir: str | None = None
+    #: Auto-checkpoint after this many ingested tuples (``None`` = manual).
+    checkpoint_every: int | None = None
+    #: WAL fsync batching (records per fsync; 1 = every record).
+    fsync_every: int = 32
 
     def runtime_kwargs(self) -> dict:
         kwargs: dict = {
@@ -124,6 +130,9 @@ class PulseServer:
             default_fit=config.default_fit,
             on_outputs=self._on_outputs_threadsafe,
             on_notify=self._on_notify_threadsafe,
+            wal_dir=config.wal_dir,
+            checkpoint_every=config.checkpoint_every,
+            fsync_every=config.fsync_every,
         )
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -149,9 +158,14 @@ class PulseServer:
         self._loop = asyncio.get_running_loop()
         self.bridge.start()
         for name, text, fit in self._startup_queries:
-            await asyncio.wrap_future(
-                self.bridge.register_query(name, text, fit)
-            )
+            try:
+                await asyncio.wrap_future(
+                    self.bridge.register_query(name, text, fit)
+                )
+            except PlanError:
+                # Already present: recovery restored it from the WAL
+                # or a snapshot before the startup list ran.
+                pass
         self._server = await asyncio.start_server(
             self._handle,
             self.config.host,
@@ -473,6 +487,10 @@ class PulseServer:
 
     async def _op_flush(self, conn: _Connection, obj: dict) -> dict:
         result = await asyncio.wrap_future(self.bridge.flush())
+        return {"type": "ack", **result}
+
+    async def _op_checkpoint(self, conn: _Connection, obj: dict) -> dict:
+        result = await asyncio.wrap_future(self.bridge.checkpoint())
         return {"type": "ack", **result}
 
     async def _op_stats(self, conn: _Connection, obj: dict) -> dict:

@@ -1,0 +1,46 @@
+"""Child-process server host for the crash-recovery chaos harness.
+
+The kill-recovery test needs a *real* process death — ``SIGKILL``, no
+``atexit``, no graceful WAL close — which an in-process
+:class:`~repro.server.server.ServerThread` cannot provide.  This module
+is the subprocess entry point::
+
+    python -m repro.testing.chaos_server WAL_DIR [PORT] [CHECKPOINT_EVERY]
+
+It hosts a durable server (``fsync_every=1``, so every acked ingest is
+on disk and the client's resume arithmetic is exact), prints
+``PORT <n>`` on stdout once listening, then sleeps until killed.  The
+parent reads the port line, drives the protocol, and delivers the
+``SIGKILL`` whenever its chaos schedule says so.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from ..server.server import ServerConfig, ServerThread
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: chaos_server WAL_DIR [PORT] [CHECKPOINT_EVERY]")
+        return 2
+    wal_dir = argv[0]
+    port = int(argv[1]) if len(argv) > 1 else 0
+    checkpoint_every = int(argv[2]) if len(argv) > 2 else 7
+    config = ServerConfig(
+        port=port,
+        wal_dir=wal_dir,
+        checkpoint_every=checkpoint_every,
+        fsync_every=1,
+    )
+    with ServerThread(config) as handle:
+        print(f"PORT {handle.port}", flush=True)
+        # Park until SIGKILLed (or terminated by the parent at test end).
+        while True:
+            time.sleep(0.5)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,206 @@
+"""Breaker durability round-trips: restore must change *nothing*.
+
+The pinned property: a breaker restored from ``state_dict()`` makes the
+same next routing decision — and the same decision after *any* further
+outcome — as the original would have.  Each test drives an original and
+its restored twin through the identical event sequence and asserts the
+states stay in lockstep, for every reachable breaker state including
+the mid-flight ones a wall-clock checkpoint can land in: OPEN with
+partial quarantine, HALF_OPEN mid-probe, a half-full violation window.
+"""
+
+import pytest
+
+from repro.engine.resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+pytestmark = pytest.mark.resilience
+
+Q = "q"
+K = ("k",)
+
+
+def breaker(**kw):
+    defaults = dict(
+        failure_threshold=3,
+        violation_window=8,
+        violation_threshold=0.5,
+        min_window=4,
+        backoff=4,
+        probe_successes=2,
+    )
+    defaults.update(kw)
+    return CircuitBreaker(BreakerConfig(**defaults))
+
+
+def restored(original):
+    twin = CircuitBreaker()
+    twin.load_state(original.state_dict())
+    return twin
+
+
+def assert_lockstep(a, b, events, keys=(K,)):
+    """Drive both breakers through ``events`` asserting identical
+    decisions at every step.  Events are (method, key) pairs; ``allow``
+    is a decision *and* a mutation (quarantine ticks), so interleaving
+    it exercises the arrival-counted backoff clock."""
+    for method, key in events:
+        ra = getattr(a, method)(Q, key)
+        rb = getattr(b, method)(Q, key)
+        assert ra == rb, f"diverged on {method}({key}): {ra} vs {rb}"
+        for k in keys:
+            assert a.state(Q, k) is b.state(Q, k)
+
+
+class TestPlainStates:
+    def test_untouched_breaker_round_trips(self):
+        b = breaker()
+        t = restored(b)
+        assert t.state(Q, K) is BreakerState.CLOSED
+        assert t.allow(Q, K)
+        assert t.config == b.config
+
+    def test_closed_with_partial_failures(self):
+        b = breaker()
+        b.record_failure(Q, K)
+        b.record_failure(Q, K)  # one below threshold
+        t = restored(b)
+        assert_lockstep(b, t, [("record_failure", K)])
+        assert t.state(Q, K) is BreakerState.OPEN  # third strike lands
+
+    def test_open_round_trips(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        t = restored(b)
+        assert t.state(Q, K) is BreakerState.OPEN
+        assert not t.allow(Q, K)
+        assert t.state_dict()["health"][0]["times_opened"] == 1
+
+
+class TestMidFlightStates:
+    def test_open_with_partial_quarantine(self):
+        # backoff=4: consume 2 ticks, checkpoint, restore — the twin
+        # must refuse exactly one more arrival, then probe.
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        assert not b.allow(Q, K)
+        assert not b.allow(Q, K)
+        t = restored(b)
+        assert_lockstep(b, t, [("allow", K)] * 3)
+        assert t.state(Q, K) is BreakerState.HALF_OPEN
+
+    def test_half_open_mid_probe(self):
+        # probe_successes=2: record one success, checkpoint mid-probe.
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        for _ in range(4):
+            b.allow(Q, K)  # exhaust backoff → HALF_OPEN
+        b.record_success(Q, K)
+        assert b.state(Q, K) is BreakerState.HALF_OPEN
+        t = restored(b)
+        assert t.state_dict()["health"][0]["probe_successes"] == 1
+        # One more success closes both; a fresh breaker would need two.
+        assert_lockstep(b, t, [("record_success", K)])
+        assert t.state(Q, K) is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens_twin(self):
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        for _ in range(4):
+            b.allow(Q, K)
+        t = restored(b)
+        assert_lockstep(b, t, [("record_failure", K)])
+        assert t.state(Q, K) is BreakerState.OPEN
+        assert t.state_dict()["health"][0]["times_opened"] == 2
+
+    def test_violation_window_contents_survive(self):
+        # Window [T, F, T]: one below min_window=4.  The restored twin
+        # must trip on the same next violation the original trips on.
+        b = breaker()
+        b.record_violation(Q, K)
+        b.record_valid(Q, K)
+        b.record_violation(Q, K)
+        t = restored(b)
+        assert t.state_dict()["health"][0]["violations"] == [
+            True, False, True,
+        ]
+        assert_lockstep(b, t, [("record_violation", K)])
+        # [T,F,T,T] → 3/4 > 0.5 with window full: OPEN.
+        assert t.state(Q, K) is BreakerState.OPEN
+
+
+class TestPopulationAndConfig:
+    def test_multiple_keys_round_trip_independently(self):
+        b = breaker()
+        k2, k3 = ("x",), ("y",)
+        for _ in range(3):
+            b.record_failure(Q, K)       # OPEN
+        b.record_failure(Q, k2)          # CLOSED, 1 strike
+        b.record_violation(Q, k3)        # CLOSED, window started
+        t = restored(b)
+        assert t.state(Q, K) is BreakerState.OPEN
+        assert t.state(Q, k2) is BreakerState.CLOSED
+        assert t.state(Q, k3) is BreakerState.CLOSED
+        assert_lockstep(
+            b,
+            t,
+            [
+                ("allow", K),
+                ("record_failure", k2),
+                ("record_failure", k2),
+                ("record_violation", k3),
+                ("allow", K),
+            ],
+            keys=(K, k2, k3),
+        )
+
+    def test_config_is_part_of_the_state(self):
+        b = breaker(failure_threshold=7, backoff=11)
+        t = restored(b)
+        assert t.config.failure_threshold == 7
+        assert t.config.backoff == 11
+
+    def test_open_keys_gauge_resyncs_on_load(self):
+        from repro.engine.metrics import get_gauge
+
+        b = breaker()
+        for _ in range(3):
+            b.record_failure(Q, K)
+        fresh = CircuitBreaker()
+        get_gauge("resilience.breaker.open_keys").set(0)
+        fresh.load_state(b.state_dict())
+        assert get_gauge("resilience.breaker.open_keys").value == 1
+
+    def test_long_lockstep_fuzz(self):
+        # A scripted 60-event mixed sequence with a checkpoint in the
+        # middle: restore at an arbitrary cut point, then both must
+        # track each other to the end.
+        import random
+
+        rng = random.Random(123)
+        keys = [("a",), ("b",), ("c",)]
+        methods = (
+            "allow",
+            "record_failure",
+            "record_success",
+            "record_violation",
+            "record_valid",
+        )
+        b = breaker()
+        prefix = [
+            (rng.choice(methods), rng.choice(keys)) for _ in range(30)
+        ]
+        for method, key in prefix:
+            getattr(b, method)(Q, key)
+        t = restored(b)
+        suffix = [
+            (rng.choice(methods), rng.choice(keys)) for _ in range(30)
+        ]
+        assert_lockstep(b, t, suffix, keys=keys)

