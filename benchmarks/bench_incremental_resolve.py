@@ -1,0 +1,304 @@
+"""Incremental delta re-solve benchmark: update-heavy trace, A/B by knob.
+
+The trace is the regime the incremental path exists for: few keys, many
+*re-confirmations*.  Each per-key epoch is one genuine model refit
+(fresh coefficients over a full window) followed by ``EPOCH_LEN - 1``
+re-emissions of the **same** coefficients over narrowing windows — the
+shape Pulse's fitter produces when arriving tuples validate against the
+live model (Section II-A).  The join's right side re-fits once per
+epoch, so re-confirmed left content probes unchanged partners.
+
+The same trace runs through the same queries twice: with the
+``incremental`` solver knob off (full re-solve of every probe) and on
+(content-addressed solution stores serve re-confirmed probes above the
+equation-system layer).  The run asserts, before reporting any timing:
+
+* **bit-exact output parity** between the two modes, and
+* a **row-solve reduction of at least** ``RATIO_FLOOR``x — the
+  incremental path must eliminate the re-confirmation solves, not just
+  shave constants.
+
+A second experiment replays the shard-scaling benchmark's trace (model
+coefficients persisting across ``REFIT_EVERY`` arrivals) in *default*
+mode and records the solve-cache cold misses, pinning the cache-reuse
+benefit model persistence provides even without the knob.
+
+Results land in ``benchmarks/results/BENCH_incremental_resolve.json``
+via the harness.  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_resolve.py
+
+``REPRO_BENCH_SMOKE=1`` shrinks the trace (all asserts still run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from harness import record_result  # noqa: E402
+
+from repro.core.batch_solver import incremental_mode
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.solve_cache import (
+    reset_global_solve_cache,
+    reset_worker_root_cache,
+)
+from repro.core.transform import to_continuous_plan
+from repro.engine.metrics import counter_snapshot, reset_counters
+from repro.engine.scheduler import QueryRuntime
+from repro.query import parse_query, plan_query
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+KEYS = ("aapl", "ibm")
+FILT_SQL = "select * from ticks where x > 1"
+JOIN_SQL = (
+    "select from ticks T join quotes Q "
+    "on (T.sym = Q.sym and T.x > Q.y)"
+)
+#: Arrivals per epoch: one refit + (EPOCH_LEN - 1) re-confirmations.
+EPOCH_LEN = 8
+#: Window geometry: a refit covers [s, s + DURATION); re-confirmation
+#: ``j`` covers [s + j * STEP, s + DURATION) — same content, narrowing
+#: window, exactly what a validated prediction re-emits.
+DURATION = 4.0
+STEP = 0.25
+EPOCHS = 6 if SMOKE else 40
+ROUNDS = 1 if SMOKE else 3
+SEED = 11
+#: Acceptance floor: the incremental path must do at least this many
+#: times fewer row solves than the full path on this trace.
+RATIO_FLOOR = 3.0
+#: PR-7 recorded solve-cache cold misses on the shard-scaling trace
+#: (fresh coefficients every arrival, 256 rows/key).  The persistence
+#: experiment must come in below it (full-size runs only).
+PR7_COLD_MISSES = 3067
+
+
+def make_trace(epochs: int = EPOCHS, seed: int = SEED):
+    """Update-heavy two-stream trace: refit epochs of re-confirmations."""
+    import random
+
+    rng = random.Random(seed)
+    events = []
+    for e in range(epochs):
+        for k in KEYS:
+            s = e * DURATION
+            c1 = [rng.uniform(-2, 2) for _ in range(3)]
+            c2 = [rng.uniform(-2, 2) for _ in range(3)]
+            # The join's right side: one refit per epoch, full window.
+            events.append(
+                ("quotes", Segment((k,), s, s + DURATION,
+                                   {"y": Polynomial(c2)},
+                                   constants={"sym": k}))
+            )
+            # The left side: a refit, then re-confirmations of the same
+            # model over narrowing windows.
+            for j in range(EPOCH_LEN):
+                start = s + j * STEP
+                events.append(
+                    ("ticks", Segment((k,), start, s + DURATION,
+                                      {"x": Polynomial(c1)},
+                                      constants={"sym": k}))
+                )
+    return events
+
+
+def canon(outputs):
+    """Value-level view of an output stream (ids/lineage excluded)."""
+    return [
+        (
+            s.key,
+            s.t_start,
+            s.t_end,
+            {a: p.coeffs for a, p in sorted(s.models.items())},
+            tuple(sorted(s.constants.items())),
+        )
+        for s in outputs
+    ]
+
+
+def run_once(events, incremental: bool):
+    """One full trace through a fresh runtime under the given mode."""
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    with incremental_mode(incremental):
+        rt = QueryRuntime()
+        try:
+            rt.register(
+                "filt", to_continuous_plan(plan_query(parse_query(FILT_SQL)))
+            )
+            rt.register(
+                "join", to_continuous_plan(plan_query(parse_query(JOIN_SQL)))
+            )
+            t0 = time.perf_counter()
+            for stream, seg in events:
+                rt.enqueue(stream, seg)
+            rt.run_until_idle()
+            elapsed = time.perf_counter() - t0
+            outputs = {
+                name: canon(rt.outputs(name)) for name in rt.query_names
+            }
+        finally:
+            rt.close()
+    counters = dict(counter_snapshot("equation_system"))
+    counters.update(counter_snapshot("delta"))
+    return elapsed, outputs, counters
+
+
+def measure_scaling_trace_cold_misses() -> dict:
+    """Solve-cache misses on the shard-scaling trace, default mode.
+
+    The scaling trace's model persistence (coefficients refit every
+    ``REFIT_EVERY`` arrivals) makes repeated interior-pair probes exact
+    solve-cache repeats even with the incremental knob off; this pins
+    the resulting cold-miss count against the PR-7 baseline, which was
+    recorded on a fresh-coefficients-every-arrival trace.
+    """
+    from bench_scaling_shards import ROWS, make_trace as scaling_trace
+    from bench_scaling_shards import run_once as scaling_run
+
+    _, _, _, _ = scaling_run(1, scaling_trace(ROWS))  # warm = measured run
+    cache = counter_snapshot("solve_cache")
+    return {
+        "scaling_trace_rows_per_key": ROWS,
+        "scaling_trace_cold_misses": cache.get("solve_cache.misses", 0),
+        "scaling_trace_cache_hits": cache.get("solve_cache.hits", 0),
+        "pr7_cold_misses_baseline": PR7_COLD_MISSES,
+    }
+
+
+def run_experiment(epochs: int = EPOCHS, rounds: int = ROUNDS) -> dict:
+    events = make_trace(epochs)
+    results = {}
+    baseline = None
+    for incremental in (False, True):
+        best = float("inf")
+        counters = {}
+        for _ in range(rounds):
+            elapsed, outputs, counters = run_once(events, incremental)
+            best = min(best, elapsed)
+            if baseline is None:
+                baseline = outputs
+            else:
+                assert outputs == baseline, (
+                    "incremental outputs diverge from full re-solve"
+                )
+        results[incremental] = {"wall_time_s": best, "counters": counters}
+
+    full = results[False]
+    incr = results[True]
+    full_solves = full["counters"].get("equation_system.row_solves", 0)
+    incr_solves = incr["counters"].get("equation_system.row_solves", 0)
+    ratio = full_solves / incr_solves if incr_solves else float("inf")
+    metrics = {
+        "keys": len(KEYS),
+        "epochs": epochs,
+        "epoch_len": EPOCH_LEN,
+        "events": len(events),
+        "rounds_best_of": rounds,
+        "output_segments": sum(len(v) for v in (baseline or {}).values()),
+        "parity": True,  # asserted above, both rounds and modes
+        "row_solves_full": full_solves,
+        "row_solves_incremental": incr_solves,
+        "row_solve_ratio": round(ratio, 2),
+        "wall_time_full_s": round(full["wall_time_s"], 4),
+        "wall_time_s": round(incr["wall_time_s"], 4),
+        "speedup": round(full["wall_time_s"] / incr["wall_time_s"], 3),
+        "throughput_items_per_s": round(
+            len(events) / incr["wall_time_s"], 1
+        ),
+        "delta_store_hits": incr["counters"].get("delta.store.hits", 0),
+        "delta_store_misses": incr["counters"].get("delta.store.misses", 0),
+        "delta_store_seam_rejects": incr["counters"].get(
+            "delta.store.seam_rejects", 0
+        ),
+        "delta_changes_refit": incr["counters"].get(
+            "delta.changes.refit", 0
+        ),
+        "delta_changes_reemitted": incr["counters"].get(
+            "delta.changes.reemitted", 0
+        ),
+        "smoke": SMOKE,
+    }
+    metrics.update(measure_scaling_trace_cold_misses())
+    return metrics
+
+
+def test_incremental_resolve(benchmark, report):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        f"trace: {r['events']} events, {r['keys']} keys x {r['epochs']} "
+        f"epochs of {r['epoch_len']} (1 refit + "
+        f"{r['epoch_len'] - 1} re-confirmations)",
+        f"output segments: {r['output_segments']} "
+        f"(bit-exact across modes)",
+        f"row solves: full={r['row_solves_full']} "
+        f"incremental={r['row_solves_incremental']} "
+        f"({r['row_solve_ratio']:.1f}x fewer)",
+        f"wall: full={r['wall_time_full_s']:.3f}s "
+        f"incremental={r['wall_time_s']:.3f}s "
+        f"({r['speedup']:.2f}x)",
+        f"store: {r['delta_store_hits']} hits, "
+        f"{r['delta_store_misses']} misses, "
+        f"{r['delta_store_seam_rejects']} seam rejects",
+        f"scaling-trace cold misses (default mode, persistent "
+        f"models): {r['scaling_trace_cold_misses']} "
+        f"(PR-7 baseline {r['pr7_cold_misses_baseline']})",
+    ]
+    report("incremental_resolve", "\n".join(lines))
+    benchmark.extra_info.update(r)
+    record_result("incremental_resolve", r)
+    assert r["parity"]
+    assert r["row_solve_ratio"] >= RATIO_FLOOR, (
+        f"incremental row-solve reduction {r['row_solve_ratio']:.2f}x "
+        f"below the {RATIO_FLOOR}x floor"
+    )
+    if not SMOKE:
+        assert r["scaling_trace_cold_misses"] < PR7_COLD_MISSES, (
+            "model persistence did not reduce solve-cache cold misses "
+            f"below the PR-7 baseline ({PR7_COLD_MISSES})"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=EPOCHS,
+                        help="refit epochs per key")
+    parser.add_argument("--rounds", type=int, default=ROUNDS,
+                        help="best-of-N timing rounds")
+    args = parser.parse_args(argv)
+    r = run_experiment(epochs=args.epochs, rounds=args.rounds)
+    path = record_result("incremental_resolve", r)
+    print(
+        f"row solves: full={r['row_solves_full']} "
+        f"incremental={r['row_solves_incremental']} "
+        f"({r['row_solve_ratio']:.1f}x fewer)"
+    )
+    print(
+        f"wall: full={r['wall_time_full_s']:.3f}s "
+        f"incremental={r['wall_time_s']:.3f}s ({r['speedup']:.2f}x)"
+    )
+    print(
+        f"scaling-trace cold misses: {r['scaling_trace_cold_misses']} "
+        f"(PR-7 baseline {r['pr7_cold_misses_baseline']})"
+    )
+    print(f"parity: {r['parity']}  recorded: {path}")
+    if r["row_solve_ratio"] < RATIO_FLOOR:
+        print(f"FAIL: row-solve ratio below {RATIO_FLOOR}x floor")
+        return 1
+    if not SMOKE and r["scaling_trace_cold_misses"] >= PR7_COLD_MISSES:
+        print("FAIL: cold misses not below PR-7 baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,17 +91,37 @@ OVERHEAD_ROUNDS = 5
 OVERHEAD_AMP = 21
 
 
+#: Arrivals per key between genuine model refits.  Pulse's fitter
+#: re-confirms an unchanged model on most arrivals (Section II-A): a
+#: tuple that validates against the live model re-emits the same
+#: coefficients over an advanced window rather than fitting fresh ones.
+#: Persisting coefficients across REFIT_EVERY arrivals reproduces that
+#: regime — and is what gives content-addressed reuse (the solve cache
+#: in the default path, the solution stores on the incremental path)
+#: real repetition to work with, as in any deployed trace.
+REFIT_EVERY = 4
+
+
 def make_trace(rows_per_key: int, seed: int = SEED):
-    """Per-key piecewise trace on two streams with same-key updates."""
+    """Per-key piecewise trace on two streams with same-key updates.
+
+    Model coefficients persist for :data:`REFIT_EVERY` consecutive
+    arrivals per key (re-emissions over advancing windows), then refit.
+    """
     rng = random.Random(seed)
     events = []
     t = {k: 0.0 for k in KEYS}
-    for _ in range(rows_per_key):
+    coeffs: dict[str, tuple[list, list]] = {}
+    for i in range(rows_per_key):
         for k in KEYS:
             start = t[k]
             dur = rng.uniform(2.0, 4.0)
-            c1 = [rng.uniform(-2, 2) for _ in range(DEG + 1)]
-            c2 = [rng.uniform(-2, 2) for _ in range(DEG + 1)]
+            if i % REFIT_EVERY == 0 or k not in coeffs:
+                coeffs[k] = (
+                    [rng.uniform(-2, 2) for _ in range(DEG + 1)],
+                    [rng.uniform(-2, 2) for _ in range(DEG + 1)],
+                )
+            c1, c2 = coeffs[k]
             events.append(
                 ("ticks", Segment((k,), start, start + dur,
                                   {"x": Polynomial(c1)},

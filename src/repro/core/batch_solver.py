@@ -98,6 +98,16 @@ class SolverConfig:
     max_roots_per_row:
         Guardrail budget on a row's polynomial degree (the root count
         bound); beyond it the row fails with ``"root-budget"``.
+    incremental:
+        Route selective operators through the delta-maintenance path
+        (:mod:`repro.core.delta`): probes whose content signature and
+        time domain are covered by a previously solved entry are served
+        from the per-operator :class:`~repro.core.delta.SolutionStore`
+        without touching the equation-system layer, and the priming
+        pass ships only genuine delta rows.  ``False`` (the default) is
+        the full re-solve path — the parity oracle; the two paths must
+        emit bit-identical outputs (enforced by the
+        ``incremental-parity`` CI job).
     """
 
     kernel: str = "batch"
@@ -107,6 +117,7 @@ class SolverConfig:
     cache_mantissa_bits: int = 0
     max_rows_per_system: int = 256
     max_roots_per_row: int = 64
+    incremental: bool = False
 
 
 SOLVER_CONFIG = SolverConfig()
@@ -144,6 +155,27 @@ def solver_mode(mode: str) -> Iterator[SolverConfig]:
     finally:
         for name, value in saved.items():
             setattr(SOLVER_CONFIG, name, value)
+
+
+def incremental_enabled() -> bool:
+    """Whether the delta-maintenance (incremental re-solve) path is on."""
+    return SOLVER_CONFIG.incremental
+
+
+def set_incremental(on: bool) -> None:
+    """Toggle the incremental delta re-solve path (A/B knob)."""
+    SOLVER_CONFIG.incremental = bool(on)
+
+
+@contextmanager
+def incremental_mode(on: bool = True) -> Iterator[SolverConfig]:
+    """Temporarily toggle the incremental path (restores on exit)."""
+    saved = SOLVER_CONFIG.incremental
+    try:
+        SOLVER_CONFIG.incremental = bool(on)
+        yield SOLVER_CONFIG
+    finally:
+        SOLVER_CONFIG.incremental = saved
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,9 @@ from ..fitting.model_builder import build_segments, predictive_segment
 # parity testing and ablation runs.
 from .batch_solver import (  # noqa: F401  (re-exported switch)
     SolverConfig,
+    incremental_enabled,
+    incremental_mode,
+    set_incremental,
     set_solver_mode,
     solver_config,
     solver_mode,

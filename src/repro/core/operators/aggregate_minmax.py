@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+from ..batch_solver import incremental_enabled
+from ..delta import SolutionStore
 from ..errors import UnsupportedAggregateError
 from ..intervals import EPS, TimeSet
 from ..piecewise import PiecewiseFunction
@@ -74,6 +76,11 @@ class ContinuousExtremumAggregate(ContinuousOperator):
         self._high_water = -math.inf
         #: Count of equation systems instantiated (benchmark hook).
         self.systems_solved = 0
+        # Incremental (delta) state: per-piece relation solutions keyed
+        # by the difference polynomial's coefficients and the relation.
+        # A re-confirmed model compared against an unchanged envelope
+        # piece is a covered probe served without re-solving.
+        self._solution_store = SolutionStore()
 
     @property
     def envelope(self) -> PiecewiseFunction:
@@ -83,6 +90,7 @@ class ContinuousExtremumAggregate(ContinuousOperator):
     def reset(self) -> None:
         self._envelope = PiecewiseFunction.empty()
         self._high_water = -math.inf
+        self._solution_store.clear()
 
     # ------------------------------------------------------------------
     # segment processing
@@ -118,6 +126,7 @@ class ContinuousExtremumAggregate(ContinuousOperator):
         from ..roots import solve_relation
 
         rel = Rel.LT if self.func == "min" else Rel.GT
+        incremental = incremental_enabled()
         covered_new = TimeSet.empty()
         covered_any = TimeSet.empty()
         for piece in self._envelope.pieces:
@@ -128,8 +137,18 @@ class ContinuousExtremumAggregate(ContinuousOperator):
             covered_any = covered_any | TimeSet.interval(a, b)
             # One row of the system: x(t) - s(t) R 0 against this state
             # piece, solved over the common valid range.
-            self.systems_solved += 1
-            covered_new = covered_new | solve_relation(poly - piece.poly, rel, a, b)
+            diff = poly - piece.poly
+            solution = None
+            sig = None
+            if incremental:
+                sig = (diff.coeffs, rel)
+                solution = self._solution_store.lookup(sig, a, b)
+            if solution is None:
+                self.systems_solved += 1
+                solution = solve_relation(diff, rel, a, b)
+                if sig is not None:
+                    self._solution_store.store(sig, a, b, solution)
+            covered_new = covered_new | solution
         if lo >= hi:
             return TimeSet.empty()
         gaps = covered_any.complement(TimeSet.interval(lo, hi).intervals[0])

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
 
+from ..delta import LruMemo
 from ..errors import PredicateError
 from ..expr import ModelResolver
 from ..polynomial import Polynomial
@@ -73,6 +74,24 @@ class ContinuousOperator:
         """
         return []
 
+    def apply_delta(
+        self, segment: Segment, change=None, port: int = 0
+    ) -> list[Segment]:
+        """Process one arrival along the incremental (delta) path.
+
+        ``change`` is the arrival's :class:`~repro.core.delta.
+        SegmentChange` (may be ``None`` when the caller did not
+        classify).  Selective operators do not need per-change
+        invalidation: their incremental state (the per-operator
+        :class:`~repro.core.delta.SolutionStore`) is keyed by *content
+        signature*, so a refit's stale entries are unreachable by
+        construction and ``process`` itself consults the store when
+        the ``incremental`` solver knob is on.  The default therefore
+        defers to :meth:`process`; stateful wrappers (the group-by)
+        override this to route the change to per-group state.
+        """
+        return self.process(segment, port)
+
     def prime_round(
         self, arrivals: Sequence[tuple[int, Segment]]
     ) -> list[tuple[object, object]]:
@@ -122,8 +141,10 @@ class SystemMemo:
       their originals' models) hit the same entry, and there is no
       object-identity reuse hazard.
 
-    Entries are capped; overflow flushes the map so streams with
-    unbounded constant cardinality stay bounded.
+    Entries are bounded by LRU eviction (one entry at a time, metered
+    under ``memo.system.*`` — not a wholesale flush) so streams with
+    unbounded constant cardinality stay bounded without periodic
+    recompile stampedes.
 
     Per-segment signature components are cached by ``seg_id`` (segments
     are immutable and ids are never reused in-process): a stored join
@@ -134,7 +155,7 @@ class SystemMemo:
     __slots__ = ("_map", "maxsize")
 
     def __init__(self, maxsize: int = 4096):
-        self._map: dict = {}
+        self._map = LruMemo(maxsize, "memo.system")
         self.maxsize = maxsize
 
     @staticmethod
@@ -167,9 +188,7 @@ class SystemMemo:
     def put(self, sig, value) -> None:
         if sig is None:
             return
-        if len(self._map) >= self.maxsize:
-            self._map.clear()
-        self._map[sig] = value
+        self._map.put(sig, value)
 
     def __len__(self) -> int:
         return len(self._map)
@@ -179,8 +198,8 @@ class SystemMemo:
 
 
 _SIG_CACHE_MAX = 8192
-_content_sigs: dict[int, tuple] = {}
-_fold_sigs: dict[int, tuple] = {}
+_content_sigs = LruMemo(_SIG_CACHE_MAX, "memo.content_sig")
+_fold_sigs = LruMemo(_SIG_CACHE_MAX, "memo.fold_sig")
 
 
 def _content_sig(segment: Segment) -> tuple:
@@ -190,9 +209,7 @@ def _content_sig(segment: Segment) -> tuple:
             tuple(sorted(segment.constants.items())),
             tuple(sorted(segment.models.items())),
         )
-        if len(_content_sigs) >= _SIG_CACHE_MAX:
-            _content_sigs.clear()
-        _content_sigs[segment.seg_id] = sig
+        _content_sigs.put(segment.seg_id, sig)
     return sig
 
 
@@ -203,9 +220,7 @@ def _fold_sig(segment: Segment) -> tuple:
             tuple(sorted(segment.constants.items())),
             tuple(sorted(segment.models)),
         )
-        if len(_fold_sigs) >= _SIG_CACHE_MAX:
-            _fold_sigs.clear()
-        _fold_sigs[segment.seg_id] = sig
+        _fold_sigs.put(segment.seg_id, sig)
     return sig
 
 

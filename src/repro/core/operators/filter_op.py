@@ -9,6 +9,8 @@ equality comparisons).
 
 from __future__ import annotations
 
+from ..batch_solver import incremental_enabled
+from ..delta import LruMemo, SolutionStore
 from ..equation_system import EquationSystem
 from ..predicate import BoolExpr, Literal
 from ..segment import Segment
@@ -50,15 +52,21 @@ class ContinuousFilter(ContinuousOperator):
         # Identity shortcut over the value memos: a segment is immutable,
         # so its compile result never changes.  The sharded runtime
         # probes each segment twice (prime, then process); the second
-        # probe becomes a single dict hit.
-        self._segment_results: dict[
-            int, tuple[BoolExpr, EquationSystem | None]
-        ] = {}
+        # probe becomes a single memo hit.
+        self._segment_results: LruMemo = LruMemo(
+            65536, "memo.filter_segment"
+        )
+        # Incremental (delta) state: solved TimeSets keyed by segment
+        # content signature, consulted when the ``incremental`` solver
+        # knob is on.  A re-emitted / covered probe is served here with
+        # zero row solves; a refit's new content misses by construction.
+        self._solution_store = SolutionStore()
 
     def reset(self) -> None:
         self._fold_memo.clear()
         self._system_memo.clear()
         self._segment_results.clear()
+        self._solution_store.clear()
 
     def _segment_system(
         self, segment: Segment
@@ -90,9 +98,7 @@ class ContinuousFilter(ContinuousOperator):
                     residual, binding.resolver()
                 )
                 self._system_memo.put(sys_sig, system)
-        if len(self._segment_results) >= 65536:
-            self._segment_results.clear()
-        self._segment_results[segment.seg_id] = (residual, system)
+        self._segment_results.put(segment.seg_id, (residual, system))
         return residual, system
 
     def process(self, segment: Segment, port: int = 0) -> list[Segment]:
@@ -101,8 +107,23 @@ class ContinuousFilter(ContinuousOperator):
             if residual.value:
                 return [segment]
             return []
-        self.systems_solved += 1
-        solution = system.solve(segment.t_start, segment.t_end)
+        solution = None
+        sig = None
+        if incremental_enabled():
+            sig = SystemMemo.signature(segment)
+            solution = self._solution_store.lookup(
+                sig, segment.t_start, segment.t_end
+            )
+        if solution is None:
+            self.systems_solved += 1
+            solution = system.solve(segment.t_start, segment.t_end)
+            if sig is not None:
+                # Successful solves only: a raising system never lands
+                # here, so faulted content re-fails on every probe
+                # exactly as the full path does.
+                self._solution_store.store(
+                    sig, segment.t_start, segment.t_end, solution
+                )
         outputs: list[Segment] = []
         for iv in solution.intervals:
             outputs.append(segment.restrict(iv.lo, iv.hi))
@@ -112,9 +133,15 @@ class ContinuousFilter(ContinuousOperator):
 
     def prime_tasks(self, segment: Segment, port: int = 0):
         """Exact prediction: the filter is stateless, so the system built
-        here is the one ``process`` will use (shared via the memo)."""
+        here is the one ``process`` will use (shared via the memo).
+        Under the incremental knob, probes the solution store would
+        serve are not predicted at all — only delta rows ship."""
         residual, system = self._segment_system(segment)
         if system is None:
+            return []
+        if incremental_enabled() and self._solution_store.covers(
+            SystemMemo.signature(segment), segment.t_start, segment.t_end
+        ):
             return []
         return system.row_tasks(segment.t_start, segment.t_end)
 

@@ -16,6 +16,8 @@ window are evicted.
 
 from __future__ import annotations
 
+from ..batch_solver import incremental_enabled
+from ..delta import LruMemo, SolutionStore
 from ..equation_system import EquationSystem, solve_systems_batch
 from ..predicate import BoolExpr, Literal
 from ..segment import Segment, SegmentBuffer, apply_update_semantics
@@ -97,10 +99,13 @@ class ContinuousJoin(ContinuousOperator):
         # and seg_ids unique, so a (left, right) pair resolves to the
         # same result forever.  The sharded runtime probes every pair
         # twice (prime, then process); this makes the second probe a
-        # single dict hit instead of a value-signature hash.
-        self._pair_results: dict[
-            tuple[int, int], tuple[BoolExpr, EquationSystem | None]
-        ] = {}
+        # single memo hit instead of a value-signature hash.
+        self._pair_results: LruMemo = LruMemo(65536, "memo.join_pair")
+        # Incremental (delta) state: solved pair TimeSets keyed by the
+        # pair's content signature.  A re-emitted model probing an
+        # unchanged partner over a covered overlap is served here with
+        # zero row solves; refit content misses by construction.
+        self._solution_store = SolutionStore()
 
     def reset(self) -> None:
         for buf in self._buffers:
@@ -110,6 +115,7 @@ class ContinuousJoin(ContinuousOperator):
         self._fold_memo.clear()
         self._system_memo.clear()
         self._pair_results.clear()
+        self._solution_store.clear()
 
     def process(self, segment: Segment, port: int = 0) -> list[Segment]:
         if port not in (0, 1):
@@ -155,9 +161,7 @@ class ContinuousJoin(ContinuousOperator):
             residual = partial_evaluate(self.predicate, binding)
             self._fold_memo.put(fold_sig, residual)
         if isinstance(residual, Literal):
-            if len(self._pair_results) >= 65536:
-                self._pair_results.clear()
-            self._pair_results[ids] = (residual, None)
+            self._pair_results.put(ids, (residual, None))
             return residual, None
         sys_sig = SystemMemo.signature(left, right)
         system = self._system_memo.get(sys_sig)
@@ -170,18 +174,26 @@ class ContinuousJoin(ContinuousOperator):
                 residual, binding.resolver()
             )
             self._system_memo.put(sys_sig, system)
-        if len(self._pair_results) >= 65536:
-            self._pair_results.clear()
-        self._pair_results[ids] = (residual, system)
+        self._pair_results.put(ids, (residual, system))
         return residual, system
 
     def _join_pairs(
         self, pairs: list[tuple[Segment, Segment]]
     ) -> list[Segment]:
-        """Join many aligned pairs, solving their systems in one batch."""
+        """Join many aligned pairs, solving their systems in one batch.
+
+        Under the incremental knob, each pair first consults the
+        solution store by content signature: a covered probe emits from
+        the stored ``TimeSet`` (the ``"cached"`` plan entry) without
+        entering the solve batch at all, and every freshly solved pair
+        is recorded for the next probe of the same content.
+        """
         jobs: list[tuple[EquationSystem, float, float]] = []
         outputs: list[Segment] = []
         emit_plan: list[tuple[str, object]] = []
+        # (sig, lo, hi, job index) of fresh solves to record afterwards.
+        store_jobs: list[tuple[object, float, float, int]] = []
+        incremental = incremental_enabled()
         for left, right in pairs:
             overlap = left.overlap_range(right)
             if overlap is None:
@@ -194,17 +206,32 @@ class ContinuousJoin(ContinuousOperator):
                     continue
                 emit_plan.append(("whole", (left, right, lo, hi)))
                 continue
+            if incremental:
+                sig = SystemMemo.signature(left, right)
+                solution = self._solution_store.lookup(sig, lo, hi)
+                if solution is not None:
+                    emit_plan.append(("cached", (left, right, solution)))
+                    continue
+                if sig is not None:
+                    store_jobs.append((sig, lo, hi, len(jobs)))
             self.systems_solved += 1
             jobs.append((system, lo, hi))
             emit_plan.append(("solved", (left, right, len(jobs) - 1)))
         solutions = solve_systems_batch(jobs) if jobs else []
+        # A raising batch never reaches here, so only successful solves
+        # are recorded (fault/breaker behaviour stays mode-independent).
+        for sig, lo, hi, job in store_jobs:
+            self._solution_store.store(sig, lo, hi, solutions[job])
         for kind, payload in emit_plan:
             if kind == "whole":
                 left, right, lo, hi = payload  # type: ignore[misc]
                 outputs.append(self._emit(left, right, lo, hi))
                 continue
-            left, right, job = payload  # type: ignore[misc]
-            solution = solutions[job]
+            if kind == "cached":
+                left, right, solution = payload  # type: ignore[misc]
+            else:
+                left, right, job = payload  # type: ignore[misc]
+                solution = solutions[job]
             for iv in solution.intervals:
                 outputs.append(self._emit(left, right, iv.lo, iv.hi))
             for p in solution.points:
@@ -285,8 +312,14 @@ class ContinuousJoin(ContinuousOperator):
     def _pair_queries(
         self, segment: Segment, port: int, partners: list[Segment]
     ) -> list:
-        """Solve tasks for aligning ``segment`` with ``partners``."""
+        """Solve tasks for aligning ``segment`` with ``partners``.
+
+        Under the incremental knob, pairs the solution store already
+        covers are not predicted — only genuine delta pairs ship to the
+        prime round.
+        """
         queries: list = []
+        incremental = incremental_enabled()
         for partner in partners:
             left, right = (
                 (segment, partner) if port == 0 else (partner, segment)
@@ -297,6 +330,10 @@ class ContinuousJoin(ContinuousOperator):
             lo, hi = overlap
             residual, system = self._pair_system(left, right)
             if system is None:
+                continue
+            if incremental and self._solution_store.covers(
+                SystemMemo.signature(left, right), lo, hi
+            ):
                 continue
             queries.extend(system.row_tasks(lo, hi))
         return queries
@@ -327,8 +364,18 @@ class ContinuousJoin(ContinuousOperator):
                 self.pairs_rejected_discrete += 1
                 return []
             return [self._emit(left, right, lo, hi)]
-        self.systems_solved += 1
-        solution = system.solve(lo, hi)
+        solution = None
+        sig = None
+        if incremental_enabled():
+            sig = SystemMemo.signature(left, right)
+            solution = self._solution_store.lookup(sig, lo, hi)
+        if solution is None:
+            self.systems_solved += 1
+            solution = system.solve(lo, hi)
+            if sig is not None:
+                # Successful solves only — a raising system never lands
+                # here, so faulted pairs re-fail identically in both modes.
+                self._solution_store.store(sig, lo, hi, solution)
         outputs: list[Segment] = []
         for iv in solution.intervals:
             outputs.append(self._emit(left, right, iv.lo, iv.hi))

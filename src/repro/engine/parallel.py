@@ -197,6 +197,12 @@ class ParallelSolveDispatcher:
         store are skipped; the rest go out as one ndarray payload per
         shard, concurrently across shards.  Returns the number of rows
         shipped.
+
+        Under the incremental solver knob the operators prune upstream:
+        ``prime_tasks`` / ``prime_round`` never predict rows whose
+        solution store already covers the probe (counted as
+        ``delta.store.prime_skips``), so only genuine delta rows reach
+        this dispatch — the payload shrinks with no change here.
         """
         if self._closed:
             raise RuntimeError("dispatcher is closed")

@@ -32,7 +32,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from ..core.batch_solver import solve_tasks, task_root_query
+from ..core.batch_solver import (
+    incremental_enabled,
+    solve_tasks,
+    task_root_query,
+)
+from ..core.delta import DeltaTracker
 from ..core.errors import PlanError, PulseError
 
 #: What the per-item fault boundary contains: library failures plus the
@@ -85,6 +90,11 @@ class _Registration:
     fallback_items: int = 0
     last_error: Exception | None = None
     _sampler: OutputSampler | None = None
+    #: Per-query change-set tracker for the incremental (delta) path.
+    #: Derived observability state: not captured in checkpoints — a
+    #: restored runtime re-learns the per-key trailer from the replayed
+    #: arrivals themselves.
+    delta: DeltaTracker = field(default_factory=DeltaTracker)
 
     def __post_init__(self) -> None:
         for stream in self.streams:
@@ -477,6 +487,23 @@ class QueryRuntime:
             if tracer is not None
             else None
         )
+        delta_span = None
+        if (
+            tracer is not None
+            and incremental_enabled()
+            and isinstance(item, Segment)
+            and isinstance(reg.query, TransformedQuery)
+        ):
+            # Classify (pure peek) for the span attributes; the counter
+            # bump happens inside _process_item via observe().
+            change = reg.delta.classify(stream, item)
+            delta_span = tracer.start(
+                "delta_apply", "delta_apply",
+                query=reg.name,
+                change=change.kind,
+                content_changed=change.content_changed,
+                seg_id=item.seg_id,
+            )
         t0 = time.perf_counter()
         try:
             self._process_item(reg, stream, item)
@@ -489,6 +516,8 @@ class QueryRuntime:
             if observing:
                 self._arrival_hist.observe(elapsed)
             if tracer is not None:
+                if delta_span is not None:
+                    tracer.finish(delta_span, outputs=emitted)
                 tracer.event("emit", "emit", outputs=emitted)
                 if flagged:
                     tracer.event(
@@ -564,6 +593,11 @@ class QueryRuntime:
         """Push one item, containing failures per the resilience policy."""
         continuous = isinstance(reg.query, TransformedQuery)
         key = item.key if isinstance(item, Segment) else None
+        if continuous and incremental_enabled() and isinstance(item, Segment):
+            # Record the arrival in the per-query change-set (bumps the
+            # delta.changes.* counters).  Counter bumps are permitted on
+            # the fast path; only tracing calls are pinned to zero.
+            reg.delta.observe(stream, item)
         if (
             continuous
             and self.breaker is not None

@@ -68,6 +68,9 @@ SPAN_KINDS = (
     "ingest",
     "checkpoint",
     "recovery",
+    # Per-arrival change-set application under the incremental knob
+    # (child of "arrival"; attributes carry the classified change kind).
+    "delta_apply",
 )
 
 

@@ -136,6 +136,53 @@ def test_trace_matches_golden(scenario, tmp_path, update_goldens):
     )
 
 
+def _run_outputs(sql: str, num_shards: int, incremental: bool):
+    """Run one scenario's workload untraced; return value-canonical outputs."""
+    from repro.core.batch_solver import incremental_mode
+
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    planned = plan_query(parse_query(sql))
+    consumed = set(planned.stream_sources)
+    with incremental_mode(incremental):
+        rt = QueryRuntime(num_shards=num_shards)
+        try:
+            rt.register("q", to_continuous_plan(planned))
+            for stream, seg in _trace_events():
+                if stream in consumed:
+                    rt.enqueue(stream, seg)
+            rt.run_until_idle()
+            outputs = rt.outputs("q")
+        finally:
+            rt.close()
+    return [
+        (
+            s.key,
+            s.t_start,
+            s.t_end,
+            {a: p.coeffs for a, p in sorted(s.models.items())},
+            tuple(sorted(s.constants.items())),
+        )
+        for s in outputs
+    ]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_incremental_output_parity(scenario):
+    """The incremental knob must not change a single output value.
+
+    The span goldens above run with the knob off (its default); this
+    gate runs every golden workload in both modes and compares the
+    output streams by value — the delta path's contract is bit-exact
+    equality with the full re-solve oracle.
+    """
+    sql, num_shards = SCENARIOS[scenario]
+    full = _run_outputs(sql, num_shards, incremental=False)
+    incr = _run_outputs(sql, num_shards, incremental=True)
+    assert incr == full
+
+
 def test_goldens_have_no_strays():
     """Every committed golden corresponds to a scenario (and exists)."""
     expected = {f"trace_{name}.json" for name in SCENARIOS}

@@ -1,0 +1,186 @@
+"""Incremental-vs-full parity: the delta path's bit-exactness gate.
+
+Hypothesis drives randomized arrival interleavings — model refits,
+re-emissions of unchanged content, overlapping successors (retirements),
+and a poisoned key whose solves fault deterministically and trip the
+circuit breaker — through the same workload twice: once with the
+incremental knob off (the full re-solve oracle) and once with it on.
+
+The contract under test:
+
+* **Outputs are bit-exact** between the two modes, compared by value
+  (key, time range, model coefficients, constants) — seg_ids and
+  lineage are excluded because two runs allocate ids independently.
+* **Row solves never increase**: the incremental run performs at most
+  as many ``equation_system.row_solves`` as the full run.
+* **Faults stay mode-independent**: only successful solves are ever
+  stored, so poisoned content re-fails on every probe in both modes
+  and the breaker quarantines the same keys.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.core.batch_solver import incremental_mode, set_fault_hook
+from repro.core.errors import SolverError
+from repro.core.polynomial import Polynomial
+from repro.core.segment import Segment
+from repro.core.solve_cache import (
+    reset_global_solve_cache,
+    reset_worker_root_cache,
+)
+from repro.core.transform import to_continuous_plan
+from repro.engine.metrics import get_counter, reset_counters
+from repro.engine.resilience import BreakerConfig
+from repro.engine.scheduler import QueryRuntime
+from repro.query import parse_query, plan_query
+
+KEYS = ("a", "b", "poison")
+#: Content marker: any solve task whose polynomial carries a huge
+#: coefficient faults.  Content-addressed (not rate- or order-based),
+#: so the fault fires identically under both modes.
+POISON_LEVEL = 500.0
+
+
+def _content_fault(task):
+    poly = task[0]
+    if max(abs(c) for c in poly.coeffs) >= POISON_LEVEL:
+        raise SolverError("poisoned content marker")
+    return task
+
+
+QUERIES = {
+    "filter": "select * from ticks where x > 1",
+    "join": (
+        "select from ticks T join quotes Q "
+        "on (T.sym = Q.sym and T.x > Q.y)"
+    ),
+    "minagg": (
+        "select sym, min(x) as mx from ticks [size 4 advance 2] "
+        "group by sym"
+    ),
+}
+
+_ATTR = {"ticks": "x", "quotes": "y"}
+
+
+@st.composite
+def traces(draw):
+    """An interleaving of refits, re-emissions, and retirements."""
+    events = []
+    clock: dict = {}
+    coeffs: dict = {}
+    n = draw(st.integers(min_value=4, max_value=12))
+    for _ in range(n):
+        key = draw(st.sampled_from(KEYS))
+        stream = draw(st.sampled_from(("ticks", "quotes")))
+        slot = (stream, key)
+        prev = coeffs.get(slot)
+        kind = draw(st.sampled_from(("refit", "reemit", "retire")))
+        if kind == "reemit" and prev is not None:
+            c = prev
+        else:
+            c = (
+                float(draw(st.integers(-3, 3))),
+                float(draw(st.integers(-2, 2))),
+            )
+            if key == "poison" and draw(st.booleans()):
+                c = (2 * POISON_LEVEL, c[1])
+        start = clock.get(slot, 0.0)
+        if kind == "retire" and slot in clock:
+            start -= 1.0  # overlap: successor retires its predecessor
+        coeffs[slot] = c
+        clock[slot] = start + 2.0
+        events.append(
+            (
+                stream,
+                Segment(
+                    (key,),
+                    start,
+                    start + 2.0,
+                    {_ATTR[stream]: Polynomial(list(c))},
+                    constants={"sym": key},
+                ),
+            )
+        )
+    return events
+
+
+def canon(outputs):
+    """Mode-independent view of an output stream (no ids, no lineage)."""
+    return [
+        (
+            s.key,
+            s.t_start,
+            s.t_end,
+            {a: p.coeffs for a, p in sorted(s.models.items())},
+            tuple(sorted(s.constants.items())),
+        )
+        for s in outputs
+    ]
+
+
+def run_trace(sql: str, trace, incremental: bool):
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    planned = plan_query(parse_query(sql))
+    consumed = set(planned.stream_sources)
+    with incremental_mode(incremental):
+        rt = QueryRuntime(
+            breaker=BreakerConfig(failure_threshold=2, backoff=10_000)
+        )
+        try:
+            rt.register("q", to_continuous_plan(planned))
+            for stream, item in trace:
+                if stream in consumed:
+                    rt.enqueue(stream, item)
+            rt.run_until_idle()
+            outputs = rt.outputs("q")
+            errors = rt.step_errors
+        finally:
+            rt.close()
+    return canon(outputs), get_counter("equation_system.row_solves").value, errors
+
+
+@pytest.mark.parametrize("query", sorted(QUERIES))
+@given(trace=traces())
+@settings(max_examples=25, deadline=None)
+def test_incremental_matches_full(query, trace):
+    previous = set_fault_hook(_content_fault)
+    try:
+        full_out, full_solves, full_errors = run_trace(
+            QUERIES[query], trace, incremental=False
+        )
+        incr_out, incr_solves, incr_errors = run_trace(
+            QUERIES[query], trace, incremental=True
+        )
+    finally:
+        set_fault_hook(previous)
+    assert incr_out == full_out
+    assert incr_solves <= full_solves
+    assert incr_errors == full_errors
+
+
+@given(trace=traces())
+@settings(max_examples=10, deadline=None)
+def test_incremental_sharded_matches_full_serial(trace):
+    """The delta path composes with the parallel dispatcher."""
+    full_out, full_solves, _ = run_trace(
+        QUERIES["join"], trace, incremental=False
+    )
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    planned = plan_query(parse_query(QUERIES["join"]))
+    with incremental_mode(True):
+        rt = QueryRuntime(num_shards=2)
+        try:
+            rt.register("q", to_continuous_plan(planned))
+            for stream, item in trace:
+                rt.enqueue(stream, item)
+            rt.run_until_idle()
+            outputs = rt.outputs("q")
+        finally:
+            rt.close()
+    assert canon(outputs) == full_out
