@@ -90,6 +90,12 @@ class _Registration:
     fallback_items: int = 0
     last_error: Exception | None = None
     _sampler: OutputSampler | None = None
+    #: The error bound this registration's equation systems are solved
+    #: at right now.  For a shared graph serving several subscribers it
+    #: is the *tightest* subscribed bound (paper Sec. IV: a solution at
+    #: a tight bound is valid for every looser bound); ``None`` means
+    #: the query's own plan bound applies unmodified.
+    solve_bound: float | None = None
     #: Per-query change-set tracker for the incremental (delta) path.
     #: Derived observability state: not captured in checkpoints — a
     #: restored runtime re-learns the per-key trailer from the replayed
@@ -272,6 +278,36 @@ class QueryRuntime:
         self._streams = {
             s for r in self._queries.values() for s in r.streams
         }
+
+    def rebind_bound(self, name: str, error_bound: float | None) -> None:
+        """Re-target a continuous registration's solve bound in place.
+
+        The shared-plan server calls this when the tightest subscribed
+        bound over a graph changes (a tighter subscriber arrived, or
+        the tightest one left).  The compiled plan and its operator
+        state (join buffers, window accumulators) stay untouched —
+        already-emitted outputs were solved at the previous bound and
+        remain valid for every subscriber it served; only the recorded
+        target for *future* solves moves.
+        """
+        reg = self._queries.get(name)
+        if reg is None:
+            raise PlanError(f"query {name!r} is not registered")
+        if not isinstance(reg.query, TransformedQuery):
+            raise PlanError(
+                f"query {name!r} is discrete; only continuous "
+                f"registrations carry a solve bound"
+            )
+        reg.solve_bound = None if error_bound is None else float(error_bound)
+
+    def solve_bound(self, name: str) -> float | None:
+        reg = self._queries.get(name)
+        if reg is None:
+            raise PlanError(f"query {name!r} is not registered")
+        return reg.solve_bound
+
+    def has_query(self, name: str) -> bool:
+        return name in self._queries
 
     @property
     def query_names(self) -> list[str]:
@@ -692,6 +728,7 @@ class QueryRuntime:
                     "items_processed": reg.items_processed,
                     "errors": reg.errors,
                     "fallback_items": reg.fallback_items,
+                    "solve_bound": reg.solve_bound,
                 }
                 for reg in self._queries.values()
             ],
@@ -742,6 +779,9 @@ class QueryRuntime:
             reg.items_processed = entry["items_processed"]
             reg.errors = entry["errors"]
             reg.fallback_items = entry["fallback_items"]
+            # Pre-shared-plan snapshots carry no solve bound; absent
+            # means "plan bound applies", which is what they meant.
+            reg.solve_bound = entry.get("solve_bound")
             reg.pending = sum(len(q) for q in reg.queues.values())
             self._queries[reg.name] = reg
             self._streams.update(reg.streams)

@@ -189,6 +189,20 @@ class StreamModelBuilder:
         self._per_key.clear()
         return out
 
+    def retarget(self, tolerance: float) -> list[Segment]:
+        """Switch the fitting tolerance; seals open windows first.
+
+        History already folded into open segmenter windows was fitted at
+        the old tolerance and cannot be re-fit without the raw tuples,
+        so the open windows are closed (and their segments returned, to
+        be pushed downstream at the bound they were fitted under) and
+        every tuple from here on fits at the new tolerance.  Keyed
+        constants survive — only the segmenter windows reset.
+        """
+        sealed = self.finish()
+        self.tolerance = float(tolerance)
+        return sealed
+
     def _emit(self, key: tuple, fits: Mapping[str, SegmentFit]) -> Segment:
         t_start = min(f.t_start for f in fits.values())
         t_end = max(f.t_end for f in fits.values())

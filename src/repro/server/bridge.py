@@ -17,24 +17,46 @@ which is FIFO — so by the time a client sees the ``ack`` for a
 ahead of it.  That is what makes the loopback parity tests exact
 rather than eventually-consistent.
 
-Query instances
----------------
+Shared plans
+------------
 A ``register`` stores the *parsed* query once.  Subscriptions then
-instantiate it per ``(mode, error_bound)``:
+share **one operator graph per (query, mode)** — the shared-plan
+economy the paper's Sec. IV lineage makes sound: an equation system
+solved at a tight error bound is valid for every looser bound, so one
+graph solved at the *tightest currently-subscribed bound* serves all
+subscribers, each holding only lightweight per-subscription state (its
+own bound, an output cursor, its owning session).
 
-* **discrete** — one instance per query; ingested tuples push straight
-  through the lowered plan.
-* **continuous** — one instance per ``(query, error_bound)``; each
-  instance owns its own per-stream
-  :class:`~repro.fitting.model_builder.StreamModelBuilder` with the
-  subscription's bound as the fitting tolerance, so two subscribers
-  asking for different precision get independently fitted segment
-  streams (the paper's error bound is a model-precision knob, and here
-  it is honoured per subscription).
+* **discrete** — one graph per query; ingested tuples push straight
+  through the lowered plan.  Error bounds do not apply.
+* **continuous** — one graph per query, fitted and solved at
+  ``min(bound for live subscriptions)``.  When a tighter subscriber
+  arrives (or the tightest one leaves), the graph **retargets**: open
+  fitting windows seal at the old bound (their segments flow to the
+  subscribers that bound served) and future fitting/solving happens at
+  the new tightest bound.  That is the only re-solve subscribe/
+  unsubscribe can cost; joining at a bound the graph already satisfies
+  is free.
 
-Every instance registers with the runtime under a *namespaced* stream
-name (``<instance>/<stream>``), so segments fitted at one tolerance
-can never leak into an instance fitted at another.
+The last unsubscribe tears the graph down — runtime registration,
+builders and delta trackers are all released, so subscription churn
+leaves no residue (the ``subs.active`` / ``subs.shared_graphs`` gauges
+and the churn soak test pin this).
+
+Each graph registers with the runtime under a *namespaced* stream name
+(``<graph>/<stream>``), so two registered queries over the same wire
+stream never share queues.
+
+Durability
+----------
+Subscriptions are durable state: ``subscribe`` / ``unsubscribe`` are
+WAL-logged and the subscription table (with per-subscription cursors)
+rides in checkpoints, so recovery rebuilds the shared graphs *and*
+their subscriber tables bit-exactly.  Recovered subscriptions are
+**detached** (their session died with the process); a reconnecting
+client either re-subscribes (joining the shared graph as a new
+subscriber) or ``attach``-es to its old subscription id to resume its
+cursor.
 """
 
 from __future__ import annotations
@@ -51,7 +73,7 @@ from ..core.transform import TransformedQuery, to_continuous_plan
 from ..engine import tracing
 from ..engine.durability import Durability
 from ..engine.lowering import LoweredQuery, to_discrete_plan
-from ..engine.metrics import get_counter, get_histogram
+from ..engine.metrics import get_counter, get_gauge, get_histogram
 from ..engine.scheduler import QueryRuntime
 from ..engine.tuples import StreamTuple
 from ..fitting.model_builder import StreamModelBuilder
@@ -60,8 +82,10 @@ from .protocol import ProtocolError
 
 _STOP = object()
 
-#: Version stamp for bridge-level snapshot payloads.
-BRIDGE_SNAPSHOT_VERSION = 1
+#: Version stamp for bridge-level snapshot payloads.  v2: per-(query,
+#: mode) shared graphs with a durable subscription table replaced the
+#: v1 per-(query, mode, bound) instances.
+BRIDGE_SNAPSHOT_VERSION = 2
 
 
 class BridgeClosed(PulseError):
@@ -127,29 +151,57 @@ class _QueryEntry:
 
 
 @dataclass
-class _Instance:
-    """One runtime-registered (query, mode, bound) execution instance."""
+class _Subscription:
+    """Per-subscriber state over a shared graph: a bound and a cursor.
+
+    ``bound`` is the precision this subscriber asked for — always at
+    least as loose as the graph's ``solve_bound``, which is what makes
+    fanning the shared output stream out to it sound.  ``cursor``
+    counts the results delivered to this subscription; it advances
+    deterministically with the shared output stream (connection-alive
+    or not) so it survives recovery bit-exactly.  ``session_id`` is
+    the owning connection, ``None`` when detached (recovered).
+    """
+
+    sub_id: int
+    graph: "_SharedGraph"
+    bound: float | None
+    session_id: int | None = None
+    cursor: int = 0
+
+
+@dataclass
+class _SharedGraph:
+    """One runtime-registered (query, mode) shared operator graph."""
 
     runtime_name: str
     entry: _QueryEntry
     mode: str
-    bound: float | None
-    #: Original (wire-visible) stream names this instance consumes.
+    #: Continuous: the tightest currently-subscribed bound — fitting
+    #: tolerance and equation-system target alike.  Discrete: ``None``.
+    solve_bound: float | None
+    #: Original (wire-visible) stream names this graph consumes.
     streams: tuple[str, ...]
     #: ``wire stream -> namespaced runtime stream``.
     stream_map: dict[str, str]
-    #: Continuous only: per-stream incremental fitters.
+    #: Continuous only: per-stream incremental fitters at ``solve_bound``.
     builders: dict[str, StreamModelBuilder] = field(default_factory=dict)
-    subscribers: list[int] = field(default_factory=list)
+    subs: dict[int, _Subscription] = field(default_factory=dict)
     seq: int = 0
     fit_rejects: int = 0
+    #: Bound retargets (tighten + relax) this graph has performed.
+    retightens: int = 0
+
+    def tightest_bound(self) -> float | None:
+        bounds = [s.bound for s in self.subs.values() if s.bound is not None]
+        return min(bounds) if bounds else None
 
     def info(self) -> dict:
         return {
             "query": self.entry.name,
             "mode": self.mode,
-            "error_bound": self.bound,
-            "instance": self.runtime_name,
+            "error_bound": self.solve_bound,
+            "graph": self.runtime_name,
         }
 
 
@@ -169,15 +221,18 @@ class EngineBridge:
         Fallback :class:`FitSpec` for queries registered without one
         (the CLI derives it from the ``--workload`` preset).
     on_outputs:
-        ``(sub_ids, instance_info, outputs) -> None``, called on the
-        engine thread; the server trampolines it into the loop.
+        ``(subscribers, graph_info, outputs) -> None`` where
+        ``subscribers`` is ``[(sub_id, cursor), ...]`` — the cursor is
+        each subscription's delivery offset *before* this batch.
+        Called on the engine thread; the server trampolines it into
+        the loop.
     on_notify:
         ``(kind, payload) -> None`` for watchdog / backpressure /
         breaker pushes, same threading rule.
     wal_dir:
         Directory for the ingest WAL + checkpoints.  When set, every
-        state-changing command (register / instance creation / ingest
-        batch / flush) is logged *before* it executes, and
+        state-changing command (register / subscribe / unsubscribe /
+        ingest batch / flush) is logged *before* it executes, and
         :meth:`start` recovers from the newest valid snapshot plus a
         WAL-tail replay before the first command runs.  The WAL sits
         at the tuple boundary — *raw* tuples are logged, before model
@@ -196,7 +251,7 @@ class EngineBridge:
         *,
         default_tolerance: float = 0.05,
         default_fit: FitSpec | None = None,
-        on_outputs: Callable[[list[int], dict, list], None] | None = None,
+        on_outputs: Callable[[list, dict, list], None] | None = None,
         on_notify: Callable[[str, dict], None] | None = None,
         wal_dir: str | None = None,
         checkpoint_every: int | None = None,
@@ -223,8 +278,13 @@ class EngineBridge:
         self._commands: queue.Queue = queue.Queue()
         self._thread: threading.Thread | None = None
         self._entries: dict[str, _QueryEntry] = {}
-        self._instances: dict[tuple, _Instance] = {}
-        self._subs: dict[int, tuple[_Instance, int]] = {}
+        self._graphs: dict[tuple[str, str], _SharedGraph] = {}
+        self._subs: dict[int, _Subscription] = {}
+        #: Highest subscription id ever granted (durable): restarted
+        #: servers allocate fresh ids above it so recovered and new
+        #: subscriptions never collide.
+        self.max_sub_id = 0
+        self._sessions: set[int] = set()
         self._session_spans: dict[int, object] = {}
         self._last_shed = 0
         self._last_dropped = 0
@@ -233,6 +293,9 @@ class EngineBridge:
         self._ingest_hist = get_histogram("server.ingest_batch_seconds")
         self._ingested_counter = get_counter("server.ingested_tuples")
         self._no_consumer_counter = get_counter("server.no_consumer_tuples")
+        self._active_subs_gauge = get_gauge("subs.active")
+        self._shared_graphs_gauge = get_gauge("subs.shared_graphs")
+        self._retighten_counter = get_counter("subs.retighten_resolves")
 
     # ------------------------------------------------------------------
     # lifecycle (any thread)
@@ -332,6 +395,9 @@ class EngineBridge:
     def unsubscribe(self, sub_id: int) -> Future:
         return self.submit(lambda: self._do_unsubscribe(sub_id))
 
+    def attach(self, sub_id: int, session_id: int | None) -> Future:
+        return self.submit(lambda: self._do_attach(sub_id, session_id))
+
     def ingest(
         self,
         session_id: int | None,
@@ -419,37 +485,57 @@ class EngineBridge:
                 f"query {query!r} is not registered; "
                 f"known queries: {sorted(self._entries)}"
             )
+        if sub_id in self._subs:
+            raise PlanError(f"subscription {sub_id} already exists")
         if mode == "continuous":
+            if entry.fit is None:
+                raise PlanError(
+                    f"continuous subscription to {entry.name!r} needs a "
+                    f"fit spec (attrs/key_fields) and none was registered"
+                )
             bound = self._resolve_bound(entry, bound)
-            key = (query, mode, bound)
         else:
             bound = None
-            key = (query, mode)
-        instance = self._instances.get(key)
-        if instance is None:
-            # Instance creation (not the subscription itself) is
-            # durable state: fitted builders and plan buffers hang off
-            # it.  Subscribers are connection-scoped and die with the
-            # process; clients re-subscribe after a restart.
-            self._log(("instance", entry.name, mode, bound))
-            instance = self._make_instance(entry, mode, bound)
-            self._instances[key] = instance
-        instance.subscribers.append(sub_id)
-        self._subs[sub_id] = (instance, session_id)
+        # Every precondition above is checked before the WAL write, so
+        # a logged subscribe always re-executes cleanly on replay.
+        self._log(("subscribe", sub_id, query, mode, bound))
+        key = (query, mode)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = self._make_graph(entry, mode, bound)
+            self._graphs[key] = graph
+        elif (
+            mode == "continuous"
+            and graph.solve_bound is not None
+            and bound < graph.solve_bound
+        ):
+            # A tighter subscriber arrived: retarget the shared graph
+            # *before* admitting it, so segments sealed at the old
+            # bound fan out only to the subscribers that bound served.
+            self._retarget_graph(graph, bound)
+        sub = _Subscription(
+            sub_id=sub_id, graph=graph, bound=bound, session_id=session_id
+        )
+        graph.subs[sub_id] = sub
+        self._subs[sub_id] = sub
+        self.max_sub_id = max(self.max_sub_id, sub_id)
+        self._update_sub_gauges()
         return {
             "subscription": sub_id,
-            "instance": instance.runtime_name,
+            "graph": graph.runtime_name,
             "mode": mode,
             "error_bound": bound,
-            "streams": list(instance.streams),
+            "solve_bound": graph.solve_bound,
+            "cursor": sub.cursor,
+            "streams": list(graph.streams),
         }
 
-    def _make_instance(
+    def _make_graph(
         self, entry: _QueryEntry, mode: str, bound: float | None
-    ) -> _Instance:
+    ) -> _SharedGraph:
         streams = tuple(entry.planned.stream_sources)
         if mode == "continuous":
-            runtime_name = f"{entry.name}~c@{bound:g}"
+            runtime_name = f"{entry.name}~c"
             compiled = to_continuous_plan(entry.planned)
         else:
             runtime_name = f"{entry.name}~d"
@@ -468,11 +554,11 @@ class EngineBridge:
             )
         else:
             namespaced = LoweredQuery(compiled.plan, namespaced_sources)
-        instance = _Instance(
+        graph = _SharedGraph(
             runtime_name=runtime_name,
             entry=entry,
             mode=mode,
-            bound=bound,
+            solve_bound=bound if mode == "continuous" else None,
             streams=streams,
             stream_map=stream_map,
         )
@@ -484,25 +570,96 @@ class EngineBridge:
                     f"fit spec (attrs/key_fields) and none was registered"
                 )
             for s in streams:
-                instance.builders[s] = StreamModelBuilder(
+                graph.builders[s] = StreamModelBuilder(
                     fit.attrs,
                     bound,
                     key_fields=fit.key_fields,
                     constants=fit.effective_constants,
                 )
         self.runtime.register(runtime_name, namespaced)
-        return instance
+        if mode == "continuous":
+            self.runtime.rebind_bound(runtime_name, bound)
+        return graph
+
+    def _retarget_graph(self, graph: _SharedGraph, bound: float) -> None:
+        """Move a shared graph's solve bound to ``bound`` (the new
+        tightest subscribed bound, tighter or looser than before).
+
+        Open fitting windows cannot be re-fit without the raw tuples,
+        so they seal at the *old* bound — those segments were promised
+        to the subscribers that bound served and flow to them through
+        the normal pump — and every tuple from here on fits (and every
+        equation system solves) at the new bound.
+        """
+        for stream, builder in graph.builders.items():
+            for seg in builder.retarget(bound):
+                self.runtime.enqueue(graph.stream_map[stream], seg)
+        graph.solve_bound = bound
+        self.runtime.rebind_bound(graph.runtime_name, bound)
+        graph.retightens += 1
+        self._retighten_counter.bump()
+        self._pump()
 
     def _do_unsubscribe(self, sub_id: int) -> dict:
-        entry = self._subs.pop(sub_id, None)
-        if entry is None:
+        sub = self._subs.get(sub_id)
+        if sub is None:
             raise PlanError(f"unknown subscription {sub_id}")
-        instance, _session = entry
-        instance.subscribers.remove(sub_id)
-        # The instance stays registered: its fitted state (open
-        # segmenter windows, join buffers) is expensive to rebuild and
-        # a re-subscriber at the same bound reattaches to it.
+        self._log(("unsubscribe", sub_id))
+        del self._subs[sub_id]
+        graph = sub.graph
+        del graph.subs[sub_id]
+        if not graph.subs:
+            # Last subscriber gone: tear the shared graph down.  Its
+            # fitted state only had meaning relative to live bounds;
+            # keeping it alive leaked the runtime registration, the
+            # builders and the delta tracker forever.
+            self._teardown_graph(graph)
+        elif (
+            graph.mode == "continuous"
+            and sub.bound == graph.solve_bound
+            and graph.tightest_bound() != graph.solve_bound
+        ):
+            # The departed subscriber was the (sole) tightest: relax
+            # the shared bound to the tightest remaining one.
+            self._retarget_graph(graph, graph.tightest_bound())
+        self._update_sub_gauges()
         return {"subscription": sub_id}
+
+    def _teardown_graph(self, graph: _SharedGraph) -> None:
+        self.runtime.unregister(graph.runtime_name)
+        del self._graphs[(graph.entry.name, graph.mode)]
+        graph.builders.clear()
+
+    def _do_attach(self, sub_id: int, session_id: int | None) -> dict:
+        """Re-bind a detached (recovered) subscription to a session.
+
+        Session binding is ephemeral by design — it dies with the
+        process and is *not* WAL-logged; only the subscription itself
+        (and its cursor) is durable.
+        """
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            raise PlanError(f"unknown subscription {sub_id}")
+        if sub.session_id is not None and sub.session_id in self._sessions:
+            raise PlanError(
+                f"subscription {sub_id} is attached to a live session"
+            )
+        sub.session_id = session_id
+        graph = sub.graph
+        return {
+            "subscription": sub_id,
+            "graph": graph.runtime_name,
+            "query": graph.entry.name,
+            "mode": graph.mode,
+            "error_bound": sub.bound,
+            "solve_bound": graph.solve_bound,
+            "cursor": sub.cursor,
+            "streams": list(graph.streams),
+        }
+
+    def _update_sub_gauges(self) -> None:
+        self._active_subs_gauge.set(len(self._subs))
+        self._shared_graphs_gauge.set(len(self._graphs))
 
     def _do_ingest(
         self,
@@ -536,9 +693,9 @@ class EngineBridge:
             self._log(("ingest", stream, list(tuples), policy))
             self.ingest_tuples += len(tuples)
         consumers = [
-            inst
-            for inst in self._instances.values()
-            if stream in inst.stream_map
+            graph
+            for graph in self._graphs.values()
+            if stream in graph.stream_map
         ]
         previous_policy = self.runtime.backpressure
         if policy is not None:
@@ -552,17 +709,17 @@ class EngineBridge:
                     counts["no_consumer"] += 1
                     continue
                 admitted = True
-                for inst in consumers:
-                    if inst.mode == "discrete":
+                for graph in consumers:
+                    if graph.mode == "discrete":
                         if not self.runtime.enqueue(
-                            inst.stream_map[stream], tup
+                            graph.stream_map[stream], tup
                         ):
                             admitted = False
                     else:
-                        segments = self._fit(inst, stream, tup, counts)
+                        segments = self._fit(graph, stream, tup, counts)
                         for seg in segments:
                             if not self.runtime.enqueue(
-                                inst.stream_map[stream], seg
+                                graph.stream_map[stream], seg
                             ):
                                 admitted = False
                 if admitted:
@@ -590,9 +747,9 @@ class EngineBridge:
         return counts
 
     def _fit(
-        self, inst: _Instance, stream: str, tup: StreamTuple, counts: dict
+        self, graph: _SharedGraph, stream: str, tup: StreamTuple, counts: dict
     ) -> list:
-        """One tuple through the instance's segmenter; [] on rejection.
+        """One tuple through the graph's segmenter; [] on rejection.
 
         Fit preconditions (modeled attrs and key fields present and
         numeric where modeled) are checked *before* the segmenter sees
@@ -600,21 +757,21 @@ class EngineBridge:
         attribute-by-attribute, so letting it raise midway would leave
         the per-attribute windows inconsistent.
         """
-        fit = inst.entry.fit
+        fit = graph.entry.fit
         for attr in fit.attrs:
             value = tup.get(attr)
             if isinstance(value, bool) or not isinstance(
                 value, (int, float)
             ):
                 counts["fit_rejected"] += 1
-                inst.fit_rejects += 1
+                graph.fit_rejects += 1
                 return []
         for key_field in fit.key_fields:
             if key_field not in tup:
                 counts["fit_rejected"] += 1
-                inst.fit_rejects += 1
+                graph.fit_rejects += 1
                 return []
-        return inst.builders[stream].add(tup)
+        return graph.builders[stream].add(tup)
 
     def _do_flush(self) -> dict:
         """End-of-stream barrier: close every open fitted segment,
@@ -623,12 +780,12 @@ class EngineBridge:
         # WAL event like any other state-changing command.
         self._log(("flush",))
         flushed = 0
-        for instance in self._instances.values():
-            for stream, builder in instance.builders.items():
+        for graph in self._graphs.values():
+            for stream, builder in graph.builders.items():
                 for seg in builder.finish():
                     # finish() is called at end of trace; admission uses
                     # the server's standing policy, not any connection's.
-                    if self.runtime.enqueue(instance.stream_map[stream], seg):
+                    if self.runtime.enqueue(graph.stream_map[stream], seg):
                         flushed += 1
         processed = self._pump()
         return {"flushed_segments": flushed, "processed": processed}
@@ -637,7 +794,8 @@ class EngineBridge:
     # durability (engine thread)
     # ------------------------------------------------------------------
     def _do_checkpoint(self) -> dict:
-        """Atomic snapshot of entries, instances, builders and runtime."""
+        """Atomic snapshot of entries, graphs, subscriptions, builders
+        and the runtime."""
         if self._durability is None:
             raise PlanError("server has no WAL directory configured")
         state = {
@@ -645,19 +803,30 @@ class EngineBridge:
             "entries": [
                 (e.name, e.text, e.fit) for e in self._entries.values()
             ],
-            "instances": [
+            "graphs": [
                 {
-                    "key": key,
-                    "runtime_name": inst.runtime_name,
-                    "query": inst.entry.name,
-                    "mode": inst.mode,
-                    "bound": inst.bound,
-                    "builders": inst.builders,
-                    "seq": inst.seq,
-                    "fit_rejects": inst.fit_rejects,
+                    "query": graph.entry.name,
+                    "mode": graph.mode,
+                    "runtime_name": graph.runtime_name,
+                    "solve_bound": graph.solve_bound,
+                    "builders": graph.builders,
+                    "seq": graph.seq,
+                    "fit_rejects": graph.fit_rejects,
+                    "retightens": graph.retightens,
                 }
-                for key, inst in self._instances.items()
+                for graph in self._graphs.values()
             ],
+            "subscriptions": [
+                {
+                    "sub_id": sub.sub_id,
+                    "query": sub.graph.entry.name,
+                    "mode": sub.graph.mode,
+                    "bound": sub.bound,
+                    "cursor": sub.cursor,
+                }
+                for sub in self._subs.values()
+            ],
+            "max_sub_id": self.max_sub_id,
             "runtime": self.runtime.checkpoint_state(),
             "ingest_tuples": self.ingest_tuples,
         }
@@ -684,16 +853,16 @@ class EngineBridge:
             planned = plan_query(parse_query(text))
             self._entries[name] = _QueryEntry(name, text, planned, fit)
         self.runtime.restore_state(state["runtime"])
-        self._instances = {}
-        for item in state["instances"]:
+        self._graphs = {}
+        for item in state["graphs"]:
             entry = self._entries[item["query"]]
             streams = tuple(entry.planned.stream_sources)
             runtime_name = item["runtime_name"]
-            instance = _Instance(
+            graph = _SharedGraph(
                 runtime_name=runtime_name,
                 entry=entry,
                 mode=item["mode"],
-                bound=item["bound"],
+                solve_bound=item["solve_bound"],
                 streams=streams,
                 stream_map={
                     s: f"{runtime_name}/{s}" for s in streams
@@ -701,9 +870,24 @@ class EngineBridge:
                 builders=item["builders"],
                 seq=item["seq"],
                 fit_rejects=item["fit_rejects"],
+                retightens=item["retightens"],
             )
-            self._instances[item["key"]] = instance
+            self._graphs[(entry.name, item["mode"])] = graph
+        self._subs = {}
+        for item in state["subscriptions"]:
+            graph = self._graphs[(item["query"], item["mode"])]
+            sub = _Subscription(
+                sub_id=item["sub_id"],
+                graph=graph,
+                bound=item["bound"],
+                session_id=None,  # sessions die with the process
+                cursor=item["cursor"],
+            )
+            graph.subs[sub.sub_id] = sub
+            self._subs[sub.sub_id] = sub
+        self.max_sub_id = state["max_sub_id"]
         self.ingest_tuples = state["ingest_tuples"]
+        self._update_sub_gauges()
 
     def _apply_record(self, record: tuple) -> None:
         """Replay one WAL record through the normal command paths."""
@@ -712,18 +896,14 @@ class EngineBridge:
             _, name, text, fit = record
             if name not in self._entries:
                 self._do_register(name, text, fit)
-        elif kind == "instance":
-            _, qname, mode, bound = record
-            key = (
-                (qname, mode, bound)
-                if mode == "continuous"
-                else (qname, mode)
-            )
-            entry = self._entries.get(qname)
-            if entry is not None and key not in self._instances:
-                self._instances[key] = self._make_instance(
-                    entry, mode, bound
-                )
+        elif kind == "subscribe":
+            _, sub_id, qname, mode, bound = record
+            if qname in self._entries and sub_id not in self._subs:
+                self._do_subscribe(sub_id, qname, mode, bound, None)
+        elif kind == "unsubscribe":
+            _, sub_id = record
+            if sub_id in self._subs:
+                self._do_unsubscribe(sub_id)
         elif kind == "ingest":
             _, stream, tuples, policy = record
             self.ingest_tuples += len(tuples)
@@ -735,10 +915,14 @@ class EngineBridge:
     def _do_restore(self) -> dict:
         """Recover on start: newest valid snapshot + WAL-tail replay.
 
-        Replayed outputs are discarded naturally — no subscriptions
-        exist yet, so the pump drains and drops them; clients that
-        reconnect resume from ``ingest_tuples``.  Damaged WAL frames
-        are skipped with accounting in the returned report.
+        The subscription table recovers with the graphs: restored
+        subscriptions are *detached* (no session) but keep advancing
+        their cursors through the replayed tail, so a client that
+        ``attach``-es after reconnect resumes from a cursor that is
+        bit-exact with the pre-crash delivery stream.  Delivery itself
+        is suppressed during replay (``on_outputs`` never fires while
+        ``_replaying``).  Damaged WAL frames are skipped with
+        accounting in the returned report.
         """
         tracer = tracing.current_tracer()
         span = (
@@ -790,13 +974,26 @@ class EngineBridge:
                 name: sorted(entry.planned.stream_sources)
                 for name, entry in self._entries.items()
             },
-            "instances": {
-                inst.runtime_name: {
-                    **inst.info(),
-                    "subscribers": len(inst.subscribers),
-                    "fit_rejected": inst.fit_rejects,
+            "graphs": {
+                graph.runtime_name: {
+                    **graph.info(),
+                    "subscribers": len(graph.subs),
+                    "fit_rejected": graph.fit_rejects,
+                    "retightens": graph.retightens,
+                    "outputs_emitted": graph.seq,
                 }
-                for inst in self._instances.values()
+                for graph in self._graphs.values()
+            },
+            "subscriptions": {
+                str(sub.sub_id): {
+                    "query": sub.graph.entry.name,
+                    "mode": sub.graph.mode,
+                    "error_bound": sub.bound,
+                    "solve_bound": sub.graph.solve_bound,
+                    "cursor": sub.cursor,
+                    "attached": sub.session_id in self._sessions,
+                }
+                for sub in self._subs.values()
             },
             "queue_depths": dict(self.runtime.queue_depths()),
             "total_pending": self.runtime.total_pending,
@@ -820,6 +1017,7 @@ class EngineBridge:
         return stats
 
     def _do_open_session(self, session_id: int, peer: str) -> None:
+        self._sessions.add(session_id)
         tracer = tracing.current_tracer()
         if tracer is not None:
             self._session_spans[session_id] = tracer.start_detached(
@@ -827,11 +1025,13 @@ class EngineBridge:
             )
 
     def _do_close_session(self, session_id: int) -> None:
-        # Subscriptions owned by the session die with it.
-        for sub_id, (instance, sid) in list(self._subs.items()):
-            if sid == session_id:
-                instance.subscribers.remove(sub_id)
-                del self._subs[sub_id]
+        # Subscriptions owned by the session die with it — durably, so
+        # the last departure tears the shared graph down exactly as an
+        # explicit unsubscribe would.
+        for sub_id, sub in list(self._subs.items()):
+            if sub.session_id == session_id:
+                self._do_unsubscribe(sub_id)
+        self._sessions.discard(session_id)
         span = self._session_spans.pop(session_id, None)
         if span is not None:
             tracer = tracing.current_tracer()
@@ -842,29 +1042,44 @@ class EngineBridge:
     # the pump: drain, deliver, notify
     # ------------------------------------------------------------------
     def _pump(self) -> int:
+        """Drain the runtime, fan each graph's outputs out per
+        subscriber, advance cursors, notify.
+
+        Cursors advance for **every** subscription of a graph whenever
+        the graph emits — connection-alive, detached, or mid-replay —
+        which is what makes them a deterministic function of the
+        durable command stream and therefore bit-exact across a crash
+        and recovery.  Delivery (``on_outputs``) and tracing are
+        suppressed during replay; the cursor arithmetic is not.
+        """
         processed = self.runtime.run_until_idle()
         tracer = tracing.current_tracer()
-        for instance in self._instances.values():
-            outputs = self.runtime.outputs(instance.runtime_name)
+        for graph in self._graphs.values():
+            outputs = self.runtime.outputs(graph.runtime_name)
             if not outputs:
                 continue
-            if not instance.subscribers:
-                continue  # drained and dropped: nobody is listening
-            if tracer is not None:
-                for sub_id in instance.subscribers:
-                    _inst, session_id = self._subs[sub_id]
-                    parent = self._session_spans.get(session_id)
+            graph.seq += len(outputs)
+            subscribers: list[tuple[int, int]] = []
+            for sub in graph.subs.values():
+                at = sub.cursor
+                sub.cursor += len(outputs)
+                subscribers.append((sub.sub_id, at))
+                if tracer is not None and not self._replaying:
+                    parent = self._session_spans.get(sub.session_id)
                     tracer.event_under(
                         parent.span_id if parent is not None else None,
                         "emit",
                         "emit",
-                        subscription=sub_id,
+                        subscription=sub.sub_id,
                         outputs=len(outputs),
+                        cursor=at,
                     )
-            if self.on_outputs is not None:
-                self.on_outputs(
-                    list(instance.subscribers), instance.info(), outputs
-                )
+            if (
+                self.on_outputs is not None
+                and subscribers
+                and not self._replaying
+            ):
+                self.on_outputs(subscribers, graph.info(), outputs)
         self._emit_notifications()
         return processed
 

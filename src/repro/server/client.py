@@ -125,10 +125,13 @@ class PulseClient:
         backoff with jitter, so a fleet of subscribers doesn't stampede
         a server that is still mid-recovery.  On success, performs a
         fresh ``hello`` (restoring the pinned back-pressure policy) and
-        returns it.  **Subscriptions do not survive**: the new session
-        has none, and buffered pushes from the old session stay in
-        :attr:`pushed`; callers re-subscribe and resume ingest from the
-        server's recovered durable offset.
+        returns it.  **Session bindings do not survive**: the new
+        session starts with no subscriptions, and buffered pushes from
+        the old session stay in :attr:`pushed`.  Against a durable
+        server, the subscriptions themselves (and their cursors) were
+        recovered detached — :meth:`attach` re-binds them; against an
+        ephemeral server, callers re-subscribe and resume ingest from
+        the recovered durable offset.
 
         Raises :class:`ReconnectExhausted` when the budget is spent.
         """
@@ -175,6 +178,11 @@ class PulseClient:
 
     def unsubscribe(self, subscription: int) -> dict:
         return self._request("unsubscribe", subscription=subscription)
+
+    def attach(self, subscription: int) -> dict:
+        """Re-bind a durable subscription that survived a server
+        restart to this session; the ack carries its resumed cursor."""
+        return self._request("attach", subscription=subscription)
 
     def ingest(self, stream: str, tuples: Sequence[Mapping]) -> dict:
         """Send one batch of tuples; returns the admission counts ack."""

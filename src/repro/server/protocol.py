@@ -13,6 +13,7 @@ Client -> server requests::
     {"op": "subscribe", "id": 3, "query": "q1",
      "mode": "continuous"|"discrete", "error_bound": 0.05?}
     {"op": "unsubscribe", "id": 4, "subscription": 7}
+    {"op": "attach", "id": 9, "subscription": 7}
     {"op": "ingest", "id": 5, "stream": "objects",
      "tuples": [{"time": 0.0, "id": "a", "x": 1.5}, ...]}
     {"op": "flush", "id": 6}
@@ -26,11 +27,20 @@ Server -> client responses (``id`` echoed) and pushes (no ``id``)::
     {"type": "error", "id": ..., "code": "protocol"|"plan"|"server",
      "error": "..."}
     {"type": "result", "subscription": 7, "query": "q1",
-     "mode": "continuous", "seq": 0, "results": [...]}
+     "mode": "continuous", "graph": "q1~c", "seq": 0, "cursor": 0,
+     "results": [...]}
     {"type": "alert", "kind": "slow_solve", ...}
     {"type": "backpressure", "policy": ..., "shed": n, "blocked": n,
      "dropped_results": n}
     {"type": "breaker", "open": [["q1", ["key"]], ...]}
+
+Subscriptions to one query share a single operator graph (the ``ack``
+names it in ``graph`` and reports the graph's current ``solve_bound``
+next to the subscription's own ``error_bound``); each ``result`` push
+carries the subscription id plus that subscription's ``cursor`` — its
+durable per-subscription delivery offset.  ``attach`` re-binds a
+subscription that survived a server restart (sessions are ephemeral;
+subscriptions and their cursors are durable) to the calling session.
 
 Results are serialized segments in continuous mode (``key``,
 ``t_start``, ``t_end``, ``models`` mapping attribute -> ascending
@@ -72,6 +82,7 @@ OPS = (
     "register",
     "subscribe",
     "unsubscribe",
+    "attach",
     "ingest",
     "flush",
     "checkpoint",

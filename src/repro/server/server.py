@@ -166,6 +166,9 @@ class PulseServer:
                 # Already present: recovery restored it from the WAL
                 # or a snapshot before the startup list ran.
                 pass
+        # Recovery may have restored (detached) subscriptions; new ids
+        # must never collide with ones clients may re-attach to.
+        self._next_sub = self.bridge.max_sub_id + 1
         self._server = await asyncio.start_server(
             self._handle,
             self.config.host,
@@ -198,12 +201,12 @@ class PulseServer:
     # delivery (engine thread -> loop thread)
     # ------------------------------------------------------------------
     def _on_outputs_threadsafe(
-        self, sub_ids: list[int], info: dict, outputs: list
+        self, subscribers: list[tuple[int, int]], info: dict, outputs: list
     ) -> None:
         loop = self._loop
         if loop is None or loop.is_closed():
             return
-        loop.call_soon_threadsafe(self._deliver, sub_ids, info, outputs)
+        loop.call_soon_threadsafe(self._deliver, subscribers, info, outputs)
 
     def _on_notify_threadsafe(self, kind: str, payload: dict) -> None:
         loop = self._loop
@@ -212,10 +215,10 @@ class PulseServer:
         loop.call_soon_threadsafe(self._broadcast, kind, payload)
 
     def _deliver(
-        self, sub_ids: list[int], info: dict, outputs: list
+        self, subscribers: list[tuple[int, int]], info: dict, outputs: list
     ) -> None:
         results = protocol.serialize_results(outputs)
-        for sub_id in sub_ids:
+        for sub_id, cursor in subscribers:
             conn = self._conn_for_sub(sub_id)
             if conn is None:
                 continue
@@ -224,7 +227,9 @@ class PulseServer:
                 "subscription": sub_id,
                 "query": info["query"],
                 "mode": info["mode"],
+                "graph": info["graph"],
                 "seq": conn.results_sent,
+                "cursor": cursor,
                 "results": results,
             }
             conn.results_sent += len(results)
@@ -445,6 +450,16 @@ class PulseServer:
             )
         result = await asyncio.wrap_future(self.bridge.unsubscribe(sub_id))
         conn.subscriptions.discard(sub_id)
+        return {"type": "ack", **result}
+
+    async def _op_attach(self, conn: _Connection, obj: dict) -> dict:
+        sub_id = obj.get("subscription")
+        if isinstance(sub_id, bool) or not isinstance(sub_id, int):
+            raise protocol.ProtocolError("'subscription' must be an integer")
+        result = await asyncio.wrap_future(
+            self.bridge.attach(sub_id, conn.session_id)
+        )
+        conn.subscriptions.add(sub_id)
         return {"type": "ack", **result}
 
     async def _op_ingest(self, conn: _Connection, obj: dict) -> dict:

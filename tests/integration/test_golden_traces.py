@@ -136,6 +136,116 @@ def test_trace_matches_golden(scenario, tmp_path, update_goldens):
     )
 
 
+MULTISUB_SQL = "select * from ticks where x > 0"
+
+
+def _multisub_tuples():
+    """Fixed literal tuples, no RNG: a zig-zag no line fits at 0.05."""
+    values = [0.0, 1.0, 0.2, 1.4, 0.4, 1.8, 0.6, 2.2, 0.8, 2.6, 1.0, 3.0]
+    return [
+        {"time": 0.5 * i, "sym": "aapl", "x": v}
+        for i, v in enumerate(values)
+    ]
+
+
+def run_multisub_scenario(trace_path, incremental: bool = False):
+    """Two bounds, one shared graph, driven through the bridge.
+
+    A loose (0.2) subscriber joins first, then a tight (0.05) one —
+    exactly one retighten, performed while the fitting builders are
+    still empty, so the span stream stays fully deterministic.  Returns
+    ``(normalized_spans_or_None, per_subscription_canonical_outputs)``.
+    """
+    import contextlib
+
+    from repro.core.batch_solver import incremental_mode
+    from repro.engine.tuples import StreamTuple
+    from repro.server.bridge import EngineBridge, FitSpec
+
+    reset_global_solve_cache()
+    reset_worker_root_cache()
+    reset_counters()
+    delivered: dict[int, list] = {}
+
+    def on_outputs(subscribers, info, outputs):
+        for sub_id, _cursor in subscribers:
+            delivered.setdefault(sub_id, []).extend(outputs)
+
+    ctx = (
+        tracing.observability(str(trace_path))
+        if trace_path is not None
+        else contextlib.nullcontext()
+    )
+    tuples = [StreamTuple(t) for t in _multisub_tuples()]
+    with incremental_mode(incremental), ctx:
+        bridge = EngineBridge(on_outputs=on_outputs)
+        bridge.start()
+        try:
+            bridge.register_query(
+                "q", MULTISUB_SQL, FitSpec(attrs=("x",), key_fields=("sym",))
+            ).result()
+            bridge.subscribe(1, "q", "continuous", 0.2).result()
+            bridge.subscribe(2, "q", "continuous", 0.05).result()
+            for i in range(0, len(tuples), 4):
+                bridge.ingest(None, "ticks", tuples[i : i + 4]).result()
+            bridge.flush().result()
+        finally:
+            bridge.stop()
+    outputs = {
+        sub_id: _canon_outputs(outs) for sub_id, outs in delivered.items()
+    }
+    if trace_path is None:
+        return None, outputs
+    spans = read_trace(trace_path)
+    build_span_tree(spans)
+    return [normalize(s.to_record()) for s in spans], outputs
+
+
+def test_multisub_trace_matches_golden(tmp_path, update_goldens):
+    """The multi-subscription fan-out golden: one shared graph, two
+    bounds, per-subscriber emit events with cursors."""
+    actual, delivered = run_multisub_scenario(tmp_path / "trace.jsonl")
+    # the fan-out contract itself: both subscribers, identical streams
+    assert set(delivered) == {1, 2}
+    assert delivered[1] == delivered[2]
+    assert len(delivered[1]) > 0
+    golden_path = GOLDEN_DIR / "trace_multisub.json"
+    if update_goldens:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(actual, indent=1) + "\n")
+        return
+    assert golden_path.exists(), (
+        f"missing golden {golden_path.name}; generate with "
+        f"--update-goldens and commit it"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert actual == golden, (
+        "multisub trace diverged from trace_multisub.json; if the "
+        "change is intentional, rerun with --update-goldens and commit"
+    )
+
+
+def test_multisub_incremental_output_parity():
+    """The shared-graph fan-out must be mode-independent too."""
+    _, full = run_multisub_scenario(None, incremental=False)
+    _, incr = run_multisub_scenario(None, incremental=True)
+    assert incr == full
+    assert set(full) == {1, 2}
+
+
+def _canon_outputs(outputs):
+    return [
+        (
+            s.key,
+            s.t_start,
+            s.t_end,
+            {a: p.coeffs for a, p in sorted(s.models.items())},
+            tuple(sorted(s.constants.items())),
+        )
+        for s in outputs
+    ]
+
+
 def _run_outputs(sql: str, num_shards: int, incremental: bool):
     """Run one scenario's workload untraced; return value-canonical outputs."""
     from repro.core.batch_solver import incremental_mode
@@ -185,7 +295,9 @@ def test_incremental_output_parity(scenario):
 
 def test_goldens_have_no_strays():
     """Every committed golden corresponds to a scenario (and exists)."""
-    expected = {f"trace_{name}.json" for name in SCENARIOS}
+    expected = {f"trace_{name}.json" for name in SCENARIOS} | {
+        "trace_multisub.json"
+    }
     present = {p.name for p in GOLDEN_DIR.glob("trace_*.json")}
     assert present == expected
 

@@ -10,11 +10,14 @@ serialized results is exact, not approximate.
 
 The client side doubles as the reconnect satellite's integration test:
 after the kill it reconnects with bounded exponential backoff while the
-replacement server is still recovering, re-subscribes (subscriptions
-don't survive), reads the durable resume offset from ``stats``, and
-resumes ingest from exactly there — the at-least-once contract.
+replacement server is still recovering, re-binds to the recovered
+subscription table (either ``attach``-ing its durable subscriptions or
+subscribing fresh — session bindings die with the process), reads the
+durable resume offset from ``stats``, and resumes ingest from exactly
+there — the at-least-once contract.
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -234,6 +237,87 @@ def test_torn_wal_tail_recovers_without_crashing(tmp_path, reference):
             assert client.drain_results() == ref_per_index[i]
         client.flush()
         assert client.drain_results() == ref_flush
+        client.close()
+    finally:
+        child.terminate()
+
+
+def test_sigkill_mid_churn_recovers_subscription_table(tmp_path):
+    """SIGKILL with a churned subscription table: several bounds live,
+    a relax re-solve already performed, cursors advanced.  Recovery
+    must restore the table bit-exactly (same ids, bounds, solve bound,
+    cursors — only the session attachment dies with the process), and
+    ``attach`` must resume each subscription at its recovered cursor
+    with identical fan-out from there on."""
+    child = ChildServer(tmp_path)
+    try:
+        client = PulseClient(
+            "127.0.0.1", child.port, reconnect_attempts=8
+        )
+        client.connect()
+        client.register("q", QUERY, fit=FIT)
+        subs = {}
+        for bound in (0.005, 0.01, 0.05, 0.2, 1.0):
+            ack = client.subscribe("q", "continuous", bound)
+            subs[ack["subscription"]] = ack
+        # churn: the tightest leaves (relax re-solve 0.005 -> 0.01),
+        # and so does the loosest (no bound change)
+        for gone_bound in (0.005, 1.0):
+            sid = next(
+                s for s, a in subs.items()
+                if a["error_bound"] == gone_bound
+            )
+            client.unsubscribe(sid)
+            del subs[sid]
+        for tup in TRACE[:24]:
+            client.ingest(STREAM, [tup])
+        before = client.stats()["engine"]["subscriptions"]
+        assert set(before) == {str(s) for s in subs}
+        # the 0.01 solve bound against ±0.02 noise forces real cuts,
+        # so cursors are non-trivially advanced before the crash
+        assert any(row["cursor"] > 0 for row in before.values())
+        child.kill()
+
+        child.terminate()
+        child = ChildServer(tmp_path, port=child.port)
+        client.reconnect()
+        client.pushed.clear()
+        after = client.stats()["engine"]["subscriptions"]
+
+        def strip(table):
+            return {
+                sid: {f: v for f, v in row.items() if f != "attached"}
+                for sid, row in table.items()
+            }
+
+        assert strip(after) == strip(before)  # bit-exact recovery
+        assert all(not row["attached"] for row in after.values())
+
+        for sid, ack0 in subs.items():
+            att = client.attach(sid)
+            assert att["cursor"] == before[str(sid)]["cursor"]
+            assert att["error_bound"] == ack0["error_bound"]
+            assert att["graph"] == ack0["graph"]
+        # a subscription attached to a live session cannot be stolen
+        with pytest.raises(ServerError):
+            client.attach(next(iter(subs)))
+
+        for tup in TRACE[24:]:
+            client.ingest(STREAM, [tup])
+        client.flush()
+        per_sub = {}
+        for msg in client.pushed:
+            if msg.get("type") == "result":
+                per_sub.setdefault(msg["subscription"], []).extend(
+                    msg["results"]
+                )
+        assert set(per_sub) == set(subs)
+        # one shared graph: every subscriber saw the identical stream
+        streams = {
+            json.dumps(results, sort_keys=True)
+            for results in per_sub.values()
+        }
+        assert len(streams) == 1
         client.close()
     finally:
         child.terminate()

@@ -140,31 +140,49 @@ class TestContinuousParity:
         assert len(results) == len(expected) > 0
         assert results == expected
 
-    def test_per_bound_instances_fit_independently(self, server):
-        """Two bounds, one stream: each instance matches its own
-        in-process reference — segments fitted at one tolerance never
-        leak into the other."""
+    def test_shared_graph_serves_both_bounds_at_tightest(self, server):
+        """Two bounds, one shared graph: both subscribers are served by
+        the single graph solved at the tightest subscribed bound — a
+        solution within 0.01 is trivially within 10.0 (Sec. IV bound
+        inversion), and each subscriber's stream is bit-exact with the
+        tightest-bound in-process reference."""
         tuples = moving_tuples(400)
         with PulseClient("127.0.0.1", server.port) as c:
             c.connect()
             c.register("qb", QUERY, fit=FIT)
             tight = c.subscribe("qb", mode="continuous", error_bound=0.01)
             loose = c.subscribe("qb", mode="continuous", error_bound=10.0)
-            assert tight["instance"] != loose["instance"]
+            assert tight["graph"] == loose["graph"]
+            assert tight["error_bound"] == 0.01
+            assert loose["error_bound"] == 10.0
+            assert loose["solve_bound"] == 0.01  # tightest wins
             c.ingest(STREAM, tuples)
             c.flush()
             tight_results = c.drain_results(tight["subscription"])
             loose_results = c.drain_results(loose["subscription"])
-        assert tight_results == continuous_reference(tuples, 0.01)
-        assert loose_results == continuous_reference(tuples, 10.0)
+        expected = continuous_reference(tuples, 0.01)
+        assert tight_results == expected
+        assert loose_results == expected
 
-    def test_same_bound_shares_instance(self, server):
+    def test_later_tighter_subscriber_retightens_shared_graph(self, server):
         with PulseClient("127.0.0.1", server.port) as c:
             c.connect()
             c.register("qs", QUERY, fit=FIT)
             a = c.subscribe("qs", mode="continuous", error_bound=0.5)
-            b = c.subscribe("qs", mode="continuous", error_bound=0.5)
-            assert a["instance"] == b["instance"]
+            assert a["solve_bound"] == 0.5
+            b = c.subscribe("qs", mode="continuous", error_bound=0.1)
+            assert a["graph"] == b["graph"]
+            assert b["solve_bound"] == 0.1
+            graphs = c.stats()["engine"]["graphs"]
+            info = graphs[a["graph"]]
+            assert info["subscribers"] == 2
+            assert info["retightens"] == 1
+            # dropping the tight subscriber relaxes back to 0.5
+            c.unsubscribe(b["subscription"])
+            graphs = c.stats()["engine"]["graphs"]
+            info = graphs[a["graph"]]
+            assert info["error_bound"] == 0.5
+            assert info["retightens"] == 2
 
     def test_continuous_without_fit_spec_errors(self, server):
         with PulseClient("127.0.0.1", server.port) as c:
@@ -198,7 +216,9 @@ class TestIngestBoundary:
         assert ack["type"] == "ack"
         assert ack["rejected"] == 3
         assert ack["rejected_nonfinite"] == 3
-        assert ack["accepted"] == 1
+        # the one finite tuple passes the boundary (whether a consumer
+        # graph is live at this point is another test's business)
+        assert ack["accepted"] + ack["no_consumer"] == 1
         assert counter.value == before + 3
 
     def test_malformed_tuples_rejected_not_fatal(self, client):
@@ -317,17 +337,26 @@ class TestSessionLifecycle:
             assert stats["engine"]["queries"]
             assert "queue_depths" in stats["engine"]
 
-    def test_disconnect_removes_subscriptions(self, server):
+    def test_disconnect_tears_down_shared_graph(self, server):
+        """Regression: the last subscriber's disconnect must tear the
+        shared graph down — it used to stay registered (builders, delta
+        tracker and all) forever after the session died."""
         with PulseClient("127.0.0.1", server.port) as c:
             c.connect()
             c.register("qgone", QUERY, fit=FIT)
-            c.subscribe("qgone", mode="continuous", error_bound=0.3)
-        # session closed; a new session's ingest must not crash trying
-        # to deliver to the dead subscription
+            sub = c.subscribe("qgone", mode="continuous", error_bound=0.3)
+            assert sub["graph"] in c.stats()["engine"]["graphs"]
+        # session closed; its subscription died with it, and with no
+        # subscribers left the graph is gone — later ingest finds no
+        # consumer instead of feeding an orphaned graph
         with PulseClient("127.0.0.1", server.port) as c:
             c.connect()
+            engine = c.stats()["engine"]
+            assert sub["graph"] not in engine["graphs"]
+            assert str(sub["subscription"]) not in engine["subscriptions"]
             ack = c.ingest(STREAM, moving_tuples(20))
-            assert ack["accepted"] == 20
+            assert ack["no_consumer"] == 20
+            assert ack["accepted"] == 0
             assert c.stats()["type"] == "stats"
 
     def test_clean_shutdown_under_load(self):
