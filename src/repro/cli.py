@@ -246,6 +246,55 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_route(args) -> int:
+    """Run a worker fleet plus the router that fronts it."""
+    import tempfile
+
+    from .server.router import PulseRouter, RouterConfig
+    from .testing.chaos_server import WorkerFleet
+
+    worker_dir = args.worker_wal_dir or tempfile.mkdtemp(
+        prefix="pulse-fleet-"
+    )
+    default_keys = (
+        tuple(_WORKLOADS[args.workload][2]) if args.workload else ()
+    )
+    fleet = WorkerFleet(
+        args.workers,
+        worker_dir,
+        checkpoint_every=args.checkpoint_every,
+        retain_results=args.retain_results,
+    )
+    addrs = fleet.start()
+    router = None
+    try:
+        router = PulseRouter(
+            RouterConfig(
+                host=args.host,
+                port=args.port,
+                workers=tuple(addrs),
+                default_key_fields=default_keys,
+            )
+        ).start()
+        worker_list = ", ".join(f"{h}:{p}" for h, p in addrs)
+        print(
+            f"pulse router listening on {args.host}:{router.port} over "
+            f"{args.workers} workers ({worker_list})"
+        )
+        print(f"worker WAL dirs under {worker_dir}; Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nstopping...")
+    finally:
+        if router is not None:
+            router.stop()
+        fleet.stop()
+    print("fleet stopped")
+    return 0
+
+
 def cmd_ingest(args) -> int:
     from .server import PulseClient
 
@@ -386,6 +435,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL fsync batching: records per fsync (1 = every record)",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_route = sub.add_parser(
+        "route",
+        help="run a key-routed multi-node fleet: N durable workers "
+        "behind one router",
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=7433,
+                         help="router TCP port (0 = ephemeral)")
+    p_route.add_argument("--workers", type=int, default=3,
+                         help="worker server processes to spawn")
+    p_route.add_argument(
+        "--worker-wal-dir", default=None, metavar="DIR",
+        help="base directory for per-worker WAL dirs "
+        "(default: a fresh temp dir)")
+    p_route.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="worker auto-checkpoint interval (ingested tuples)")
+    p_route.add_argument(
+        "--retain-results", type=int, default=4096, metavar="N",
+        help="per-subscription retained outputs on each worker "
+        "(sizes the crash-replay window)")
+    p_route.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default=None,
+        help="default routing key fields from this workload preset "
+        "(otherwise learned from registered fit specs)")
+    p_route.set_defaults(func=cmd_route)
 
     p_ingest = sub.add_parser(
         "ingest", help="stream tuples into a running server"

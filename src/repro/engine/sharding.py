@@ -62,6 +62,18 @@ def canonical_key_bytes(key: Hashable) -> bytes:
     return b"r" + struct.pack("<q", len(data)) + data
 
 
+def tuple_key(tup, key_fields: Sequence[str]) -> tuple:
+    """The routing key of one (mapping-like) stream tuple.
+
+    Mirrors ``StreamTuple.key`` — a tuple of the key fields' values in
+    declaration order — but tolerates missing fields (``None`` slots)
+    so the router can assign *any* validated tuple a shard
+    deterministically instead of failing mid-batch; the worker's own
+    fit boundary still rejects the tuple with a typed count.
+    """
+    return tuple(tup.get(field) for field in key_fields)
+
+
 def stable_key_hash(key: Hashable) -> int:
     """A 64-bit process-independent hash of a stream key."""
     digest = blake2b(canonical_key_bytes(key), digest_size=8).digest()
@@ -109,6 +121,38 @@ class ShardRouter:
         for item in items:
             shards[self.shard_of(key_of(item))].append(item)
         return shards
+
+
+class KeyOrdinals:
+    """First-arrival ordinals for stream keys.
+
+    ``StreamModelBuilder`` iterates its per-key state in insertion
+    order, so a single engine's flush tail comes out in *first-arrival
+    key order*.  A fleet flush drains worker-major instead; recording
+    the ordinal at which each key was first routed lets the merge edge
+    stable-sort the fleet's flush tail back into the exact order the
+    single engine would have produced.
+    """
+
+    __slots__ = ("_ordinals",)
+
+    def __init__(self):
+        self._ordinals: dict[Hashable, int] = {}
+
+    def observe(self, key: Hashable) -> int:
+        """Record ``key`` if unseen; returns its first-arrival ordinal."""
+        ordinal = self._ordinals.get(key)
+        if ordinal is None:
+            ordinal = len(self._ordinals)
+            self._ordinals[key] = ordinal
+        return ordinal
+
+    def ordinal_of(self, key: Hashable) -> int:
+        """The ordinal of a seen key; unseen keys sort last, stably."""
+        return self._ordinals.get(key, len(self._ordinals))
+
+    def __len__(self) -> int:
+        return len(self._ordinals)
 
 
 class ShardQueues:

@@ -14,10 +14,14 @@ through the thread-safe :class:`~repro.server.bridge.EngineBridge`.
 
 :mod:`.client` is the blocking client library used by the CLI
 (``repro ingest``), the loopback tests and the throughput benchmark.
+:mod:`.router` scales the boundary out: a router process key-routes
+ingest across N worker servers and deterministically merges their
+result streams back at the subscriber edge (``repro route``).
 """
 
 from .bridge import EngineBridge, FitSpec
-from .client import PulseClient, ServerError
+from .client import PulseClient, ReconnectExhausted, ServerError
+from .router import PulseRouter, RouterConfig
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -33,6 +37,9 @@ __all__ = [
     "EngineBridge",
     "FitSpec",
     "PulseClient",
+    "PulseRouter",
+    "ReconnectExhausted",
+    "RouterConfig",
     "ServerError",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -64,6 +64,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -78,7 +79,7 @@ from ..engine.scheduler import QueryRuntime
 from ..engine.tuples import StreamTuple
 from ..fitting.model_builder import StreamModelBuilder
 from ..query import parse_query, plan_query
-from .protocol import ProtocolError
+from .protocol import ProtocolError, serialize_results
 
 _STOP = object()
 
@@ -168,6 +169,13 @@ class _Subscription:
     bound: float | None
     session_id: int | None = None
     cursor: int = 0
+    #: Bounded tail of raw outputs at cursor positions
+    #: ``[cursor - len(retained), cursor)`` — only populated when the
+    #: bridge was built with ``retain_results > 0``.  This is what
+    #: makes ``attach(from_cursor=...)`` able to re-deliver outputs a
+    #: subscriber's connection lost across a crash (the fleet router's
+    #: exactly-once merge depends on it).
+    retained: deque | None = None
 
 
 @dataclass
@@ -243,6 +251,13 @@ class EngineBridge:
         (``None`` = manual ``checkpoint`` commands only).
     fsync_every:
         WAL fsync batching (records per fsync; 1 = every record).
+    retain_results:
+        Keep the last N raw outputs per subscription (0 = off).  The
+        retained tail rides in checkpoints and refills during WAL
+        replay, so after a crash ``attach(from_cursor=...)`` can
+        re-deliver exactly the outputs whose in-flight delivery the
+        crash destroyed — the replay-aware half of the fleet router's
+        exactly-once merge.
     """
 
     def __init__(
@@ -256,8 +271,10 @@ class EngineBridge:
         wal_dir: str | None = None,
         checkpoint_every: int | None = None,
         fsync_every: int = 32,
+        retain_results: int = 0,
     ):
         self.runtime = QueryRuntime(**dict(runtime_kwargs or {}))
+        self.retain_results = retain_results
         self.default_tolerance = default_tolerance
         self.default_fit = default_fit
         self.on_outputs = on_outputs
@@ -395,8 +412,15 @@ class EngineBridge:
     def unsubscribe(self, sub_id: int) -> Future:
         return self.submit(lambda: self._do_unsubscribe(sub_id))
 
-    def attach(self, sub_id: int, session_id: int | None) -> Future:
-        return self.submit(lambda: self._do_attach(sub_id, session_id))
+    def attach(
+        self,
+        sub_id: int,
+        session_id: int | None,
+        from_cursor: int | None = None,
+    ) -> Future:
+        return self.submit(
+            lambda: self._do_attach(sub_id, session_id, from_cursor)
+        )
 
     def ingest(
         self,
@@ -514,7 +538,11 @@ class EngineBridge:
             # bound fan out only to the subscribers that bound served.
             self._retarget_graph(graph, bound)
         sub = _Subscription(
-            sub_id=sub_id, graph=graph, bound=bound, session_id=session_id
+            sub_id=sub_id,
+            graph=graph,
+            bound=bound,
+            session_id=session_id,
+            retained=self._new_retained(),
         )
         graph.subs[sub_id] = sub
         self._subs[sub_id] = sub
@@ -630,20 +658,61 @@ class EngineBridge:
         del self._graphs[(graph.entry.name, graph.mode)]
         graph.builders.clear()
 
-    def _do_attach(self, sub_id: int, session_id: int | None) -> dict:
+    def _new_retained(self) -> deque | None:
+        return (
+            deque(maxlen=self.retain_results)
+            if self.retain_results
+            else None
+        )
+
+    def _do_attach(
+        self,
+        sub_id: int,
+        session_id: int | None,
+        from_cursor: int | None = None,
+    ) -> dict:
         """Re-bind a detached (recovered) subscription to a session.
 
         Session binding is ephemeral by design — it dies with the
         process and is *not* WAL-logged; only the subscription itself
         (and its cursor) is durable.
+
+        With ``from_cursor``, the ack also carries ``replayed``: the
+        serialized outputs at cursor positions ``[from_cursor,
+        cursor)``, re-delivered from the retained tail so a subscriber
+        that saw its connection die mid-delivery resumes with no gap.
+        Asking for history older than the retention window is a typed
+        error — the gap is real and must not be papered over.
         """
         sub = self._subs.get(sub_id)
         if sub is None:
             raise PlanError(f"unknown subscription {sub_id}")
-        if sub.session_id is not None and sub.session_id in self._sessions:
+        if (
+            sub.session_id is not None
+            and sub.session_id != session_id
+            and sub.session_id in self._sessions
+        ):
             raise PlanError(
                 f"subscription {sub_id} is attached to a live session"
             )
+        replayed: list = []
+        if from_cursor is not None:
+            if not 0 <= from_cursor <= sub.cursor:
+                raise PlanError(
+                    f"from_cursor {from_cursor} outside [0, {sub.cursor}] "
+                    f"for subscription {sub_id}"
+                )
+            missing = sub.cursor - from_cursor
+            retained = sub.retained if sub.retained is not None else ()
+            if missing > len(retained):
+                raise PlanError(
+                    f"retention exceeded: subscription {sub_id} is at "
+                    f"cursor {sub.cursor} but only {len(retained)} "
+                    f"outputs are retained; cannot replay from "
+                    f"{from_cursor}"
+                )
+            if missing:
+                replayed = list(retained)[len(retained) - missing:]
         sub.session_id = session_id
         graph = sub.graph
         return {
@@ -655,6 +724,7 @@ class EngineBridge:
             "solve_bound": graph.solve_bound,
             "cursor": sub.cursor,
             "streams": list(graph.streams),
+            "replayed": serialize_results(replayed),
         }
 
     def _update_sub_gauges(self) -> None:
@@ -823,6 +893,11 @@ class EngineBridge:
                     "mode": sub.graph.mode,
                     "bound": sub.bound,
                     "cursor": sub.cursor,
+                    # The retained output tail must survive snapshots:
+                    # a checkpoint can cover outputs whose delivery the
+                    # crash then destroys, and WAL replay only refills
+                    # retention for post-snapshot commands.
+                    "retained": list(sub.retained or ()),
                 }
                 for sub in self._subs.values()
             ],
@@ -876,12 +951,16 @@ class EngineBridge:
         self._subs = {}
         for item in state["subscriptions"]:
             graph = self._graphs[(item["query"], item["mode"])]
+            retained = self._new_retained()
+            if retained is not None:
+                retained.extend(item.get("retained", ()))
             sub = _Subscription(
                 sub_id=item["sub_id"],
                 graph=graph,
                 bound=item["bound"],
                 session_id=None,  # sessions die with the process
                 cursor=item["cursor"],
+                retained=retained,
             )
             graph.subs[sub.sub_id] = sub
             self._subs[sub.sub_id] = sub
@@ -1063,6 +1142,11 @@ class EngineBridge:
             for sub in graph.subs.values():
                 at = sub.cursor
                 sub.cursor += len(outputs)
+                if sub.retained is not None:
+                    # Retention advances with the cursor everywhere the
+                    # cursor does — replay included — so the tail always
+                    # holds the positions just below ``cursor``.
+                    sub.retained.extend(outputs)
                 subscribers.append((sub.sub_id, at))
                 if tracer is not None and not self._replaying:
                     parent = self._session_spans.get(sub.session_id)

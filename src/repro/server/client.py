@@ -84,11 +84,28 @@ class PulseClient:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _request(self, op: str, **fields) -> dict:
+    def send_request(self, op: str, **fields) -> int:
+        """Write one request and return its id without waiting.
+
+        The pipelining half of :meth:`_request`: the router keeps one
+        request in flight per worker and collects replies later with
+        :meth:`read_reply`.  Replies MUST be read in request order —
+        the server answers in order, and a reply read out of turn
+        would be mis-filed as a push.
+        """
         req_id = self._next_id
         self._next_id += 1
         message = {"op": op, "id": req_id, **fields}
         self._sock.sendall(protocol.encode(message))
+        return req_id
+
+    def read_reply(self, req_id: int) -> dict:
+        """Read until the reply to ``req_id`` arrives; buffer pushes.
+
+        Every unsolicited push read along the way lands in
+        :attr:`pushed` *before* this returns, which preserves the
+        server's results-before-ack ordering on the client side.
+        """
         while True:
             line = self._file.readline()
             if not line:
@@ -102,6 +119,9 @@ class PulseClient:
                     )
                 return obj
             self.pushed.append(obj)
+
+    def _request(self, op: str, **fields) -> dict:
+        return self.read_reply(self.send_request(op, **fields))
 
     # ------------------------------------------------------------------
     # ops
@@ -121,17 +141,24 @@ class PulseClient:
 
         Closes the dead socket and retries the TCP connect up to
         ``attempts`` times (default: the constructor's budget), sleeping
-        ``min(base * 2^i, max) * U(1, 2)`` between tries — exponential
-        backoff with jitter, so a fleet of subscribers doesn't stampede
-        a server that is still mid-recovery.  On success, performs a
-        fresh ``hello`` (restoring the pinned back-pressure policy) and
-        returns it.  **Session bindings do not survive**: the new
-        session starts with no subscriptions, and buffered pushes from
-        the old session stay in :attr:`pushed`.  Against a durable
-        server, the subscriptions themselves (and their cursors) were
-        recovered detached — :meth:`attach` re-binds them; against an
-        ephemeral server, callers re-subscribe and resume ingest from
-        the recovered durable offset.
+        ``min(base * 2^i * U(1, 2), max)`` between tries — exponential
+        backoff with jitter, clamped *after* the jitter is applied so
+        ``reconnect_max_s`` really is the sleep ceiling, and a fleet of
+        subscribers doesn't stampede a server that is still
+        mid-recovery.  On success, performs a fresh ``hello``
+        (restoring the pinned back-pressure policy) and returns it.
+        **Session bindings do not survive**: the new session starts
+        with no subscriptions, and buffered pushes from the old session
+        stay in :attr:`pushed`.  Against a durable server, the
+        subscriptions themselves (and their cursors) were recovered
+        detached — :meth:`attach` re-binds them; against an ephemeral
+        server, callers re-subscribe and resume ingest from the
+        recovered durable offset.
+
+        An attempt fails as a unit: if the TCP connect succeeds but the
+        post-connect ``hello`` does not (the server is listening but
+        still mid-recovery, or answers garbage), the half-open socket
+        is closed before the next attempt, never leaked.
 
         Raises :class:`ReconnectExhausted` when the budget is spent.
         """
@@ -148,13 +175,22 @@ class PulseClient:
                 )
                 self._file = self._sock.makefile("rb")
                 return self.connect(self._backpressure)
-            except OSError as exc:
+            except (OSError, PulseError) as exc:
                 last_error = exc
+                # The connect may have succeeded before the hello
+                # failed; close whatever is open so a failed attempt
+                # never leaves a half-open socket behind.
+                try:
+                    self.close()
+                except OSError:
+                    pass
                 delay = min(
                     self.reconnect_max_s,
-                    self.reconnect_base_s * (2.0**i),
+                    self.reconnect_base_s
+                    * (2.0**i)
+                    * (1.0 + self._rng.random()),
                 )
-                time.sleep(delay * (1.0 + self._rng.random()))
+                time.sleep(delay)
         raise ReconnectExhausted(attempts, last_error)
 
     def register(
@@ -179,10 +215,36 @@ class PulseClient:
     def unsubscribe(self, subscription: int) -> dict:
         return self._request("unsubscribe", subscription=subscription)
 
-    def attach(self, subscription: int) -> dict:
+    def attach(
+        self, subscription: int, from_cursor: int | None = None
+    ) -> dict:
         """Re-bind a durable subscription that survived a server
-        restart to this session; the ack carries its resumed cursor."""
-        return self._request("attach", subscription=subscription)
+        restart to this session; the ack carries its resumed cursor.
+
+        With ``from_cursor``, a retention-enabled server also replays
+        the outputs at cursor positions ``[from_cursor, cursor)`` in
+        the ack; they are folded into :attr:`pushed` as a synthetic
+        ``result`` message so :meth:`drain_results` sees one gapless
+        stream across the reconnect.
+        """
+        fields: dict = {"subscription": subscription}
+        if from_cursor is not None:
+            fields["from_cursor"] = from_cursor
+        ack = self._request("attach", **fields)
+        replayed = ack.get("replayed")
+        if replayed:
+            self.pushed.append(
+                {
+                    "type": "result",
+                    "subscription": subscription,
+                    "query": ack.get("query"),
+                    "mode": ack.get("mode"),
+                    "graph": ack.get("graph"),
+                    "cursor": ack["cursor"] - len(replayed),
+                    "results": replayed,
+                }
+            )
+        return ack
 
     def ingest(self, stream: str, tuples: Sequence[Mapping]) -> dict:
         """Send one batch of tuples; returns the admission counts ack."""

@@ -13,7 +13,7 @@ Client -> server requests::
     {"op": "subscribe", "id": 3, "query": "q1",
      "mode": "continuous"|"discrete", "error_bound": 0.05?}
     {"op": "unsubscribe", "id": 4, "subscription": 7}
-    {"op": "attach", "id": 9, "subscription": 7}
+    {"op": "attach", "id": 9, "subscription": 7, "from_cursor": 42?}
     {"op": "ingest", "id": 5, "stream": "objects",
      "tuples": [{"time": 0.0, "id": "a", "x": 1.5}, ...]}
     {"op": "flush", "id": 6}
@@ -41,6 +41,20 @@ carries the subscription id plus that subscription's ``cursor`` — its
 durable per-subscription delivery offset.  ``attach`` re-binds a
 subscription that survived a server restart (sessions are ephemeral;
 subscriptions and their cursors are durable) to the calling session.
+
+**Fleet fields.**  Multi-node deployments put the router
+(:mod:`.router`) between clients and N key-partitioned worker
+servers; the fields that exist for its sake are usable by any client:
+
+* ``attach`` may carry ``from_cursor``; against a server running with
+  result retention (``retain_results``), the ack then carries
+  ``replayed`` — the serialized outputs at cursor positions
+  ``[from_cursor, cursor)``, re-delivered so a delivery stream torn by
+  a crash resumes with no gap.  ``from_cursor`` older than the
+  retention window is a typed ``plan`` error, never a silent gap.
+* The router's own ``hello`` ack adds ``workers`` (fleet width) and
+  ``role: "router"``; its ``result`` pushes carry ``seq`` — the
+  router-merged global result sequence for that subscription.
 
 Results are serialized segments in continuous mode (``key``,
 ``t_start``, ``t_end``, ``models`` mapping attribute -> ascending

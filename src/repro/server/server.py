@@ -65,6 +65,10 @@ class ServerConfig:
     checkpoint_every: int | None = None
     #: WAL fsync batching (records per fsync; 1 = every record).
     fsync_every: int = 32
+    #: Retained raw outputs per subscription for ``attach`` replay
+    #: (0 = off).  Fleet workers run with this on so the router can
+    #: resume a merge across a worker crash with no gap.
+    retain_results: int = 0
 
     def runtime_kwargs(self) -> dict:
         kwargs: dict = {
@@ -133,6 +137,7 @@ class PulseServer:
             wal_dir=config.wal_dir,
             checkpoint_every=config.checkpoint_every,
             fsync_every=config.fsync_every,
+            retain_results=config.retain_results,
         )
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -267,7 +272,15 @@ class PulseServer:
                     self._dropped_counter.bump(dropped)
                     break
             else:
-                return  # nothing sheddable and the queue is full: drop new
+                # Nothing sheddable in the queue: the *new* message is
+                # dropped instead — the same damage as shedding, so it
+                # gets the same accounting (never a silent loss).
+                dropped = len(message.get("results", ()))
+                if dropped:
+                    conn.results_dropped += dropped
+                    conn.dropped_since_notice += dropped
+                    self._dropped_counter.bump(dropped)
+                return
         if conn.dropped_since_notice and message.get("type") == "result":
             outbound.append((
                 {
@@ -456,8 +469,17 @@ class PulseServer:
         sub_id = obj.get("subscription")
         if isinstance(sub_id, bool) or not isinstance(sub_id, int):
             raise protocol.ProtocolError("'subscription' must be an integer")
+        from_cursor = obj.get("from_cursor")
+        if from_cursor is not None and (
+            isinstance(from_cursor, bool)
+            or not isinstance(from_cursor, int)
+            or from_cursor < 0
+        ):
+            raise protocol.ProtocolError(
+                "'from_cursor' must be a non-negative integer"
+            )
         result = await asyncio.wrap_future(
-            self.bridge.attach(sub_id, conn.session_id)
+            self.bridge.attach(sub_id, conn.session_id, from_cursor)
         )
         conn.subscriptions.add(sub_id)
         return {"type": "ack", **result}

@@ -298,9 +298,20 @@ def test_sigkill_mid_churn_recovers_subscription_table(tmp_path):
             assert att["cursor"] == before[str(sid)]["cursor"]
             assert att["error_bound"] == ack0["error_bound"]
             assert att["graph"] == ack0["graph"]
-        # a subscription attached to a live session cannot be stolen
-        with pytest.raises(ServerError):
-            client.attach(next(iter(subs)))
+        # the owning session may re-attach idempotently (the router's
+        # fleet recovery resumes worker subscriptions this way) ...
+        first = next(iter(subs))
+        again = client.attach(first)
+        assert again["cursor"] == before[str(first)]["cursor"]
+        # ... but a subscription bound to a live session cannot be
+        # stolen by a *different* session
+        thief = PulseClient("127.0.0.1", child.port)
+        try:
+            thief.connect()
+            with pytest.raises(ServerError):
+                thief.attach(first)
+        finally:
+            thief.close()
 
         for tup in TRACE[24:]:
             client.ingest(STREAM, [tup])

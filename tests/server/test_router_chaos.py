@@ -1,0 +1,169 @@
+"""Fleet chaos: SIGKILL a worker mid-ingest; the merged stream must
+not tear.
+
+Three durable subprocess workers sit behind an in-process router.  One
+of them is SIGKILLed — no atexit, no WAL close — while the client is
+streaming, then restarted on the same port with the same WAL dir.  The
+router rides the outage with its fleet recovery protocol (bounded
+reconnect, ``attach(from_cursor)`` replay from the worker's retained
+tail, retransmission of un-persisted tuples), and the subscriber-side
+assertion is the strongest one available: the merged result stream is
+**bit-exact** against an unkilled single-engine reference — no
+duplicate, no gap, no reordering, wherever the kill happened to land.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.transform import to_continuous_plan
+from repro.engine.lowering import to_discrete_plan
+from repro.engine.tuples import StreamTuple
+from repro.fitting.model_builder import StreamModelBuilder
+from repro.query import parse_query, plan_query
+from repro.server import PulseClient, PulseRouter, RouterConfig
+from repro.server.protocol import serialize_results
+from repro.testing.chaos_server import WorkerFleet
+from repro.workloads import MovingObjectConfig, MovingObjectGenerator
+
+pytestmark = pytest.mark.resilience
+
+QUERY = "select * from objects where x > 0"
+STREAM = "objects"
+FIT = {"attrs": ["x", "y"], "key_fields": ["id"]}
+BOUND = 0.05
+NUM_WORKERS = 3
+
+
+def moving_tuples(n, seed=11):
+    gen = MovingObjectGenerator(MovingObjectConfig(rate=float(n), seed=seed))
+    return [dict(t) for t in gen.tuples(n)]
+
+
+def discrete_reference(tuples):
+    query = to_discrete_plan(plan_query(parse_query(QUERY)))
+    outputs = []
+    for tup in tuples:
+        outputs.extend(query.push(STREAM, StreamTuple(tup)))
+    outputs.extend(query.flush())
+    return serialize_results(outputs)
+
+
+def continuous_reference(tuples, bound=BOUND):
+    builder = StreamModelBuilder(
+        tuple(FIT["attrs"]),
+        bound,
+        key_fields=tuple(FIT["key_fields"]),
+        constants=tuple(FIT["key_fields"]),
+    )
+    query = to_continuous_plan(plan_query(parse_query(QUERY)))
+    outputs = []
+    for tup in tuples:
+        for seg in builder.add(StreamTuple(tup)):
+            outputs.extend(query.push(STREAM, seg))
+    for seg in builder.finish():
+        outputs.extend(query.push(STREAM, seg))
+    return serialize_results(outputs)
+
+
+def run_fleet(tmp_path, tuples, mode, on_batch):
+    """Stream ``tuples`` through a 3-worker fleet in small batches,
+    calling ``on_batch(fleet, index)`` between batches; returns the
+    merged result stream and the router's final stats."""
+    fleet = WorkerFleet(NUM_WORKERS, str(tmp_path), checkpoint_every=7)
+    addrs = fleet.start()
+    router = None
+    try:
+        router = PulseRouter(RouterConfig(workers=tuple(addrs))).start()
+        with PulseClient("127.0.0.1", router.port, timeout=120.0) as client:
+            client.connect()
+            client.register("q", QUERY, fit=FIT)
+            kwargs = (
+                {"mode": "discrete"}
+                if mode == "discrete"
+                else {"error_bound": BOUND}
+            )
+            sub = client.subscribe("q", **kwargs)
+            batch = 16
+            for index, start in enumerate(range(0, len(tuples), batch)):
+                on_batch(fleet, index)
+                client.ingest(STREAM, tuples[start:start + batch])
+            client.flush()
+            results = client.drain_results(sub["subscription"])
+            stats = client.stats()
+        return results, stats
+    finally:
+        if router is not None:
+            router.stop()
+        fleet.stop()
+
+
+class TestWorkerSigkill:
+    def test_kill_and_restart_between_batches(self, tmp_path):
+        """Deterministic outage: the worker dies while idle, and the
+        router discovers it on the next run routed its way."""
+        tuples = moving_tuples(360)
+
+        def on_batch(fleet, index):
+            if index == 10:
+                fleet.kill(1)
+                fleet.restart(1)
+
+        results, stats = run_fleet(tmp_path, tuples, "discrete", on_batch)
+        assert [w["recoveries"] for w in stats["workers"]] == [0, 1, 0]
+        expected = discrete_reference(tuples)
+        assert len(results) == len(expected) > 0
+        assert results == expected  # exactly-once: no dup, no gap
+
+    def test_kill_mid_ingest_concurrent(self, tmp_path):
+        """Asynchronous outage: SIGKILL lands wherever the race puts
+        it — possibly mid-request, losing an in-flight run and its
+        result pushes.  Bit-exactness must hold regardless."""
+        tuples = moving_tuples(480)
+        fired = threading.Event()
+        done = threading.Event()
+
+        def killer(fleet):
+            fired.wait(timeout=60)
+            fleet.kill(1)
+            fleet.restart(1)
+            done.set()
+
+        thread = None
+
+        def on_batch(fleet, index):
+            nonlocal thread
+            if index == 0:
+                thread = threading.Thread(
+                    target=killer, args=(fleet,), daemon=True
+                )
+                thread.start()
+            if index == 8:
+                fired.set()  # kill races the remaining batches
+
+        results, stats = run_fleet(
+            tmp_path, tuples, "continuous", on_batch
+        )
+        assert done.wait(timeout=60)
+        thread.join(timeout=60)
+        assert stats["workers"][1]["recoveries"] == 1
+        expected = continuous_reference(tuples)
+        assert len(results) == len(expected) > 0
+        assert results == expected
+
+    def test_durable_offsets_reconcile_after_recovery(self, tmp_path):
+        """After recovery and a flush barrier, the router's sent
+        accounting equals every worker's durable WAL offset."""
+        tuples = moving_tuples(240)
+
+        def on_batch(fleet, index):
+            if index == 5:
+                fleet.kill(2)
+                fleet.restart(2)
+
+        _results, stats = run_fleet(tmp_path, tuples, "discrete", on_batch)
+        for worker in stats["workers"]:
+            assert worker["unacked"] == 0
+            assert not worker["dead"]
+            assert worker["durable_tuples"] == worker["sent"]
+        assert sum(w["sent"] for w in stats["workers"]) == len(tuples)

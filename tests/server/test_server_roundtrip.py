@@ -403,3 +403,78 @@ class TestTraceSpans:
         ingest = by_kind["ingest"][0]
         assert ingest["attrs"]["stream"] == STREAM
         assert ingest["attrs"]["accepted"] == 30
+
+
+class TestEgressShedding:
+    """Outbound-queue overflow accounting, driven white-box.
+
+    The writer coroutine never runs here: a bare ``_Connection`` with a
+    tiny ``outbound_limit`` lets each ``_send`` decision — shed-oldest,
+    drop-new, notice injection — be asserted deterministically.
+    """
+
+    @staticmethod
+    def _server(limit):
+        from repro.server.server import PulseServer
+
+        srv = PulseServer.__new__(PulseServer)
+        srv.config = ServerConfig(outbound_limit=limit)
+        srv._dropped_counter = get_counter("server.results_dropped")
+        return srv
+
+    @staticmethod
+    def _conn():
+        from repro.server.server import _Connection
+
+        return _Connection(session_id=1, writer=None, peer="test")
+
+    @staticmethod
+    def _result(n):
+        return {"type": "result", "results": [{"x": float(i)} for i in range(n)]}
+
+    def test_shed_oldest_result_first(self):
+        srv, conn = self._server(2), self._conn()
+        srv._send(conn, self._result(3), sheddable=True)
+        srv._send(conn, {"type": "ack"})
+        srv._send(conn, self._result(1), sheddable=True)  # over limit
+        queued = [m for m, _ in conn.outbound]
+        # the oldest *result* was shed; the ack survived; the notice
+        # lands immediately, ahead of the result that triggered it
+        assert [m["type"] for m in queued] == [
+            "ack", "backpressure", "result"
+        ]
+        assert queued[1]["dropped_results"] == 3
+        assert len(queued[2]["results"]) == 1
+        assert conn.results_dropped == 3
+        assert conn.dropped_since_notice == 0
+
+    def test_drop_new_is_counted_not_silent(self):
+        srv, conn = self._server(2), self._conn()
+        srv._send(conn, {"type": "ack"})
+        srv._send(conn, {"type": "ack"})
+        before = len(conn.outbound)
+        srv._send(conn, self._result(4), sheddable=True)
+        # nothing sheddable was queued, so the new push itself was
+        # dropped — and accounted exactly like a shed
+        assert len(conn.outbound) == before
+        assert conn.results_dropped == 4
+        assert conn.dropped_since_notice == 4
+
+    def test_notice_precedes_next_result_and_resets(self):
+        srv, conn = self._server(2), self._conn()
+        srv._send(conn, {"type": "ack"})
+        srv._send(conn, {"type": "ack"})
+        srv._send(conn, self._result(4), sheddable=True)  # drop-new
+        conn.outbound.clear()  # writer drains the acks
+        srv._send(conn, self._result(2), sheddable=True)
+        queued = [m for m, _ in conn.outbound]
+        assert [m["type"] for m in queued] == ["backpressure", "result"]
+        assert queued[0]["dropped_results"] == 4
+        assert conn.dropped_since_notice == 0
+
+    def test_acks_never_shed(self):
+        srv, conn = self._server(1), self._conn()
+        for _ in range(5):
+            srv._send(conn, {"type": "ack"})
+        assert len(conn.outbound) == 5
+        assert conn.results_dropped == 0
